@@ -1,0 +1,31 @@
+"""Fig 6: per-node DHT memory vs entity size, malloc vs custom allocator.
+
+Paper claims: footprint linear in entity memory; the custom allocator
+beats GNU malloc; overhead ~8% of entity memory at 16 GB and stays
+bounded (~12.5%) even at 256 GB/entity.
+"""
+
+from repro.harness import run_fig06
+
+
+def test_fig06_dht_memory(run_once, emit):
+    table = run_once(run_fig06)
+    emit(table, "fig06")
+    gbs = table.x_values
+    custom = table.get("custom_mb").values
+    malloc = table.get("malloc_mb").values
+
+    # Linear growth in entity size.
+    i16 = gbs.index(16)
+    i1 = gbs.index(1)
+    assert 14 < custom[i16] / custom[i1] < 18
+
+    # Malloc always costs more than the custom allocator.
+    for m, c in zip(malloc, custom):
+        assert m > c
+
+    # Overhead anchors: <=11% at 16 GB, <=14% even at 256 GB (paper: ~8%
+    # and ~12.5%).
+    co = table.get("custom_overhead_pct").values
+    assert co[i16] <= 11
+    assert co[gbs.index(256)] <= 14

@@ -1,0 +1,24 @@
+"""Fig 8: node-wise query latency vs unique hashes in the local DHT.
+
+Paper claims: latency is flat in table size and dominated by the network
+round trip ("essentially a ping time"); the compute component is an order
+of magnitude smaller.
+"""
+
+from repro.harness import run_fig08
+
+
+def test_fig08_nodewise_query_latency(run_once, emit):
+    table = run_once(run_fig08, sizes=(250_000, 1_000_000, 4_000_000),
+                     reps=50_000)
+    emit(table, "fig08")
+
+    for name in ("entities_query_ns", "num_copies_query_ns",
+                 "entities_compute_ns", "num_copies_compute_ns"):
+        vals = table.get(name).values
+        assert max(vals) < 4.0 * max(min(vals), 1e-9), (name, vals)
+
+    # Communication dominates: query latency >> compute time.
+    for q, c in zip(table.get("num_copies_query_ns").values,
+                    table.get("num_copies_compute_ns").values):
+        assert q > 3 * c

@@ -1,0 +1,31 @@
+"""Fig 9: collective query latency, single-node vs distributed execution.
+
+Paper claims: the single-node curve grows linearly with total hashes; the
+distributed curve is constant (~300 ms on Old-cluster) when hashes/node is
+fixed at ~2 M; they cross at 2-4 M total hashes.
+"""
+
+from repro.harness import run_fig09
+
+
+def test_fig09_collective_query_crossover(run_once, emit):
+    table = run_once(run_fig09,
+                     hash_millions=(2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40))
+    emit(table, "fig09")
+    xs = table.x_values
+    single = table.get("sharing_single_ms").values
+    dist = table.get("sharing_distributed_ms").values
+
+    # Single-node execution: linear in total hashes (20x range -> ~20x).
+    assert 15 < single[-1] / single[0] < 25
+
+    # Distributed execution: flat (within 10%) as the system scales.
+    assert max(dist) < 1.1 * min(dist)
+    # ... and lands near the paper's ~300 ms plateau.
+    assert 200 < dist[-1] < 450
+
+    # Crossover in the 2-4 M region: equal at 2 M/node, distributed wins
+    # from 4 M on.
+    assert single[xs.index(2)] <= dist[xs.index(2)] * 1.05
+    assert single[xs.index(4)] > dist[xs.index(4)]
+    assert single[-1] > 10 * dist[-1]

@@ -1,0 +1,27 @@
+"""Fig 10: null service command vs per-SE memory (8 processes, New-cluster).
+
+Paper claims: execution time linear in total SE memory; interactive mode
+slightly above batch mode.
+"""
+
+from repro.harness import run_fig10
+
+
+def test_fig10_null_command_linear_in_memory(run_once, emit):
+    table = run_once(run_fig10)
+    emit(table, "fig10")
+    mem = table.x_values
+    inter = table.get("interactive_ms").values
+    batch = table.get("batch_ms").values
+
+    # Linear: doubling memory roughly doubles time, across the sweep.
+    for i in range(1, len(mem)):
+        growth = inter[i] / inter[i - 1]
+        assert 1.6 < growth < 2.4, (mem[i], growth)
+
+    # Interactive >= batch at every size, but within ~25%.
+    for a, b in zip(inter, batch):
+        assert b < a < 1.25 * b
+
+    # Magnitude anchor: paper shows ~4 s at 8 GB/process on New-cluster.
+    assert 2000 < inter[mem.index(8192)] < 8000

@@ -1,0 +1,31 @@
+"""Fig 15: checkpoint response time vs per-SE memory (8 hosts, RAM disk).
+
+Paper claims (log-log plot): all strategies linear in memory;
+raw < ConCORD < raw+gzip, with ConCORD a small constant over raw and gzip
+an order of magnitude above.
+"""
+
+from repro.harness import run_fig15
+
+
+def test_fig15_checkpoint_time_vs_memory(run_once, emit):
+    table = run_once(run_fig15)
+    emit(table, "fig15")
+    mem = table.x_values
+    raw = table.get("raw_ms").values
+    cc = table.get("concord_ms").values
+    rgz = table.get("raw_gzip_ms").values
+
+    # Ordering at every size.
+    for r, c, g in zip(raw, cc, rgz):
+        assert r < c < g
+
+    # Linearity (log-log slope ~1): 128x memory -> 64-256x time.
+    assert 64 < cc[-1] / cc[0] < 256
+    assert 64 < raw[-1] / raw[0] < 256
+
+    # ConCORD within a small factor of the embarrassingly parallel raw.
+    for r, c in zip(raw, cc):
+        assert c < 2.5 * r
+    # gzip an order of magnitude above ConCORD.
+    assert rgz[-1] > 8 * cc[-1]

@@ -1,0 +1,27 @@
+"""Fig 16: checkpoint response time vs node count (1 GB/process).
+
+Paper claims: every strategy's response time is independent of the number
+of nodes; the collective checkpoint stays within a constant factor of the
+embarrassingly parallel raw checkpoint — "the asymptotic cost to adding
+awareness and exploitation of memory content redundancy ... is a
+constant".
+"""
+
+from repro.harness import run_fig16
+
+
+def test_fig16_checkpoint_time_vs_nodes(run_once, emit):
+    table = run_once(run_fig16)
+    emit(table, "fig16")
+    raw = table.get("raw_ms").values
+    cc = table.get("concord_ms").values
+    rgz = table.get("raw_gzip_ms").values
+
+    # Flat with scale.
+    assert max(cc) < 1.5 * min(cc)
+    assert max(raw) < 1.2 * min(raw)
+
+    # Ordering and constant-factor claim.
+    for r, c, g in zip(raw, cc, rgz):
+        assert r < c < g
+        assert c < 2.0 * r

@@ -1,0 +1,48 @@
+"""Benchmark support: run a figure's runner once under pytest-benchmark,
+print its table, and archive it under benchmarks/results/.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Timing statistics go to pytest-benchmark's own table; the regenerated
+paper tables are printed (visible with ``-s``) and always written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print a Table and archive it under benchmarks/results/."""
+
+    def _emit(table, name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure runner exactly once under the benchmark fixture.
+
+    Figure runners are full experiments (seconds each), so one round is
+    the right cadence; pytest-benchmark still records the duration.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return _run

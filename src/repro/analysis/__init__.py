@@ -1,0 +1,37 @@
+"""Analysis tools over ConCORD's content-tracking data.
+
+The paper positions ConCORD as the platform on which redundancy-aware
+tools are built; its own prior work (Xia & Dinda, VTDC'12) profiled
+memory-content sharing in parallel applications, and related systems
+(Memory Buddies, VEE'09) used content fingerprints to co-locate VMs with
+high sharing potential.  This package provides both, implemented purely
+over the public query interface — a demonstration that the platform's
+queries suffice for real tools:
+
+* :mod:`repro.analysis.redundancy` — time-series redundancy profiling,
+  copy-count distributions, top shared content;
+* :mod:`repro.analysis.placement` — a sharing graph between entities and
+  a greedy co-location advisor that packs high-sharing entities together.
+"""
+
+from repro.analysis.redundancy import (
+    RedundancyProfiler,
+    RedundancySnapshot,
+    copy_distribution,
+    top_shared_content,
+)
+from repro.analysis.placement import (
+    sharing_graph,
+    suggest_colocation,
+    placement_sharing_score,
+)
+
+__all__ = [
+    "RedundancyProfiler",
+    "RedundancySnapshot",
+    "copy_distribution",
+    "top_shared_content",
+    "sharing_graph",
+    "suggest_colocation",
+    "placement_sharing_score",
+]

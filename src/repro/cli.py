@@ -1,0 +1,130 @@
+"""Command-line interface: run the paper's experiments by name.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run fig09                # one experiment, table to stdout
+    python -m repro run all --out results/   # everything, archived to files
+    python -m repro demo                     # 30-second end-to-end tour
+    python -m repro info                     # testbeds and calibration
+
+Exit status is non-zero on unknown experiment names, so the CLI is usable
+from shell scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.harness import ALL_EXPERIMENTS
+from repro.sim.costmodel import TESTBEDS
+from repro.util.stats import fmt_bytes, fmt_time_s
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="ConCORD reproduction: regenerate the paper's "
+                    "evaluation figures and explore the system.")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id (see 'list') or 'all'")
+    run.add_argument("--out", type=Path, default=None,
+                     help="directory to write result tables into")
+
+    sub.add_parser("demo", help="quick end-to-end demonstration")
+    sub.add_parser("info", help="show testbed cost-model calibration")
+    return p
+
+
+def _cmd_list(out) -> int:
+    width = max(len(k) for k in ALL_EXPERIMENTS)
+    for name, fn in ALL_EXPERIMENTS.items():
+        doc = (getattr(fn, "__doc__", None) or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<{width}}  {summary}", file=out)
+    return 0
+
+
+def _cmd_run(experiment: str, out_dir: Path | None, out) -> int:
+    if experiment == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif experiment in ALL_EXPERIMENTS:
+        names = [experiment]
+    else:
+        print(f"error: unknown experiment {experiment!r}; "
+              f"try 'repro list'", file=sys.stderr)
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        table = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        text = table.render()
+        print(text, file=out)
+        print(f"[{name} completed in {elapsed:.1f}s]\n", file=out)
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_demo(out) -> int:
+    from repro import (CheckpointStore, Cluster, CollectiveCheckpoint,
+                       ConCORD, ServiceScope, restore_entity, workloads)
+
+    cluster = Cluster(4, cost="new-cluster", seed=1)
+    ents = workloads.instantiate(cluster, workloads.moldy(4, 1024, seed=1))
+    eids = [e.entity_id for e in ents]
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    print(f"4-node cluster, {len(ents)} processes, "
+          f"{fmt_bytes(sum(e.memory_bytes for e in ents))} traced; "
+          f"sharing={concord.sharing(eids).value:.3f}", file=out)
+    store = CheckpointStore()
+    result = concord.execute_command(CollectiveCheckpoint(store),
+                                     ServiceScope.of(eids))
+    for e in ents:
+        assert (restore_entity(store, e.entity_id) == e.pages).all()
+    print(f"collective checkpoint: {fmt_time_s(result.wall_time)} simulated, "
+          f"ratio {store.compression_ratio:.1%}, restore verified", file=out)
+    return 0
+
+
+def _cmd_info(out) -> int:
+    for name, cm in TESTBEDS.items():
+        print(f"{name}: {cm.n_nodes} nodes, "
+              f"link {fmt_bytes(cm.link_bw)}/s, "
+              f"latency {fmt_time_s(cm.udp_latency)}, "
+              f"DHT insert {fmt_time_s(cm.dht_insert_hash)}, "
+              f"SFH/page {fmt_time_s(cm.hash_page_sfh)}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.out, out)
+        if args.command == "demo":
+            return _cmd_demo(out)
+        if args.command == "info":
+            return _cmd_info(out)
+    except BrokenPipeError:  # e.g. `repro run all | head`
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""The service-command callback interface (paper Fig 4).
+
+A developer creates an application service by subclassing
+:class:`ServiceCallbacks` and implementing some or all of the nine
+callbacks; the parametrized service command *is* the application service
+implementation.  The execution engine invokes them in four phases:
+
+1. **Service initialization** — ``service_init`` once per node holding a
+   service or participating entity; the node's private service state is
+   whatever the service stores on ``ctx``.
+2. **Collective phase** — ``collective_start`` per entity (with a partial,
+   advisory hash set from the local DHT shard); then, for every distinct
+   hash ConCORD believes exists in the SEs, replica selection (optionally
+   via ``collective_select``) and one successful ``collective_command`` on
+   the node of the selected replica; then ``collective_finalize`` per
+   entity (a synchronization point).
+3. **Local phase** — ``local_start`` per SE; ``local_command`` per memory
+   block of each SE, told whether (and with what private data) its hash was
+   already handled collectively; ``local_finalize`` per SE.
+4. **Teardown** — ``service_deinit`` per node; returns service success.
+
+Callbacks run "node-locally": they may touch the node's entities through
+``ctx`` and charge modelled CPU/IO cost, but they never see other nodes'
+state except through what the engine disseminates — the same constraint
+the real system's C callbacks live under.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.core.scope import EntityRole
+from repro.memory.entity import Entity
+from repro.memory.nsm import BlockRef, NodeSpecificModule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+    from repro.sim.costmodel import CostModel
+
+__all__ = ["ServiceCallbacks", "CommandFailed", "ExecMode", "NodeContext"]
+
+
+class ExecMode(enum.Enum):
+    """Paper §4.2: interactive applies transformations immediately; batch
+    builds an execution plan the service runs as a whole."""
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class CommandFailed:
+    """Returned by a callback to signal failure for this invocation.
+
+    In the collective phase this triggers replica retry, exactly like the
+    content having vanished from the node.
+    """
+
+    reason: str = ""
+
+
+class NodeContext:
+    """Per-node execution environment handed to every callback."""
+
+    def __init__(self, node_id: int, cluster: "Cluster",
+                 nsm: NodeSpecificModule, mode: ExecMode,
+                 rng: np.random.Generator) -> None:
+        self.node_id = node_id
+        self.cluster = cluster
+        self.nsm = nsm
+        self.mode = mode
+        self.rng = rng
+        self.cost: "CostModel" = cluster.cost
+        self.state: Any = None          # the service's private state
+        self.plan = ExecutionPlan()     # used in batch mode
+        self.n_represented = 1
+        # Set by the executor before each phase.
+        self._charge_sink = None
+        self._net_sink = None
+        self._shared_sink = None
+
+    def send_bytes(self, dst_node: int, nbytes: int) -> None:
+        """Account a bulk data transfer from this node to ``dst_node``.
+
+        Services whose payloads exceed the engine's small control messages
+        (e.g. migration/reconstruction shipping page contents) use this so
+        the wall-time model sees their traffic.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot send negative bytes")
+        if self._net_sink is not None and dst_node != self.node_id:
+            self._net_sink(self.node_id, dst_node,
+                           int(nbytes * self.n_represented))
+
+    def charge(self, seconds: float) -> None:
+        """Account modelled CPU/IO time against this node in this phase."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if self._charge_sink is not None:
+            self._charge_sink(self.node_id, seconds)
+
+    def charge_per_block(self, seconds_per_block: float, n_blocks: int = 1) -> None:
+        """Charge per-block cost scaled by the representation factor."""
+        self.charge(seconds_per_block * n_blocks * self.n_represented)
+
+    def charge_shared(self, seconds: float) -> None:
+        """Charge time on a *globally shared* serial resource (e.g. a
+        parallel filesystem's shared append log): unlike :meth:`charge`,
+        this does not parallelize across nodes — every node's shared work
+        adds to the phase's wall time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if self._shared_sink is not None:
+            self._shared_sink(seconds)
+
+    def read_block(self, ref: BlockRef) -> int:
+        """Content ID of a block (the 'pointer' dereference)."""
+        return self.nsm.read_block(ref)
+
+
+class ServiceCallbacks:
+    """Base class for application services; override what you need.
+
+    ``collective_select`` is optional in the paper's interface; leave it as
+    None (the class default) to get random replica selection, or assign a
+    method to take control.
+    """
+
+    name = "service"
+
+    # Optional callback slot; subclasses may define a method.
+    collective_select = None
+
+    # -- service initialization -------------------------------------------------
+
+    def service_init(self, ctx: NodeContext, config: Any) -> None:
+        """Parse config, allocate node-local resources, set ctx.state."""
+
+    # -- collective phase -----------------------------------------------------------
+
+    def collective_start(self, ctx: NodeContext, role: EntityRole,
+                         entity: Entity, hash_sample: np.ndarray) -> None:
+        """Called once per SE/PE on its node with an advisory hash sample."""
+
+    def collective_command(self, ctx: NodeContext, entity: Entity,
+                           content_hash: int, block: BlockRef) -> Any:
+        """Apply the service to one distinct content block.
+
+        Runs on the node of the selected replica.  Return value is the
+        private data attached to the handled hash (e.g. a file offset),
+        or :class:`CommandFailed` to make the engine retry elsewhere.
+        """
+        return None
+
+    def collective_finalize(self, ctx: NodeContext, role: EntityRole,
+                            entity: Entity) -> None:
+        """Reduce/gather collective-phase work; also a barrier."""
+
+    # -- local phase -----------------------------------------------------------------
+
+    def local_start(self, ctx: NodeContext, entity: Entity) -> None:
+        """Prepare the local phase for one SE (PEs are not involved)."""
+
+    def local_command(self, ctx: NodeContext, entity: Entity, page_idx: int,
+                      content_hash: int, block: BlockRef,
+                      handled_private: Any | None) -> None:
+        """Handle one memory block of an SE.
+
+        ``handled_private`` is the collective_command return value if this
+        hash was handled in the collective phase, else None — letting the
+        service "easily detect and handle content that ConCORD was unaware
+        of" (paper §4.3).
+        """
+
+    def local_finalize(self, ctx: NodeContext, entity: Entity) -> None:
+        """Complete the local phase for one SE; also a barrier."""
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def service_deinit(self, ctx: NodeContext) -> bool:
+        """Interpret final private state; return service success."""
+        return True
+
+    # -- optional vectorized fast path ---------------------------------------------------
+    #
+    # Services operating on large entities may additionally implement
+    #
+    #   local_command_batch(ctx, entity, hashes, blocks_covered, handled_map)
+    #
+    # where ``hashes`` is the entity's per-page hash array and
+    # ``blocks_covered`` a boolean array marking collectively-handled pages.
+    # The engine uses it instead of per-page local_command calls when
+    # present.  Semantics must match the scalar path; the test suite
+    # cross-checks the two for the bundled services.

@@ -1,0 +1,165 @@
+"""The ConCORD facade: the whole platform service in one object.
+
+Brings the per-node components up on a cluster (NSMs, memory update
+monitors, DHT shards, the tracing engine), wires monitors to the engine,
+and exposes the three interfaces of Fig 1: the memory update interface
+(scan/sync), the content-sharing query interface (Fig 3), and the
+content-aware collective command controller (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.command import ExecMode, ServiceCallbacks
+from repro.core.executor import CommandResult, ServiceCommandExecutor
+from repro.core.scope import ServiceScope
+from repro.dht.engine import ContentTracingEngine
+from repro.memory.entity import Entity
+from repro.memory.monitor import MemoryUpdateMonitor, MonitorMode
+from repro.memory.nsm import NodeSpecificModule
+from repro.queries.interface import QueryInterface, QueryResult
+from repro.sim.cluster import Cluster
+
+__all__ = ["ConCORD"]
+
+
+class ConCORD:
+    """The memory content-tracking platform service, brought up on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The (simulated) parallel machine to run on.
+    use_network:
+        If True, DHT updates travel as best-effort datagrams through the
+        simulated network (and can be lost under load); if False they apply
+        synchronously and losslessly — the right setting for unit tests and
+        for experiments that inject staleness deliberately.
+    monitor_mode / hash_algo / throttle_updates_per_s:
+        Memory update monitor configuration (paper §3.1).
+    n_represented:
+        Coarse-graining factor: each simulated block stands for this many
+        real 4 KB blocks.  Costs, wire sizes, and reported counts scale by
+        it; content *structure* (redundancy) is unaffected.  See DESIGN.md.
+    """
+
+    def __init__(self, cluster: Cluster, use_network: bool = False,
+                 monitor_mode: MonitorMode = MonitorMode.PERIODIC_SCAN,
+                 hash_algo: str = "sfh",
+                 throttle_updates_per_s: float | None = None,
+                 n_represented: int = 1,
+                 update_batch_size: int | None = None,
+                 update_transport: str = "udp") -> None:
+        self.cluster = cluster
+        self.n_represented = n_represented
+        engine_kw = {}
+        if update_batch_size is not None:
+            engine_kw["batch_size"] = update_batch_size
+        self.tracing = ContentTracingEngine(cluster, use_network=use_network,
+                                            n_represented=n_represented,
+                                            transport=update_transport,
+                                            **engine_kw)
+        self.nsms: list[NodeSpecificModule] = []
+        self.monitors: list[MemoryUpdateMonitor] = []
+        for node in cluster.nodes:
+            nsm = NodeSpecificModule(cluster, node.node_id)
+            node.nsm = nsm
+            self.nsms.append(nsm)
+            self.monitors.append(MemoryUpdateMonitor(
+                nsm, self.tracing.route_updates, cluster.cost,
+                mode=monitor_mode, hash_algo=hash_algo,
+                throttle_updates_per_s=throttle_updates_per_s,
+                n_represented=n_represented))
+        self.queries = QueryInterface(cluster, self.tracing, n_represented)
+        self.executor = ServiceCommandExecutor(cluster, self.tracing,
+                                               n_represented)
+        for entity in cluster.entities.values():
+            self.attach_entity(entity)
+
+    # -- entity lifecycle ------------------------------------------------------------
+
+    def attach_entity(self, entity: Entity) -> None:
+        """Start tracking an entity (it must be registered with the cluster)."""
+        self.nsms[entity.node_id].attach_entity(entity)
+
+    def detach_entity(self, entity_id: int) -> None:
+        """Stop tracking an entity and purge it from every shard."""
+        node = self.cluster.node_of(entity_id)
+        self.nsms[node].detach_entity(entity_id)
+        for shard in self.tracing.shards:
+            shard.remove_entity(entity_id)
+
+    # -- memory update interface ---------------------------------------------------------
+
+    def initial_scan(self, run_network: bool = True) -> int:
+        """First full monitor pass on every node; returns updates produced."""
+        total = 0
+        for mon in self.monitors:
+            total += mon.initial_scan()
+            mon.flush()
+        if run_network:
+            self.cluster.engine.run()
+        return total
+
+    def sync(self, run_network: bool = True) -> int:
+        """One monitoring pass + flush everywhere (brings the DHT view up
+        to date modulo datagram loss and throttling)."""
+        total = 0
+        for mon in self.monitors:
+            total += mon.scan()
+            mon.flush()
+        if run_network:
+            self.cluster.engine.run()
+        return total
+
+    # -- query interface (Fig 3) ------------------------------------------------------------
+
+    def num_copies(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
+        return self.queries.num_copies(content_hash, issuing_node)
+
+    def entities(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
+        return self.queries.entities(content_hash, issuing_node)
+
+    def sharing(self, entity_ids: list[int], **kw) -> QueryResult:
+        return self.queries.sharing(entity_ids, **kw)
+
+    def intra_sharing(self, entity_ids: list[int], **kw) -> QueryResult:
+        return self.queries.intra_sharing(entity_ids, **kw)
+
+    def inter_sharing(self, entity_ids: list[int], **kw) -> QueryResult:
+        return self.queries.inter_sharing(entity_ids, **kw)
+
+    def num_shared_content(self, entity_ids: list[int], k: int, **kw) -> QueryResult:
+        return self.queries.num_shared_content(entity_ids, k, **kw)
+
+    def shared_content(self, entity_ids: list[int], k: int, **kw) -> QueryResult:
+        return self.queries.shared_content(entity_ids, k, **kw)
+
+    def degree_of_sharing(self, entity_ids: list[int]) -> float:
+        return self.queries.degree_of_sharing(entity_ids)
+
+    # -- command controller (Fig 1) ------------------------------------------------------------
+
+    def execute_command(self, service: ServiceCallbacks, scope: ServiceScope,
+                        mode: ExecMode = ExecMode.INTERACTIVE,
+                        config: Any = None, seed: int = 0,
+                        tracer=None) -> CommandResult:
+        """Run a content-aware service command to completion.
+
+        Pass a :class:`repro.core.events.CommandTracer` as ``tracer`` to
+        capture a structured protocol trace of the execution.
+        """
+        return self.executor.execute(service, scope, mode=mode, config=config,
+                                     seed=seed, tracer=tracer)
+
+    # -- introspection -----------------------------------------------------------------------------
+
+    @property
+    def total_tracked_hashes(self) -> int:
+        return self.tracing.total_hashes
+
+    def monitor_stats(self):
+        return [m.stats for m in self.monitors]

@@ -1,0 +1,99 @@
+"""Structured execution traces for service commands.
+
+A :class:`CommandTracer` passed to ``execute_command`` records every
+protocol step the engine takes — phase transitions, replica selection,
+ground-truth failures and retries, stale-hash conclusions, handled-set
+dissemination, local-phase coverage — as typed events.  Uses:
+
+* observability for service developers (why was my hash not handled?);
+* the test suite asserts protocol invariants on arbitrary runs without
+  instrumented probe services;
+* post-mortem debugging of simulated runs (the trace is deterministic).
+
+Events are lightweight tuples; the tracer indexes them by kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["EventKind", "TraceEvent", "CommandTracer"]
+
+
+class EventKind(enum.Enum):
+    PHASE_BEGIN = "phase_begin"        # (phase,)
+    PHASE_END = "phase_end"            # (phase,)
+    SELECT = "select"                  # (hash, candidates, chosen_first)
+    INVOKE = "invoke"                  # (hash, entity, node)
+    INVOKE_FAILED = "invoke_failed"    # (hash, entity, reason)
+    HANDLED = "handled"                # (hash, entity)
+    STALE = "stale"                    # (hash, tried_entities)
+    EXCHANGE = "exchange"              # (shard_node, dst_node, n_entries)
+    LOCAL_ENTITY = "local_entity"      # (entity, n_blocks, n_covered)
+    DEINIT = "deinit"                  # (node, success)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    seq: int
+    kind: EventKind
+    data: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.seq}:{self.kind.value}{self.data}>"
+
+
+class CommandTracer:
+    """Accumulates TraceEvents during one command execution."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    # -- recording (called by the executor) -----------------------------------
+
+    def emit(self, kind: EventKind, *data: Any) -> None:
+        self.events.append(TraceEvent(len(self.events), kind, data))
+
+    # -- querying ----------------------------------------------------------------
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def phases(self) -> list[str]:
+        """Phase names in begin order."""
+        return [e.data[0] for e in self.of_kind(EventKind.PHASE_BEGIN)]
+
+    def first_index(self, kind: EventKind) -> int | None:
+        for e in self.events:
+            if e.kind is kind:
+                return e.seq
+        return None
+
+    def last_index(self, kind: EventKind) -> int | None:
+        idx = None
+        for e in self.events:
+            if e.kind is kind:
+                idx = e.seq
+        return idx
+
+    def events_for_hash(self, content_hash: int) -> list[TraceEvent]:
+        """All selection/invoke/handled/stale events touching one hash."""
+        keyed = {EventKind.SELECT, EventKind.INVOKE, EventKind.INVOKE_FAILED,
+                 EventKind.HANDLED, EventKind.STALE}
+        return [e for e in self.events
+                if e.kind in keyed and e.data[0] == content_hash]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind (stable keys for reporting)."""
+        return {k.value: self.count(k) for k in EventKind}

@@ -1,0 +1,469 @@
+"""Distributed execution engine for content-aware service commands.
+
+"At a high-level, it can be viewed as a purpose-specific map-reduce engine
+that operates over the data in the tracing engine" (paper §3.1).  The
+engine executes the two-phase model of §4:
+
+* **Collective phase** — for each distinct content hash the (best-effort)
+  DHT believes exists in the service entities, select a replica among the
+  SE/PE holders and invoke ``collective_command`` on that replica's node,
+  *verifying against ground truth first*: "A collective_command()
+  invocation may fail because the content is no longer available in the
+  node.  When this is detected ... ConCORD will select a different
+  potential replica and try again.  If it is unsuccessful for all replicas,
+  it knows that its information about the content hash is stale."
+* **Local phase** — every block of every SE is visited with ground-truth
+  information plus the set of collectively-handled hashes, so the service
+  is correct regardless of how stale the DHT was.
+
+Timing: the executor runs the *real* protocol (real DHT contents, real
+selection, real retries, real dissemination) and charges modelled costs to
+each node; a phase's wall time is the slowest node's CPU + NIC time plus
+the synchronization (barrier) cost.  Byte counts come from the wire sizes
+in :mod:`repro.util.records`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.command import (
+    CommandFailed,
+    ExecMode,
+    NodeContext,
+    ServiceCallbacks,
+)
+from repro.core.events import CommandTracer, EventKind
+from repro.core.scope import EntityRole, ServiceScope
+from repro.dht.engine import ContentTracingEngine
+from repro.sim.cluster import Cluster
+from repro.util.records import ENTITY_ID_BYTES, HASH_BYTES, UDP_HEADER_BYTES
+
+__all__ = ["ServiceCommandExecutor", "CommandResult", "CommandStats", "PhaseBreakdown"]
+
+_MSG_OVERHEAD = UDP_HEADER_BYTES + 16
+_INVOKE_BYTES = HASH_BYTES + ENTITY_ID_BYTES + 4
+_RESULT_BYTES = HASH_BYTES + 12
+_EXCHANGE_ENTRY_BYTES = HASH_BYTES + 12
+
+PHASES = ("init", "collective", "local", "teardown")
+
+
+@dataclass
+class CommandStats:
+    """What actually happened during one command execution."""
+
+    believed_hashes: int = 0        # distinct hashes the DHT claimed for SEs
+    handled: int = 0                # hashes successfully handled collectively
+    stale_unhandled: int = 0        # hashes whose every replica had vanished
+    retries: int = 0                # failed invocations that triggered retry
+    invokes: int = 0                # collective_command dispatches
+    select_calls: int = 0           # collective_select invocations
+    local_blocks: int = 0           # SE blocks visited in the local phase
+    covered_blocks: int = 0         # ... whose hash was handled collectively
+    uncovered_blocks: int = 0       # ... handled purely locally
+    tx_bytes_per_node: dict[int, int] = field(default_factory=dict)
+    rx_bytes_per_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of SE blocks the collective phase covered."""
+        if self.local_blocks == 0:
+            return 0.0
+        return self.covered_blocks / self.local_blocks
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.tx_bytes_per_node.values())
+
+    def max_node_bytes(self) -> int:
+        nodes = set(self.tx_bytes_per_node) | set(self.rx_bytes_per_node)
+        return max((self.tx_bytes_per_node.get(n, 0)
+                    + self.rx_bytes_per_node.get(n, 0) for n in nodes), default=0)
+
+
+@dataclass
+class PhaseBreakdown:
+    wall: float = 0.0
+    max_node_cpu: float = 0.0
+    comm: float = 0.0
+    barrier: float = 0.0
+
+
+@dataclass
+class CommandResult:
+    success: bool
+    wall_time: float
+    phases: dict[str, PhaseBreakdown]
+    stats: CommandStats
+    mode: ExecMode
+    handled_private: dict[int, Any]
+    contexts: dict[int, NodeContext]
+
+    def phase_wall(self, name: str) -> float:
+        return self.phases[name].wall
+
+
+class ServiceCommandExecutor:
+    """Executes one parametrized service command over the cluster."""
+
+    def __init__(self, cluster: Cluster, tracing: ContentTracingEngine,
+                 n_represented: int = 1) -> None:
+        self.cluster = cluster
+        self.tracing = tracing
+        self.cost = cluster.cost
+        self.n_represented = n_represented
+
+    # -- accounting -----------------------------------------------------------------
+
+    def _reset_accounting(self) -> None:
+        self._cpu: dict[tuple[int, str], float] = defaultdict(float)
+        self._tx: dict[tuple[int, str], int] = defaultdict(int)
+        self._rx: dict[tuple[int, str], int] = defaultdict(int)
+        self._phase = "init"
+        self._shared: dict[str, float] = defaultdict(float)
+        self._tracer: CommandTracer | None = None
+
+    def _charge(self, node: int, seconds: float) -> None:
+        self._cpu[(node, self._phase)] += seconds
+
+    def _charge_shared(self, seconds: float) -> None:
+        self._shared[self._phase] += seconds
+
+    def _emit(self, kind: EventKind, *data) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(kind, *data)
+
+    def _set_phase(self, phase: str) -> None:
+        if getattr(self, "_tracer", None) is not None and hasattr(self, "_phase"):
+            self._tracer.emit(EventKind.PHASE_END, self._phase)
+        self._phase = phase
+        self._emit(EventKind.PHASE_BEGIN, phase)
+
+    def _msg(self, src: int, dst: int, payload: int) -> None:
+        if src == dst:
+            return
+        size = payload + _MSG_OVERHEAD
+        self._tx[(src, self._phase)] += size
+        self._rx[(dst, self._phase)] += size
+
+    def _phase_breakdown(self, phase: str, extra_wall: float = 0.0) -> PhaseBreakdown:
+        cost = self.cost
+        n = self.cluster.n_nodes
+        per_node = []
+        for node in range(n):
+            cpu = self._cpu.get((node, phase), 0.0)
+            comm = (self._tx.get((node, phase), 0)
+                    + self._rx.get((node, phase), 0)) / cost.link_bw
+            per_node.append((cpu, comm))
+        max_cpu = max((c for c, _ in per_node), default=0.0)
+        max_total = max((c + m for c, m in per_node), default=0.0)
+        shared = self._shared.get(phase, 0.0)
+        barrier = cost.barrier_time(n)
+        return PhaseBreakdown(wall=max_total + shared + barrier + extra_wall,
+                              max_node_cpu=max_cpu,
+                              comm=max_total - max_cpu, barrier=barrier)
+
+    # -- main entry point -------------------------------------------------------------
+
+    def execute(self, service: ServiceCallbacks, scope: ServiceScope,
+                mode: ExecMode = ExecMode.INTERACTIVE, config: Any = None,
+                seed: int = 0, sample_cap: int = 1024,
+                tracer: CommandTracer | None = None) -> CommandResult:
+        cluster = self.cluster
+        cost = self.cost
+        R = self.n_represented
+        rng = np.random.default_rng(seed)
+        stats = CommandStats()
+        self._reset_accounting()
+        self._tracer = tracer
+
+        for eid in scope.all_entities():
+            if eid not in cluster.entities:
+                raise KeyError(f"unknown entity {eid} in scope")
+
+        scope_nodes = sorted(cluster.nodes_hosting(scope.all_entities()))
+        contexts: dict[int, NodeContext] = {}
+        for node in range(cluster.n_nodes):
+            nsm = cluster.nodes[node].nsm
+            if nsm is None:
+                raise RuntimeError("ConCORD not brought up on this cluster "
+                                   "(node has no NSM)")
+            ctx = NodeContext(node, cluster, nsm, mode,
+                              np.random.default_rng(seed * 1000003 + node))
+            ctx.n_represented = R
+            ctx._charge_sink = self._charge
+            ctx._net_sink = self._msg
+            ctx._shared_sink = self._charge_shared
+            contexts[node] = ctx
+
+        phases: dict[str, PhaseBreakdown] = {}
+
+        # ---- phase 0: service initialization -------------------------------------
+        self._emit(EventKind.PHASE_BEGIN, "init")
+        bcast_wall = cost.reliable_bcast_time(len(scope_nodes), 256)
+        for node in scope_nodes:
+            service.service_init(contexts[node], config)
+
+        # collective_start per scope entity, with advisory hash samples from
+        # the entity's node-local DHT shard slice.
+        samples = self._hash_samples(scope, sample_cap)
+        for eid in scope.all_entities():
+            entity = cluster.entity(eid)
+            node = entity.node_id
+            role = scope.role_of(eid)
+            service.collective_start(contexts[node], role, entity,
+                                     samples.get(eid, np.empty(0, np.uint64)))
+        phases["init"] = self._phase_breakdown("init", extra_wall=bcast_wall)
+
+        # ---- phase 1: collective ---------------------------------------------------
+        self._set_phase("collective")
+        handled = self._collective_phase(service, scope, contexts, rng, stats, mode)
+
+        # Dissemination: each shard pushes its handled (hash, private)
+        # entries to the nodes whose SEs it believes hold that hash, so
+        # local_command can see the handled set (paper §4.3).  Per-node
+        # traffic is therefore bounded by the node's own content, which is
+        # what keeps it constant as the system scales (§5.4's ~15 MB/node).
+        handled_by_node = self._disseminate_handled(handled)
+
+        for eid in scope.all_entities():
+            entity = cluster.entity(eid)
+            service.collective_finalize(contexts[entity.node_id],
+                                        scope.role_of(eid), entity)
+        phases["collective"] = self._phase_breakdown("collective")
+
+        # ---- phase 2: local ----------------------------------------------------------
+        self._set_phase("local")
+        handled_private = {h: priv for h, (priv, _n, _d) in handled.items()}
+        self._local_phase(service, scope, contexts, handled_by_node, stats,
+                          mode)
+        for eid in scope.service_entities:
+            entity = cluster.entity(eid)
+            service.local_finalize(contexts[entity.node_id], entity)
+        phases["local"] = self._phase_breakdown("local")
+
+        # ---- phase 3: teardown ----------------------------------------------------------
+        self._set_phase("teardown")
+        success = True
+        for node in scope_nodes:
+            ok = service.service_deinit(contexts[node])
+            self._emit(EventKind.DEINIT, node, bool(ok))
+            self._msg(node, scope_nodes[0], 64)  # result gather at controller
+            success = success and bool(ok)
+        phases["teardown"] = self._phase_breakdown(
+            "teardown", extra_wall=cost.rtt())
+        self._emit(EventKind.PHASE_END, "teardown")
+
+        for (node, _ph), b in self._tx.items():
+            stats.tx_bytes_per_node[node] = stats.tx_bytes_per_node.get(node, 0) + b
+        for (node, _ph), b in self._rx.items():
+            stats.rx_bytes_per_node[node] = stats.rx_bytes_per_node.get(node, 0) + b
+
+        wall = sum(p.wall for p in phases.values())
+        return CommandResult(success=success, wall_time=wall, phases=phases,
+                             stats=stats, mode=mode,
+                             handled_private=handled_private, contexts=contexts)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _hash_samples(self, scope: ServiceScope,
+                      sample_cap: int) -> dict[int, np.ndarray]:
+        """Advisory per-entity hash samples from each entity's local shard.
+
+        For entity e on node n, the sample is the set of hashes *node n's
+        own shard* maps to e — "a partial set ... derived using the data
+        available on the local instance of the DHT" (paper §4.3) — i.e. a
+        1/n slice of e's believed content.
+        """
+        cluster = self.cluster
+        by_node: dict[int, list[int]] = defaultdict(list)
+        for eid in scope.all_entities():
+            by_node[cluster.node_of(eid)].append(eid)
+        out: dict[int, list[int]] = defaultdict(list)
+        for node, eids in by_node.items():
+            shard = self.tracing.shards[node]
+            node_mask = 0
+            for eid in eids:
+                node_mask |= 1 << eid
+            self._charge(node, shard.n_hashes * self.cost.query_scan_per_entry
+                         * self.n_represented)
+            for h, mask in shard.items():
+                hit = mask & node_mask
+                if not hit:
+                    continue
+                for eid in eids:
+                    if hit & (1 << eid) and len(out[eid]) < sample_cap:
+                        out[eid].append(h)
+        return {eid: np.asarray(sorted(hs), dtype=np.uint64)
+                for eid, hs in out.items()}
+
+    def _collective_phase(self, service: ServiceCallbacks, scope: ServiceScope,
+                          contexts: dict[int, NodeContext],
+                          rng: np.random.Generator, stats: CommandStats,
+                          mode: ExecMode) -> dict[int, tuple[Any, int, frozenset]]:
+        """Map collective_command over distinct believed SE hashes.
+
+        Returns handled: hash -> (private data, shard node, SE-holder nodes).
+        """
+        cluster = self.cluster
+        cost = self.cost
+        R = self.n_represented
+        se_mask = scope.se_mask
+        scope_mask = scope.scope_mask
+        handled: dict[int, tuple[Any, int, frozenset]] = {}
+        invoke_cost = (cost.cmd_invoke_overhead if mode is ExecMode.INTERACTIVE
+                       else cost.cmd_invoke_overhead * 0.6 + cost.cmd_plan_append)
+
+        for shard in self.tracing.shards:
+            shard_node = shard.node_id
+            # The shard scans its slice for hashes believed in the SEs.
+            self._charge(shard_node,
+                         shard.n_hashes * cost.query_scan_per_entry * R)
+            for h, mask in shard.items():
+                if not (mask & se_mask):
+                    continue
+                stats.believed_hashes += 1
+                candidates = self._mask_bits(mask & scope_mask)
+                if not candidates:
+                    continue
+                self._charge(shard_node, cost.cmd_select_overhead * R)
+                order = self._select_order(service, contexts, shard_node, h,
+                                           candidates, rng, stats)
+                self._emit(EventKind.SELECT, h, tuple(candidates), order[0])
+                private = None
+                ok = False
+                for eid in order:
+                    target = cluster.node_of(eid)
+                    stats.invokes += 1
+                    self._emit(EventKind.INVOKE, h, eid, target)
+                    self._msg(shard_node, target, _INVOKE_BYTES * R)
+                    self._charge(target, invoke_cost * R)
+                    block = cluster.nodes[target].nsm.resolve_block(eid, h)
+                    if block is None:
+                        # Ground truth disagrees: stale DHT entry; retry.
+                        stats.retries += 1
+                        self._emit(EventKind.INVOKE_FAILED, h, eid,
+                                   "content-gone")
+                        self._msg(target, shard_node, _RESULT_BYTES * R)
+                        continue
+                    result = service.collective_command(
+                        contexts[target], cluster.entity(eid), h, block)
+                    self._msg(target, shard_node, _RESULT_BYTES * R)
+                    if isinstance(result, CommandFailed):
+                        stats.retries += 1
+                        self._emit(EventKind.INVOKE_FAILED, h, eid,
+                                   result.reason or "callback-failed")
+                        continue
+                    # Normalize: a successful callback returning None still
+                    # marks the hash handled (private data is optional).
+                    private = True if result is None else result
+                    ok = True
+                    break
+                if ok:
+                    se_holder_nodes = frozenset(
+                        cluster.node_of(e)
+                        for e in self._mask_bits(mask & se_mask))
+                    handled[h] = (private, shard_node, se_holder_nodes)
+                    stats.handled += 1
+                    self._emit(EventKind.HANDLED, h, eid)
+                else:
+                    stats.stale_unhandled += 1
+                    self._emit(EventKind.STALE, h, tuple(order))
+        return handled
+
+    def _select_order(self, service: ServiceCallbacks,
+                      contexts: dict[int, NodeContext], shard_node: int,
+                      content_hash: int, candidates: list[int],
+                      rng: np.random.Generator,
+                      stats: CommandStats) -> list[int]:
+        """Replica try-order: collective_select's pick first, else random."""
+        order = [candidates[i] for i in rng.permutation(len(candidates))]
+        if service.collective_select is not None:
+            stats.select_calls += 1
+            pick = service.collective_select(
+                contexts[shard_node], content_hash, list(candidates))
+            if pick is not None:
+                if pick not in candidates:
+                    raise ValueError(
+                        f"collective_select returned non-candidate {pick}")
+                order.remove(pick)
+                order.insert(0, pick)
+        return order
+
+    @staticmethod
+    def _mask_bits(mask: int) -> list[int]:
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def _disseminate_handled(
+            self, handled: dict[int, tuple[Any, int, frozenset]],
+    ) -> dict[int, dict[int, Any]]:
+        """Shards push handled entries to the nodes believed to need them.
+
+        A node learns about hash h only if the DHT's bitmap says one of its
+        SEs holds h.  If that information was stale the node simply treats
+        h as unhandled and falls back to local content — correct, slightly
+        less deduplicated.  Returns the per-node visible handled maps.
+        """
+        R = self.n_represented
+        by_node: dict[int, dict[int, Any]] = defaultdict(dict)
+        pair_entries: dict[tuple[int, int], int] = defaultdict(int)
+        for h, (priv, shard_node, se_holder_nodes) in handled.items():
+            for dst in se_holder_nodes:
+                by_node[dst][h] = priv
+                pair_entries[(shard_node, dst)] += 1
+        for (shard_node, dst), n_entries in pair_entries.items():
+            self._emit(EventKind.EXCHANGE, shard_node, dst, n_entries)
+            self._msg(shard_node, dst, n_entries * _EXCHANGE_ENTRY_BYTES * R)
+        return dict(by_node)
+
+    def _local_phase(self, service: ServiceCallbacks, scope: ServiceScope,
+                     contexts: dict[int, NodeContext],
+                     handled_by_node: dict[int, dict[int, Any]],
+                     stats: CommandStats, mode: ExecMode) -> None:
+        cluster = self.cluster
+        cost = self.cost
+        R = self.n_represented
+        per_block = (cost.cmd_local_per_block if mode is ExecMode.INTERACTIVE
+                     else cost.cmd_local_per_block * 0.6 + cost.cmd_plan_append)
+
+        for eid in scope.service_entities:
+            entity = cluster.entity(eid)
+            node = entity.node_id
+            handled_private = handled_by_node.get(node, {})
+            ctx = contexts[node]
+            service.local_start(ctx, entity)
+            hashes = entity.content_hashes()
+            n = len(hashes)
+            self._charge(node, n * per_block * R)
+            stats.local_blocks += n
+
+            batch = getattr(service, "local_command_batch", None)
+            if batch is not None:
+                covered = np.fromiter(
+                    (int(h) in handled_private for h in hashes.tolist()),
+                    dtype=bool, count=n)
+                batch(ctx, entity, hashes, covered, handled_private)
+                n_cov = int(covered.sum())
+            else:
+                n_cov = 0
+                hlist = hashes.tolist()
+                for idx in range(n):
+                    h = int(hlist[idx])
+                    priv = handled_private.get(h)
+                    if priv is not None:
+                        n_cov += 1
+                    block = ctx.nsm.resolve_block(eid, h)
+                    service.local_command(ctx, entity, idx, h, block, priv)
+            stats.covered_blocks += n_cov
+            stats.uncovered_blocks += n - n_cov
+            self._emit(EventKind.LOCAL_ENTITY, eid, n, n_cov)

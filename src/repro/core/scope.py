@@ -1,0 +1,93 @@
+"""Service command scope: service entities and participating entities.
+
+Paper §4.2: a command operates over *service entities* (SEs — the entities
+the service applies to, e.g. the processes being checkpointed) and
+*participating entities* (PEs — other tracked entities whose memory content
+can contribute, e.g. an unrelated process that happens to hold a page one
+of the SEs also holds).  "The service command uses the memory content in
+the SEs and PEs to apply the service to the SEs."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+__all__ = ["ServiceScope", "EntityRole"]
+
+
+class EntityRole(enum.Enum):
+    """An entity's role in a command: the service is applied *to* SEs;
+    PEs merely contribute content (paper §4.2)."""
+
+    SERVICE = "service"
+    PARTICIPANT = "participant"
+
+
+@dataclass(frozen=True)
+class ServiceScope:
+    """The set of SEs and PEs a command executes over."""
+
+    service_entities: tuple[int, ...]
+    participating_entities: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.service_entities:
+            raise ValueError("a service command needs at least one service entity")
+        overlap = set(self.service_entities) & set(self.participating_entities)
+        if overlap:
+            raise ValueError(f"entities cannot hold both roles: {sorted(overlap)}")
+        if len(set(self.service_entities)) != len(self.service_entities):
+            raise ValueError("duplicate service entities")
+        if len(set(self.participating_entities)) != len(self.participating_entities):
+            raise ValueError("duplicate participating entities")
+
+    @classmethod
+    def of(cls, service_entities: Iterable[int],
+           participating_entities: Iterable[int] = ()) -> "ServiceScope":
+        return cls(tuple(service_entities), tuple(participating_entities))
+
+    @classmethod
+    def with_all_participants(cls, cluster: "Cluster",
+                              service_entities: Iterable[int]) -> "ServiceScope":
+        """SEs as given; every other tracked entity becomes a PE."""
+        ses = tuple(service_entities)
+        pes = tuple(e for e in cluster.all_entity_ids() if e not in set(ses))
+        return cls(ses, pes)
+
+    # -- masks and roles -------------------------------------------------------------
+
+    @property
+    def se_mask(self) -> int:
+        mask = 0
+        for eid in self.service_entities:
+            mask |= 1 << eid
+        return mask
+
+    @property
+    def pe_mask(self) -> int:
+        mask = 0
+        for eid in self.participating_entities:
+            mask |= 1 << eid
+        return mask
+
+    @property
+    def scope_mask(self) -> int:
+        return self.se_mask | self.pe_mask
+
+    def role_of(self, entity_id: int) -> EntityRole | None:
+        if entity_id in set(self.service_entities):
+            return EntityRole.SERVICE
+        if entity_id in set(self.participating_entities):
+            return EntityRole.PARTICIPANT
+        return None
+
+    def all_entities(self) -> tuple[int, ...]:
+        return self.service_entities + self.participating_entities
+
+    def __len__(self) -> int:
+        return len(self.service_entities) + len(self.participating_entities)

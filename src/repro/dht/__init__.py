@@ -1,0 +1,22 @@
+"""ConCORD's zero-hop distributed hash table.
+
+A custom, lightweight DHT "specialized specifically for the best-effort
+content hash to entity set mapping problem" (paper §2): content hashes are
+partitioned across nodes by a fixed hash of the key (zero-hop routing — any
+node computes the home of any hash locally), and each home node maps its
+hashes to a bitmap of the entities believed to hold that content.
+"""
+
+from repro.dht.partition import Partition
+from repro.dht.table import LocalDHT
+from repro.dht.allocator import malloc_model_bytes, slab_model_bytes, dht_memory_bytes
+from repro.dht.engine import ContentTracingEngine
+
+__all__ = [
+    "Partition",
+    "LocalDHT",
+    "malloc_model_bytes",
+    "slab_model_bytes",
+    "dht_memory_bytes",
+    "ContentTracingEngine",
+]

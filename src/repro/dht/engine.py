@@ -1,0 +1,154 @@
+"""The distributed memory content tracing engine.
+
+"A site-wide distributed system that enables ConCORD to locate entities
+having a copy of a given memory block using its content hash" (paper §3.1).
+One :class:`LocalDHT` shard lives on each node; the zero-hop partition
+routes each update to its home shard; updates travel as best-effort
+datagrams ("send and forget"), so a loaded receiver can drop them and the
+DHT view drifts from ground truth — which downstream consumers (queries,
+service commands) must and do tolerate.
+
+``use_network=False`` applies updates synchronously with no loss — the
+configuration unit tests use to compare against reference models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.partition import Partition
+from repro.dht.table import LocalDHT
+from repro.sim.cluster import Cluster
+from repro.util.records import MsgKind, UpdateBatch
+
+__all__ = ["ContentTracingEngine", "TracingStats"]
+
+# Updates per datagram: 64 updates x 13 B + headers fits one MTU.
+DEFAULT_UPDATE_BATCH = 64
+
+
+@dataclass
+class TracingStats:
+    updates_routed: int = 0
+    updates_applied: int = 0
+    batches_sent: int = 0
+
+
+class ContentTracingEngine:
+    """Routes content updates to DHT shards and owns the shards."""
+
+    def __init__(self, cluster: Cluster, use_network: bool = True,
+                 batch_size: int = DEFAULT_UPDATE_BATCH,
+                 n_represented: int = 1, transport: str = "udp") -> None:
+        """``transport``: "udp" (default) sends updates as datagrams the
+        receiver must process; "rdma" models the paper's envisioned
+        one-sided path — "because the originator of an update in principle
+        knows the target node and address ... the originator could send
+        the update via a non-blocking, asynchronous, unreliable RDMA"
+        (§3.4) — removing the receive-side per-packet cost."""
+        if transport not in ("udp", "rdma"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.cluster = cluster
+        self.partition = Partition(cluster.n_nodes)
+        self.shards = [LocalDHT(node_id=i) for i in range(cluster.n_nodes)]
+        self.use_network = use_network
+        self.batch_size = batch_size
+        self.n_represented = n_represented
+        self.transport = transport
+        self.stats = TracingStats()
+        for node, shard in zip(cluster.nodes, self.shards):
+            node.dht = shard
+
+    # -- update path -------------------------------------------------------------
+
+    def route_updates(self, src_node: int,
+                      inserts: list[tuple[int, int]],
+                      removes: list[tuple[int, int]],
+                      duration: float = 0.0) -> None:
+        """Route (hash, entity) updates to their home shards.
+
+        This is the sink handed to each node's memory update monitor.
+        ``duration`` is the wall time over which the monitor produced these
+        updates (the scan time); sends are paced uniformly over it, as a
+        real monitor emits updates while it scans rather than in one burst.
+        """
+        self.stats.updates_routed += len(inserts) + len(removes)
+        if not self.use_network:
+            for h, eid in inserts:
+                self._shard_of(h).insert(h, eid)
+            for h, eid in removes:
+                self._shard_of(h).remove(h, eid)
+            self.stats.updates_applied += len(inserts) + len(removes)
+            return
+        batches = (self._make_batches(src_node, inserts, "i")
+                   + self._make_batches(src_node, removes, "r"))
+        # Interleave by source order and pace over the production window.
+        self.cluster.rng.shuffle(batches)
+        engine = self.cluster.engine
+        n = len(batches)
+        for i, batch in enumerate(batches):
+            self.stats.batches_sent += 1
+            delay = duration * i / n if duration > 0 and n else 0.0
+            engine.after(delay, self.cluster.network.send, batch,
+                         self._apply_batch)
+
+    def _make_batches(self, src_node: int, updates: list[tuple[int, int]],
+                      op: str) -> list[UpdateBatch]:
+        if not updates:
+            return []
+        hashes = np.fromiter((u[0] for u in updates), dtype=np.uint64,
+                             count=len(updates))
+        groups = self.partition.group_by_home(hashes)
+        out = []
+        for dst, idxs in groups.items():
+            for lo in range(0, len(idxs), self.batch_size):
+                chunk = [updates[i]
+                         for i in idxs[lo:lo + self.batch_size].tolist()]
+                out.append(UpdateBatch(
+                    kind=MsgKind.UPDATE, src_node=src_node, dst_node=dst,
+                    one_sided=(self.transport == "rdma"),
+                    inserts=chunk if op == "i" else [],
+                    removes=chunk if op == "r" else [],
+                    n_represented=self.n_represented))
+        return out
+
+    def _apply_batch(self, batch: UpdateBatch) -> None:
+        shard = self.shards[batch.dst_node]
+        for h, eid in batch.inserts:
+            shard.insert(h, eid)
+        for h, eid in batch.removes:
+            shard.remove(h, eid)
+        self.stats.updates_applied += len(batch.inserts) + len(batch.removes)
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def _shard_of(self, content_hash: int) -> LocalDHT:
+        return self.shards[self.partition.home_node(content_hash)]
+
+    def home_node(self, content_hash: int) -> int:
+        return self.partition.home_node(content_hash)
+
+    def lookup_mask(self, content_hash: int) -> int:
+        """Entity bitmask for a hash (whichever shard owns it)."""
+        return self._shard_of(content_hash).entities_mask(content_hash)
+
+    def lookup_copies(self, content_hash: int) -> int:
+        return self._shard_of(content_hash).num_copies(content_hash)
+
+    @property
+    def total_hashes(self) -> int:
+        """Distinct content hashes tracked site-wide."""
+        return sum(s.n_hashes for s in self.shards)
+
+    @property
+    def total_copies(self) -> int:
+        return sum(s.n_copies for s in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [s.n_hashes for s in self.shards]
+
+    def clear(self) -> None:
+        for s in self.shards:
+            s.clear()

@@ -1,0 +1,52 @@
+"""Zero-hop key partitioning.
+
+"A hash over the key determines the node and service daemon to which the
+update is routed" (paper §3.3).  Every node evaluates the same pure function
+locally, so routing needs no lookup hops and no coordination — the property
+the paper calls *zero-hop*.  The update originator can therefore, in
+principle, compute not just the node but the exact bucket an update will
+touch (the paper's motivation for eventually using one-sided RDMA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import mix64
+
+__all__ = ["Partition"]
+
+# Domain separation: routing must not reuse the content hash directly, or
+# each shard would hold a contiguous hash range and per-shard iteration
+# order would correlate with content.
+_ROUTE_SALT = np.uint64(0xC2B2AE3D27D4EB4F)
+
+
+class Partition:
+    """Maps content hashes to home nodes for a fixed node count."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.n_nodes = n_nodes
+
+    def home_node(self, content_hash: int) -> int:
+        """Home node of one content hash."""
+        return int(mix64(np.uint64(content_hash) ^ _ROUTE_SALT)) % self.n_nodes
+
+    def home_nodes(self, content_hashes: np.ndarray) -> np.ndarray:
+        """Vectorized home-node computation."""
+        h = np.asarray(content_hashes, dtype=np.uint64)
+        return (mix64(h ^ _ROUTE_SALT) % np.uint64(self.n_nodes)).astype(np.int64)
+
+    def group_by_home(self, content_hashes: np.ndarray) -> dict[int, np.ndarray]:
+        """Indices of ``content_hashes`` grouped by destination node."""
+        homes = self.home_nodes(content_hashes)
+        order = np.argsort(homes, kind="stable")
+        sorted_homes = homes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_homes)) + 1
+        groups = np.split(order, boundaries)
+        return {int(homes[g[0]]): g for g in groups if len(g)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Partition(n_nodes={self.n_nodes})"

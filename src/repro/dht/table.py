@@ -1,0 +1,156 @@
+"""The local DHT instance on one node.
+
+"The target daemon maintains a hash table that maps from each content hash
+it holds to a bitmap representation of the set of entities that currently
+have the corresponding content" (paper §3.3).
+
+Representation: the common case — a set of single-copy holders — is stored
+as an arbitrary-precision integer bitmask (bit *i* = entity *i*), which is
+compact and gives O(1) membership/popcount via ``int.bit_count``.  Entities
+holding *multiple* copies of the same block (the reason ``num_copies`` can
+exceed the entity count) are tracked in a sparse per-hash overflow table,
+mirroring :class:`repro.util.bitmap.EntityBitmap` semantics without paying
+an object per entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["LocalDHT"]
+
+
+class LocalDHT:
+    """hash -> (entity bitmask, sparse extra-copy counts)."""
+
+    def __init__(self, node_id: int = 0) -> None:
+        self.node_id = node_id
+        self._map: dict[int, int] = {}
+        # hash -> {entity_id: extra copies beyond the first}
+        self._extra: dict[int, dict[int, int]] = {}
+        self._total_copies = 0
+
+    # -- updates (paper Fig 3: insert/remove) ------------------------------------------
+
+    def insert(self, content_hash: int, entity_id: int) -> None:
+        """Record one more copy of ``content_hash`` held by ``entity_id``."""
+        h = int(content_hash)
+        bit = 1 << entity_id
+        mask = self._map.get(h, 0)
+        if mask & bit:
+            extra = self._extra.setdefault(h, {})
+            extra[entity_id] = extra.get(entity_id, 0) + 1
+        else:
+            self._map[h] = mask | bit
+        self._total_copies += 1
+
+    def remove(self, content_hash: int, entity_id: int) -> bool:
+        """Drop one copy; returns False if none was recorded (lost/stale)."""
+        h = int(content_hash)
+        bit = 1 << entity_id
+        mask = self._map.get(h, 0)
+        if not mask & bit:
+            return False
+        extra = self._extra.get(h)
+        if extra and entity_id in extra:
+            if extra[entity_id] == 1:
+                del extra[entity_id]
+                if not extra:
+                    del self._extra[h]
+            else:
+                extra[entity_id] -= 1
+        else:
+            mask &= ~bit
+            if mask:
+                self._map[h] = mask
+            else:
+                del self._map[h]
+                self._extra.pop(h, None)
+        self._total_copies -= 1
+        return True
+
+    def remove_entity(self, entity_id: int) -> int:
+        """Purge every record of an entity (it left the system)."""
+        bit = 1 << entity_id
+        removed = 0
+        dead = []
+        for h, mask in self._map.items():
+            if mask & bit:
+                copies = 1 + self._extra.get(h, {}).pop(entity_id, 0)
+                removed += copies
+                mask &= ~bit
+                if mask:
+                    self._map[h] = mask
+                else:
+                    dead.append(h)
+        for h in dead:
+            del self._map[h]
+            self._extra.pop(h, None)
+        self._total_copies -= removed
+        return removed
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def __contains__(self, content_hash: int) -> bool:
+        return int(content_hash) in self._map
+
+    def entities_mask(self, content_hash: int) -> int:
+        """Bitmask of distinct entities believed to hold the hash."""
+        return self._map.get(int(content_hash), 0)
+
+    def entity_ids(self, content_hash: int) -> list[int]:
+        """Distinct holder entity IDs, ascending."""
+        mask = self._map.get(int(content_hash), 0)
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def num_entities(self, content_hash: int) -> int:
+        return self._map.get(int(content_hash), 0).bit_count()
+
+    def num_copies(self, content_hash: int) -> int:
+        """Total copies across entities (the node-wise num_copies query)."""
+        h = int(content_hash)
+        base = self._map.get(h, 0).bit_count()
+        if base and h in self._extra:
+            base += sum(self._extra[h].values())
+        return base
+
+    def extra_copies(self, content_hash: int) -> dict[int, int]:
+        """Sparse {entity: copies beyond the first} overflow for a hash."""
+        return self._extra.get(int(content_hash), {})
+
+    def copies_of(self, content_hash: int, entity_id: int) -> int:
+        h = int(content_hash)
+        if not self._map.get(h, 0) & (1 << entity_id):
+            return 0
+        return 1 + self._extra.get(h, {}).get(entity_id, 0)
+
+    # -- iteration / stats -----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """(hash, entity mask) pairs in this shard."""
+        return iter(self._map.items())
+
+    def hashes(self) -> Iterator[int]:
+        return iter(self._map.keys())
+
+    @property
+    def n_hashes(self) -> int:
+        return len(self._map)
+
+    @property
+    def n_copies(self) -> int:
+        return self._total_copies
+
+    @property
+    def n_multicopy_entries(self) -> int:
+        return len(self._extra)
+
+    def clear(self) -> None:
+        self._map.clear()
+        self._extra.clear()
+        self._total_copies = 0

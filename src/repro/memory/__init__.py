@@ -1,0 +1,29 @@
+"""Entity memory model, page-content materialization, NSM, update monitors.
+
+ConCORD tracks the memory content of *entities* — "objects that have memory
+such as hosts, VMs, processes, and applications" (paper §1).  This package
+provides the simulated entity memory (4 KB pages identified by 64-bit
+content IDs), the node-specific module (NSM) holding the node-local
+hash-to-block mapping, and memory update monitors in the paper's three
+modes (periodic full scan, dirty-bit rescan, copy-on-write write faults).
+"""
+
+from repro.memory.entity import Entity, EntityKind
+from repro.memory.nsm import NodeSpecificModule, BlockRef
+from repro.memory.monitor import MemoryUpdateMonitor, MonitorMode
+from repro.memory.pagedata import materialize_page, content_id_of_bytes_map
+from repro.memory.vm import MemoryRegion, MemoryRegionKind, VirtualMachine
+
+__all__ = [
+    "Entity",
+    "EntityKind",
+    "NodeSpecificModule",
+    "BlockRef",
+    "MemoryUpdateMonitor",
+    "MonitorMode",
+    "materialize_page",
+    "content_id_of_bytes_map",
+    "MemoryRegion",
+    "MemoryRegionKind",
+    "VirtualMachine",
+]

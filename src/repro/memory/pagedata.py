@@ -1,0 +1,64 @@
+"""Deterministic materialization of page bytes from content IDs.
+
+The simulation identifies page content by a 64-bit ID.  When an experiment
+or example needs *real bytes* — end-to-end checkpoint files on disk, real
+zlib compression ratios — this module generates them deterministically from
+the ID, so equal IDs always produce equal bytes and distinct IDs produce
+distinct bytes (the ID is embedded verbatim in the page header).
+
+Pages are generated with a controllable *compressibility*: a fraction of the
+page is a repeating pattern (what gzip removes) and the rest is
+PRNG-incompressible.  Workloads pick the fraction matching their character
+(e.g. Moldy pages compress moderately, Nasty pages barely).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["materialize_page", "materialize_pages", "content_id_of_bytes_map"]
+
+
+def materialize_page(content_id: int, page_size: int = 4096,
+                     compress_fraction: float = 0.5) -> bytes:
+    """Deterministic bytes for one content ID.
+
+    Layout: an 8-byte header carrying the ID (guaranteeing distinct IDs give
+    distinct bytes), then ``compress_fraction`` of the page as a repeated
+    16-byte pattern derived from the ID, then PRNG filler.
+    """
+    if page_size < 16:
+        raise ValueError("page_size must be at least 16")
+    if not 0.0 <= compress_fraction <= 1.0:
+        raise ValueError("compress_fraction must be in [0, 1]")
+    cid = int(content_id) & (2**64 - 1)
+    header = cid.to_bytes(8, "little")
+    body_len = page_size - 8
+    pat_len = int(body_len * compress_fraction)
+    pattern = (cid ^ 0xA5A5A5A5A5A5A5A5).to_bytes(8, "little") * 2
+    patterned = (pattern * (pat_len // len(pattern) + 1))[:pat_len]
+    rand_len = body_len - pat_len
+    rng = np.random.default_rng(cid)
+    filler = rng.integers(0, 256, size=rand_len, dtype=np.uint8).tobytes()
+    page = header + patterned + filler
+    assert len(page) == page_size
+    return page
+
+
+def materialize_pages(content_ids: np.ndarray, page_size: int = 4096,
+                      compress_fraction: float = 0.5) -> list[bytes]:
+    """Materialize many pages (memoized per distinct ID within the call)."""
+    cache: dict[int, bytes] = {}
+    out = []
+    for cid in np.asarray(content_ids, dtype=np.uint64).tolist():
+        page = cache.get(cid)
+        if page is None:
+            page = materialize_page(cid, page_size, compress_fraction)
+            cache[cid] = page
+        out.append(page)
+    return out
+
+
+def content_id_of_bytes_map(pages: list[bytes]) -> dict[bytes, int]:
+    """Recover the ID embedded in materialized pages (restore-path checks)."""
+    return {p: int.from_bytes(p[:8], "little") for p in pages}

@@ -1,0 +1,177 @@
+"""Virtual machines as tracked entities.
+
+ConCORD's original target was VMs under the Palacios VMM (paper §3): a
+kernel-level memory update monitor "inspects a VM's guest physical
+memory".  This module models that setting:
+
+* A :class:`VirtualMachine` owns a *guest-physical address space* made of
+  :class:`MemoryRegion` s.  RAM regions are backed by a tracked
+  :class:`~repro.memory.entity.Entity`; device/ROM regions (framebuffers,
+  MMIO windows, firmware) hold content but are *not* content-traced —
+  tracking them would be useless churn, exactly why a VMM-level monitor
+  inspects guest RAM only.
+* Guest-physical addresses translate to (region, offset); RAM offsets map
+  onto entity page indices.
+* :meth:`pause` / :meth:`resume` freeze the backing entity — the
+  consistency point a VMM gives checkpoint/migration services.
+
+Combined with :meth:`repro.memory.monitor.MemoryUpdateMonitor.enable_write_faults`
+this reproduces the paper's shadow/nested-page-table CoW monitoring of
+VMs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.memory.entity import Entity, EntityKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+__all__ = ["MemoryRegionKind", "MemoryRegion", "VirtualMachine"]
+
+
+class MemoryRegionKind(enum.Enum):
+    RAM = "ram"        # tracked guest memory
+    DEVICE = "device"  # MMIO/framebuffer: volatile, untracked
+    ROM = "rom"        # firmware: immutable, untracked
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One contiguous region of the guest-physical address space."""
+
+    name: str
+    start_page: int
+    n_pages: int
+    kind: MemoryRegionKind
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise ValueError(f"region {self.name!r} must have >= 1 page")
+        if self.start_page < 0:
+            raise ValueError(f"region {self.name!r} has negative start")
+
+    @property
+    def end_page(self) -> int:
+        return self.start_page + self.n_pages
+
+    @property
+    def trackable(self) -> bool:
+        return self.kind is MemoryRegionKind.RAM
+
+    def contains(self, gpp: int) -> bool:
+        return self.start_page <= gpp < self.end_page
+
+
+class VirtualMachine:
+    """A VM: guest-physical layout over a tracked RAM entity."""
+
+    def __init__(self, cluster: "Cluster", node_id: int,
+                 ram_pages: np.ndarray, name: str = "",
+                 device_pages: int = 0, rom_pages: np.ndarray | None = None,
+                 page_size: int = 4096, seed: int = 0) -> None:
+        ram_pages = np.asarray(ram_pages, dtype=np.uint64)
+        self.page_size = page_size
+        self.regions: list[MemoryRegion] = []
+        cursor = 0
+
+        if rom_pages is not None and len(rom_pages):
+            self.regions.append(MemoryRegion("rom", cursor, len(rom_pages),
+                                             MemoryRegionKind.ROM))
+            cursor += len(rom_pages)
+        self._rom = (np.asarray(rom_pages, dtype=np.uint64)
+                     if rom_pages is not None else np.empty(0, np.uint64))
+
+        ram_start = cursor
+        self.regions.append(MemoryRegion("ram", cursor, len(ram_pages),
+                                         MemoryRegionKind.RAM))
+        cursor += len(ram_pages)
+        self._ram_start = ram_start
+
+        if device_pages:
+            self.regions.append(MemoryRegion("device", cursor, device_pages,
+                                             MemoryRegionKind.DEVICE))
+            cursor += device_pages
+        rng = np.random.default_rng(seed ^ 0x5EED)
+        self._device = rng.integers(1 << 56, 1 << 57, size=device_pages,
+                                    dtype=np.uint64)
+
+        self.entity = Entity.create(cluster, node_id, ram_pages,
+                                    kind=EntityKind.VM, name=name or "vm",
+                                    page_size=page_size)
+        self.name = self.entity.name
+        self._paused = False
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def n_guest_pages(self) -> int:
+        return sum(r.n_pages for r in self.regions)
+
+    @property
+    def guest_memory_bytes(self) -> int:
+        return self.n_guest_pages * self.page_size
+
+    def region_of(self, guest_page: int) -> MemoryRegion:
+        for r in self.regions:
+            if r.contains(guest_page):
+                return r
+        raise ValueError(f"guest page {guest_page} outside the address space")
+
+    # -- guest access -----------------------------------------------------------------
+
+    def guest_read(self, guest_page: int) -> int:
+        """Content ID at a guest-physical page."""
+        r = self.region_of(guest_page)
+        off = guest_page - r.start_page
+        if r.kind is MemoryRegionKind.RAM:
+            return self.entity.read_page(off)
+        if r.kind is MemoryRegionKind.ROM:
+            return int(self._rom[off])
+        return int(self._device[off])
+
+    def guest_write(self, guest_page: int, content_id: int) -> None:
+        """Write a guest-physical page (RAM tracked; device untracked)."""
+        r = self.region_of(guest_page)
+        off = guest_page - r.start_page
+        if r.kind is MemoryRegionKind.RAM:
+            self.entity.write_page(off, content_id)
+        elif r.kind is MemoryRegionKind.DEVICE:
+            if self._paused:
+                raise RuntimeError(f"{self.name} is paused")
+            self._device[off] = np.uint64(content_id)
+        else:
+            raise PermissionError(f"guest page {guest_page} is ROM")
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Freeze guest memory (the VMM's consistency point)."""
+        self._paused = True
+        self.entity.frozen = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self.entity.frozen = False
+
+    def consistent_hashes(self) -> np.ndarray:
+        """Pause, snapshot RAM content hashes, resume."""
+        self.pause()
+        try:
+            return self.entity.content_hashes().copy()
+        finally:
+            self.resume()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"VirtualMachine({self.name}, node={self.entity.node_id}, "
+                f"guest_pages={self.n_guest_pages}, paused={self._paused})")

@@ -1,0 +1,15 @@
+"""ConCORD's content-sharing query interface (paper Fig 3).
+
+Node-wise queries (``num_copies``, ``entities``) are answered by the single
+home shard of the queried hash.  Collective queries (``sharing``,
+``intra_sharing``, ``inter_sharing``, ``num_shared_content``,
+``shared_content``) aggregate information across shards; they can execute
+*distributed* (every shard scans its slice, results combine over a
+reduction tree — constant latency as the system grows, Fig 9) or
+*single-node* (one node holds everything — latency linear in total hashes).
+"""
+
+from repro.queries.interface import QueryInterface, QueryResult
+from repro.queries.reference import ReferenceModel
+
+__all__ = ["QueryInterface", "QueryResult", "ReferenceModel"]

@@ -1,0 +1,209 @@
+"""Collective queries: aggregate content information across shards.
+
+Definitions (paper §3.3; reconstructed precisely from the dissertation's
+degree-of-sharing usage in Fig 14):
+
+For an entity set S, using the DHT's best-effort view, let ``copies(h, S)``
+be the number of copies of hash ``h`` across S and ``distinct(S)`` the
+number of hashes with at least one copy.  With ``tot(S) = sum_h copies``:
+
+* ``sharing(S)      = (tot - distinct) / tot``  — redundant-block fraction;
+* ``intra_sharing``  — the part of that redundancy between copies on the
+  *same node*:  ``sum_h sum_n (copies(h, S on n) - 1 if > 0) / tot``;
+* ``inter_sharing``  — the cross-node part:
+  ``sum_h (nodes_holding(h, S) - 1 if > 0) / tot``.
+
+``intra + inter == sharing`` identically (each hash's ``copies - 1``
+duplicates split into within-node and across-node parts), a property the
+test suite checks for arbitrary workloads.  The *degree of sharing* (DoS)
+plotted in Fig 14 is ``distinct / tot = 1 - sharing``.
+
+* ``num_shared_content(S, k)`` / ``shared_content(S, k)`` — the "at least k
+  copies" queries: how much / which content is replicated >= k times.
+
+Execution: ``distributed`` scans every shard in parallel and combines the
+partial sums over a binomial reduction tree (latency = slowest shard scan +
+tree latency — constant as nodes and memory scale together).  ``single``
+executes the same scan over all entries at one node (latency linear in
+total entries).  The Fig 9 crossover between the two is the design argument
+for distributing the DHT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dht.engine import ContentTracingEngine
+from repro.sim.cluster import Cluster
+from repro.sim.costmodel import CostModel
+
+__all__ = ["CollectiveAnswer", "CollectiveQueryEngine", "SharingBreakdown"]
+
+
+@dataclass(frozen=True)
+class CollectiveAnswer:
+    value: object
+    latency: float
+    max_shard_compute: float
+    total_compute: float
+
+
+@dataclass
+class SharingBreakdown:
+    """Partial sums a shard contributes to sharing queries."""
+
+    total_copies: int = 0
+    distinct: int = 0
+    intra_dup: int = 0
+    inter_dup: int = 0
+
+    def merge(self, other: "SharingBreakdown") -> None:
+        self.total_copies += other.total_copies
+        self.distinct += other.distinct
+        self.intra_dup += other.intra_dup
+        self.inter_dup += other.inter_dup
+
+
+class CollectiveQueryEngine:
+    """Executes collective queries over the tracing engine's shards."""
+
+    def __init__(self, cluster: Cluster, engine: ContentTracingEngine,
+                 n_represented: int = 1) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.cost: CostModel = cluster.cost
+        self.n_represented = n_represented
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _entity_masks(self, entity_ids: list[int]) -> tuple[int, dict[int, int]]:
+        """(set mask, per-node masks) for the queried entity set."""
+        s_mask = 0
+        node_masks: dict[int, int] = {}
+        for eid in entity_ids:
+            bit = 1 << eid
+            s_mask |= bit
+            node = self.cluster.node_of(eid)
+            node_masks[node] = node_masks.get(node, 0) | bit
+        return s_mask, node_masks
+
+    def _shard_copies(self, shard, h: int, mask_in_s: int) -> int:
+        copies = mask_in_s.bit_count()
+        extra = shard.extra_copies(h)
+        if extra:
+            for eid, extra_copies in extra.items():
+                if mask_in_s & (1 << eid):
+                    copies += extra_copies
+        return copies
+
+    def _shard_breakdown(self, shard, s_mask: int,
+                         node_masks: dict[int, int]) -> SharingBreakdown:
+        out = SharingBreakdown()
+        for h, mask in shard.items():
+            in_s = mask & s_mask
+            if not in_s:
+                continue
+            copies = self._shard_copies(shard, h, in_s)
+            out.total_copies += copies
+            out.distinct += 1
+            nodes_holding = 0
+            intra = 0
+            for node, nmask in node_masks.items():
+                node_bits = in_s & nmask
+                if node_bits:
+                    nodes_holding += 1
+                    node_copies = self._shard_copies(shard, h, node_bits)
+                    intra += node_copies - 1
+            out.intra_dup += intra
+            out.inter_dup += nodes_holding - 1
+        return out
+
+    # -- latency model -------------------------------------------------------------
+
+    def _scan_latency(self, exec_mode: str, result_bytes: int = 16) -> float:
+        cost = self.cost
+        per_entry = cost.query_scan_per_entry * self.n_represented
+        sizes = self.engine.shard_sizes()
+        if exec_mode == "distributed":
+            max_scan = max(sizes) * per_entry if sizes else 0.0
+            depth = cost.tree_depth(self.cluster.n_nodes)
+            reduce_t = depth * (cost.udp_latency + cost.query_reduce_per_node
+                                + cost.tx_time(result_bytes + 74))
+            return cost.rtt() + max_scan + reduce_t + cost.query_compute_base
+        if exec_mode == "single":
+            total_scan = sum(sizes) * per_entry
+            return cost.rtt() + total_scan + cost.query_compute_base
+        raise ValueError(f"unknown exec_mode {exec_mode!r}")
+
+    def _compute_times(self) -> tuple[float, float]:
+        per_entry = self.cost.query_scan_per_entry * self.n_represented
+        sizes = self.engine.shard_sizes()
+        max_c = max(sizes) * per_entry if sizes else 0.0
+        return max_c, sum(sizes) * per_entry
+
+    def _answer(self, value: object, exec_mode: str,
+                result_bytes: int = 16) -> CollectiveAnswer:
+        max_c, total_c = self._compute_times()
+        return CollectiveAnswer(value, self._scan_latency(exec_mode, result_bytes),
+                                max_c, total_c)
+
+    # -- the five collective queries -----------------------------------------------
+
+    def breakdown(self, entity_ids: list[int]) -> SharingBreakdown:
+        """Full sharing breakdown (shared work for the first three queries)."""
+        s_mask, node_masks = self._entity_masks(entity_ids)
+        out = SharingBreakdown()
+        for shard in self.engine.shards:
+            out.merge(self._shard_breakdown(shard, s_mask, node_masks))
+        return out
+
+    def sharing(self, entity_ids: list[int],
+                exec_mode: str = "distributed") -> CollectiveAnswer:
+        b = self.breakdown(entity_ids)
+        val = 0.0 if b.total_copies == 0 else (
+            (b.total_copies - b.distinct) / b.total_copies)
+        return self._answer(val, exec_mode)
+
+    def intra_sharing(self, entity_ids: list[int],
+                      exec_mode: str = "distributed") -> CollectiveAnswer:
+        b = self.breakdown(entity_ids)
+        val = 0.0 if b.total_copies == 0 else b.intra_dup / b.total_copies
+        return self._answer(val, exec_mode)
+
+    def inter_sharing(self, entity_ids: list[int],
+                      exec_mode: str = "distributed") -> CollectiveAnswer:
+        b = self.breakdown(entity_ids)
+        val = 0.0 if b.total_copies == 0 else b.inter_dup / b.total_copies
+        return self._answer(val, exec_mode)
+
+    def degree_of_sharing(self, entity_ids: list[int]) -> float:
+        """distinct/total — the DoS line plotted in Fig 14 (1 - sharing)."""
+        b = self.breakdown(entity_ids)
+        return 1.0 if b.total_copies == 0 else b.distinct / b.total_copies
+
+    def num_shared_content(self, entity_ids: list[int], k: int,
+                           exec_mode: str = "distributed") -> CollectiveAnswer:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        s_mask, _ = self._entity_masks(entity_ids)
+        count = 0
+        for shard in self.engine.shards:
+            for h, mask in shard.items():
+                in_s = mask & s_mask
+                if in_s and self._shard_copies(shard, h, in_s) >= k:
+                    count += 1
+        return self._answer(count * self.n_represented, exec_mode)
+
+    def shared_content(self, entity_ids: list[int], k: int,
+                       exec_mode: str = "distributed") -> CollectiveAnswer:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        s_mask, _ = self._entity_masks(entity_ids)
+        hashes: set[int] = set()
+        for shard in self.engine.shards:
+            for h, mask in shard.items():
+                in_s = mask & s_mask
+                if in_s and self._shard_copies(shard, h, in_s) >= k:
+                    hashes.add(h)
+        return self._answer(hashes, exec_mode,
+                            result_bytes=8 * len(hashes) * self.n_represented)

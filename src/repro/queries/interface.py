@@ -1,0 +1,84 @@
+"""The ConCORD query facade: the Fig 3 interface in one place.
+
+Application services and tools issue queries through this class.  Node-wise
+queries go to a hash's home shard; collective queries run through the
+:class:`repro.queries.collective.CollectiveQueryEngine` in either execution
+mode.  Every answer carries its modelled latency so experiments can report
+Fig 8/9-style series while tests assert on the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.engine import ContentTracingEngine
+from repro.queries import collective as _collective
+from repro.queries import nodewise as _nodewise
+from repro.sim.cluster import Cluster
+
+__all__ = ["QueryInterface", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Uniform (value, latency, compute time) answer."""
+
+    value: object
+    latency: float
+    compute_time: float
+
+
+class QueryInterface:
+    """Issue the paper's node-wise and collective queries."""
+
+    def __init__(self, cluster: Cluster, engine: ContentTracingEngine,
+                 n_represented: int = 1) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self._collective = _collective.CollectiveQueryEngine(
+            cluster, engine, n_represented)
+
+    # -- node-wise (paper Fig 3, top) --------------------------------------------
+
+    def num_copies(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
+        a = _nodewise.num_copies(self.engine, self.cluster.cost,
+                                 content_hash, issuing_node)
+        return QueryResult(a.value, a.latency, a.compute_time)
+
+    def entities(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
+        a = _nodewise.entities(self.engine, self.cluster.cost,
+                               content_hash, issuing_node)
+        return QueryResult(a.value, a.latency, a.compute_time)
+
+    # -- collective (paper Fig 3, middle) --------------------------------------------
+
+    def _wrap(self, a: _collective.CollectiveAnswer) -> QueryResult:
+        return QueryResult(a.value, a.latency, a.max_shard_compute)
+
+    def sharing(self, entity_ids: list[int],
+                exec_mode: str = "distributed") -> QueryResult:
+        return self._wrap(self._collective.sharing(entity_ids, exec_mode))
+
+    def intra_sharing(self, entity_ids: list[int],
+                      exec_mode: str = "distributed") -> QueryResult:
+        return self._wrap(self._collective.intra_sharing(entity_ids, exec_mode))
+
+    def inter_sharing(self, entity_ids: list[int],
+                      exec_mode: str = "distributed") -> QueryResult:
+        return self._wrap(self._collective.inter_sharing(entity_ids, exec_mode))
+
+    def num_shared_content(self, entity_ids: list[int], k: int,
+                           exec_mode: str = "distributed") -> QueryResult:
+        return self._wrap(
+            self._collective.num_shared_content(entity_ids, k, exec_mode))
+
+    def shared_content(self, entity_ids: list[int], k: int,
+                       exec_mode: str = "distributed") -> QueryResult:
+        return self._wrap(
+            self._collective.shared_content(entity_ids, k, exec_mode))
+
+    # -- convenience ---------------------------------------------------------------------
+
+    def degree_of_sharing(self, entity_ids: list[int]) -> float:
+        """distinct/total blocks — the DoS series of Fig 14."""
+        return self._collective.degree_of_sharing(entity_ids)

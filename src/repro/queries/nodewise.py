@@ -1,0 +1,57 @@
+"""Node-wise queries: answered from a single DHT shard.
+
+Because content information lives on the home node of its hash, a node-wise
+query is one request/response to that node plus a local hash-table lookup;
+its latency "is dominated by the communication, which is essentially a ping
+time" (paper §5.3, Fig 8), independent of how many hashes the shard holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.engine import ContentTracingEngine
+from repro.sim.costmodel import CostModel
+
+__all__ = ["num_copies", "entities", "NodewiseAnswer"]
+
+
+@dataclass(frozen=True)
+class NodewiseAnswer:
+    """Value plus the modelled latency decomposition (Fig 8's two curves)."""
+
+    value: object
+    latency: float       # total: communication + compute
+    compute_time: float  # at the answering node only
+
+
+def _latency(cost: CostModel, compute: float, issuing_node: int,
+             home_node: int, resp_bytes: int) -> float:
+    if issuing_node == home_node:
+        return compute
+    return cost.rtt() + cost.tx_time(resp_bytes + 74) + compute
+
+
+def num_copies(engine: ContentTracingEngine, cost: CostModel,
+               content_hash: int, issuing_node: int = 0) -> NodewiseAnswer:
+    """How many copies of this content exist (per the best-effort view)."""
+    home = engine.home_node(content_hash)
+    shard = engine.shards[home]
+    value = shard.num_copies(content_hash)
+    compute = cost.query_compute_base
+    return NodewiseAnswer(value, _latency(cost, compute, issuing_node, home, 8),
+                          compute)
+
+
+def entities(engine: ContentTracingEngine, cost: CostModel,
+             content_hash: int, issuing_node: int = 0) -> NodewiseAnswer:
+    """Which entities currently have copies (per the best-effort view)."""
+    home = engine.home_node(content_hash)
+    shard = engine.shards[home]
+    ids = shard.entity_ids(content_hash)
+    # Scanning the bitmap words costs slightly more than the bare lookup.
+    compute = cost.query_compute_base * 1.6
+    resp_bytes = 4 * len(ids) + 8
+    return NodewiseAnswer(set(ids),
+                          _latency(cost, compute, issuing_node, home, resp_bytes),
+                          compute)

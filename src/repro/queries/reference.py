@@ -1,0 +1,106 @@
+"""Brute-force reference model for query answers.
+
+Computes every query directly from ground-truth entity memory, with no DHT,
+no partitioning, and no cleverness.  The test suite compares ConCORD's
+answers against this model whenever the DHT view is synchronized with
+memory (no loss, no staleness); under injected staleness it bounds the
+discrepancy instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+
+__all__ = ["ReferenceModel"]
+
+
+class ReferenceModel:
+    """O(everything) recomputation of all Fig 3 queries from ground truth."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    # -- raw material ---------------------------------------------------------------
+
+    def copy_counts(self, entity_ids: list[int]) -> Counter:
+        """hash -> total copies across the entity set."""
+        counts: Counter = Counter()
+        for eid in entity_ids:
+            hashes = self.cluster.entity(eid).content_hashes()
+            uniq, c = np.unique(hashes, return_counts=True)
+            for h, n in zip(uniq.tolist(), c.tolist()):
+                counts[int(h)] += int(n)
+        return counts
+
+    def per_node_copy_counts(self, entity_ids: list[int]) -> dict[int, Counter]:
+        by_node: dict[int, Counter] = {}
+        for eid in entity_ids:
+            node = self.cluster.node_of(eid)
+            ctr = by_node.setdefault(node, Counter())
+            hashes = self.cluster.entity(eid).content_hashes()
+            uniq, c = np.unique(hashes, return_counts=True)
+            for h, n in zip(uniq.tolist(), c.tolist()):
+                ctr[int(h)] += int(n)
+        return by_node
+
+    # -- node-wise --------------------------------------------------------------------
+
+    def num_copies(self, content_hash: int) -> int:
+        return self.copy_counts(self.cluster.all_entity_ids())[int(content_hash)]
+
+    def entities(self, content_hash: int) -> set[int]:
+        h = int(content_hash)
+        out = set()
+        for eid, entity in self.cluster.entities.items():
+            if entity.holds_hash(h):
+                out.add(eid)
+        return out
+
+    # -- collective ---------------------------------------------------------------------
+
+    def sharing(self, entity_ids: list[int]) -> float:
+        counts = self.copy_counts(entity_ids)
+        tot = sum(counts.values())
+        return 0.0 if tot == 0 else (tot - len(counts)) / tot
+
+    def intra_sharing(self, entity_ids: list[int]) -> float:
+        counts = self.copy_counts(entity_ids)
+        tot = sum(counts.values())
+        if tot == 0:
+            return 0.0
+        intra = 0
+        for ctr in self.per_node_copy_counts(entity_ids).values():
+            intra += sum(c - 1 for c in ctr.values())
+        return intra / tot
+
+    def inter_sharing(self, entity_ids: list[int]) -> float:
+        counts = self.copy_counts(entity_ids)
+        tot = sum(counts.values())
+        if tot == 0:
+            return 0.0
+        by_node = self.per_node_copy_counts(entity_ids)
+        inter = 0
+        for h in counts:
+            nodes_holding = sum(1 for ctr in by_node.values() if h in ctr)
+            inter += nodes_holding - 1
+        return inter / tot
+
+    def degree_of_sharing(self, entity_ids: list[int]) -> float:
+        counts = self.copy_counts(entity_ids)
+        tot = sum(counts.values())
+        return 1.0 if tot == 0 else len(counts) / tot
+
+    def num_shared_content(self, entity_ids: list[int], k: int) -> int:
+        counts = self.copy_counts(entity_ids)
+        return sum(1 for c in counts.values() if c >= k)
+
+    def shared_content(self, entity_ids: list[int], k: int) -> set[int]:
+        counts = self.copy_counts(entity_ids)
+        return {h for h, c in counts.items() if c >= k}
+
+    def distinct_content(self, entity_ids: list[int]) -> set[int]:
+        return set(self.copy_counts(entity_ids).keys())

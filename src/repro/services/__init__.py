@@ -1,0 +1,54 @@
+"""Application services built as content-aware service commands.
+
+* :mod:`repro.services.null` — the paper's "null" service command
+  (callbacks touch memory but transform nothing), used to measure baseline
+  command cost (Figs 10-12).
+* :mod:`repro.services.checkpoint` — collective checkpointing (paper §6):
+  each distinct memory block saved exactly once.
+* :mod:`repro.services.reconstruct` — collective VM reconstruction
+  (dissertation §7.2): rebuild a stored memory image from live entities.
+* :mod:`repro.services.migrate` — collective migration: move a group of
+  entities while sending each distinct block at most once.
+* :mod:`repro.services.incremental` — incremental checkpoints against a
+  base (extension beyond the paper).
+* :mod:`repro.services.dedup` — intra-node page deduplication, KSM-style
+  (the paper's first motivating example).
+* :mod:`repro.services.replicate` — maintain >= k copies of every block
+  (the paper's second motivating example).
+"""
+
+from repro.services.dedup import CollectiveDedup
+from repro.services.null import NullService
+from repro.services.replicate import (
+    CollectiveReplication,
+    ReplicaStore,
+    make_replica_stores,
+)
+from repro.services.checkpoint import (
+    CheckpointStore,
+    CollectiveCheckpoint,
+    RawCheckpoint,
+    restore_entity,
+)
+from repro.services.incremental import (
+    IncrementalCheckpoint,
+    restore_incremental_entity,
+)
+from repro.services.reconstruct import CollectiveReconstruction
+from repro.services.migrate import CollectiveMigration
+
+__all__ = [
+    "NullService",
+    "CheckpointStore",
+    "CollectiveCheckpoint",
+    "RawCheckpoint",
+    "restore_entity",
+    "IncrementalCheckpoint",
+    "restore_incremental_entity",
+    "CollectiveReconstruction",
+    "CollectiveMigration",
+    "CollectiveDedup",
+    "CollectiveReplication",
+    "ReplicaStore",
+    "make_replica_stores",
+]

@@ -1,0 +1,544 @@
+"""Collective checkpointing (paper §6).
+
+Goal: "checkpoint the memory of a set of SEs (processes, VMs) such that
+each replicated memory block (e.g., page) is stored exactly once."
+
+Checkpoint format (paper Fig 13): one *shared content file* holds one copy
+of each distinct block the collective phase handled; each SE has its own
+*checkpoint file* whose per-block entries are either a pointer into the
+shared content file or — for content ConCORD was unaware of (the
+best-effort gap) — the block's literal content.  ``1:E:3`` means page 1 of
+the SE holds content with hash E stored as block 3 of the shared file.
+
+The shared file is an append-only log with atomic multi-writer append, the
+only facility §6.1 requires of the parallel filesystem.
+
+Restore walks an SE's checkpoint file, following pointers into the shared
+file — implemented here (:func:`restore_entity`) and property-tested to be
+the identity under arbitrary staleness.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.command import ExecMode, NodeContext, ServiceCallbacks
+from repro.core.scope import EntityRole
+from repro.memory.entity import Entity
+from repro.memory.nsm import BlockRef
+from repro.memory.pagedata import materialize_page
+from repro.sim.cluster import Cluster
+from repro.util.hashing import page_hash
+
+__all__ = [
+    "SharedContentFile",
+    "SECheckpointFile",
+    "CheckpointStore",
+    "CollectiveCheckpoint",
+    "RawCheckpoint",
+    "restore_entity",
+]
+
+_PTR_RECORD_BYTES = 4 + 8 + 8        # page idx, hash, shared-file offset
+_DATA_RECORD_HEADER = 4 + 8 + 4      # page idx, hash, length
+_FILE_HEADER_BYTES = 32
+
+
+class SharedContentFile:
+    """The shared content file: an atomic-append log of distinct blocks."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+        self.blocks: list[int] = []          # content IDs, by offset
+        self._offset_of: dict[int, int] = {}  # content hash -> offset
+
+    def append(self, content_hash: int, content_id: int) -> int:
+        """Atomically append one block; returns its offset (block index).
+
+        Idempotent per hash: a second append of the same content returns
+        the existing offset (the multi-writer log needs no stronger
+        guarantee).
+        """
+        h = int(content_hash)
+        existing = self._offset_of.get(h)
+        if existing is not None:
+            return existing
+        offset = len(self.blocks)
+        self.blocks.append(int(content_id))
+        self._offset_of[h] = offset
+        return offset
+
+    def offset_of(self, content_hash: int) -> int | None:
+        return self._offset_of.get(int(content_hash))
+
+    def read(self, offset: int) -> int:
+        return self.blocks[offset]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return _FILE_HEADER_BYTES + self.n_blocks * self.page_size
+
+
+@dataclass
+class SECheckpointFile:
+    """One SE's checkpoint file: pointer or content records per block."""
+
+    entity_id: int
+    page_size: int
+    # ('ptr', page_idx, hash, offset) | ('data', page_idx, hash, content_id)
+    records: list[tuple] = field(default_factory=list)
+
+    def add_pointer(self, page_idx: int, content_hash: int, offset: int) -> None:
+        self.records.append(("ptr", page_idx, int(content_hash), int(offset)))
+
+    def add_data(self, page_idx: int, content_hash: int, content_id: int) -> None:
+        self.records.append(("data", page_idx, int(content_hash), int(content_id)))
+
+    @property
+    def n_pointer_records(self) -> int:
+        # 'bptr' (incremental base pointers) cost the same as 'ptr'.
+        return sum(1 for r in self.records if r[0] in ("ptr", "bptr"))
+
+    @property
+    def n_data_records(self) -> int:
+        return sum(1 for r in self.records if r[0] == "data")
+
+    @property
+    def size_bytes(self) -> int:
+        return (_FILE_HEADER_BYTES
+                + self.n_pointer_records * _PTR_RECORD_BYTES
+                + self.n_data_records * (_DATA_RECORD_HEADER + self.page_size))
+
+
+class CheckpointStore:
+    """A complete collective checkpoint: shared file + per-SE files."""
+
+    def __init__(self, page_size: int = 4096,
+                 compress_fraction: float = 0.5) -> None:
+        self.page_size = page_size
+        self.compress_fraction = compress_fraction
+        self.shared = SharedContentFile(page_size)
+        self.se_files: dict[int, SECheckpointFile] = {}
+
+    def se_file(self, entity_id: int) -> SECheckpointFile:
+        f = self.se_files.get(entity_id)
+        if f is None:
+            f = SECheckpointFile(entity_id, self.page_size)
+            self.se_files[entity_id] = f
+        return f
+
+    # -- sizes (Fig 14's four strategies) ------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(len(f.records) for f in self.se_files.values())
+
+    @property
+    def raw_size_bytes(self) -> int:
+        """Size of the obvious design: every SE saves every block."""
+        return (len(self.se_files) * _FILE_HEADER_BYTES
+                + self.total_blocks * (self.page_size + _DATA_RECORD_HEADER))
+
+    @property
+    def concord_size_bytes(self) -> int:
+        return (self.shared.size_bytes
+                + sum(f.size_bytes for f in self.se_files.values()))
+
+    @property
+    def compression_ratio(self) -> float:
+        """ConCORD checkpoint size over raw size (Fig 14's y-axis)."""
+        raw = self.raw_size_bytes
+        return 1.0 if raw == 0 else self.concord_size_bytes / raw
+
+    def gzip_sizes_model(self, content_ratio: float) -> tuple[int, int]:
+        """(raw+gzip, concord+gzip) sizes under the modelled gzip ratio.
+
+        gzip's 32 KB window removes within-page redundancy (content_ratio)
+        but almost none of the page-granularity duplication ConCORD
+        targets, so raw-gzip scales with raw size.
+        """
+        raw_gzip = int(self.raw_size_bytes * content_ratio)
+        ptr_bytes = sum(f.n_pointer_records * _PTR_RECORD_BYTES
+                        for f in self.se_files.values())
+        data_bytes = sum(f.n_data_records * (self.page_size + _DATA_RECORD_HEADER)
+                         for f in self.se_files.values())
+        concord_gzip = int(self.shared.size_bytes * content_ratio
+                           + ptr_bytes + data_bytes * content_ratio)
+        return raw_gzip, concord_gzip
+
+    def gzip_sizes_real(self) -> tuple[int, int]:
+        """(raw+gzip, concord+gzip) with real zlib over materialized bytes."""
+        raw_parts = []
+        shared_parts = [materialize_page(cid, self.page_size,
+                                         self.compress_fraction)
+                        for cid in self.shared.blocks]
+        leftover_parts = []
+        for f in self.se_files.values():
+            for rec in f.records:
+                kind, _idx, _h, payload = rec
+                if kind == "data":
+                    page = materialize_page(payload, self.page_size,
+                                            self.compress_fraction)
+                    raw_parts.append(page)
+                    leftover_parts.append(page)
+                else:
+                    raw_parts.append(
+                        materialize_page(self.shared.read(payload),
+                                         self.page_size,
+                                         self.compress_fraction))
+        raw_gzip = len(zlib.compress(b"".join(raw_parts), 6))
+        ptr_bytes = sum(f.n_pointer_records * _PTR_RECORD_BYTES
+                        for f in self.se_files.values())
+        concord_gzip = (len(zlib.compress(b"".join(shared_parts + leftover_parts), 6))
+                        + ptr_bytes)
+        return raw_gzip, concord_gzip
+
+    # -- on-disk serialization (byte mode) ----------------------------------------------------
+
+    _SHARED_MAGIC = b"CCSH"
+    _SE_MAGIC = b"CCSE"
+
+    def write_to_dir(self, path: str | Path) -> None:
+        """Materialize real bytes and write the checkpoint to a directory."""
+        d = Path(path)
+        d.mkdir(parents=True, exist_ok=True)
+        with open(d / "shared.bin", "wb") as fh:
+            fh.write(self._SHARED_MAGIC)
+            fh.write(struct.pack("<IQ", self.page_size, self.shared.n_blocks))
+            for cid in self.shared.blocks:
+                fh.write(materialize_page(cid, self.page_size,
+                                          self.compress_fraction))
+        for eid, f in self.se_files.items():
+            with open(d / f"entity_{eid}.ckpt", "wb") as fh:
+                fh.write(self._SE_MAGIC)
+                fh.write(struct.pack("<IIQ", eid, self.page_size,
+                                     len(f.records)))
+                for kind, idx, h, payload in f.records:
+                    if kind == "ptr":
+                        fh.write(struct.pack("<BIQQ", 0, idx, h, payload))
+                    elif kind == "data":
+                        page = materialize_page(payload, self.page_size,
+                                                self.compress_fraction)
+                        fh.write(struct.pack("<BIQI", 1, idx, h, len(page)))
+                        fh.write(page)
+                    else:
+                        raise ValueError(
+                            f"record kind {kind!r} (incremental checkpoints"
+                            " serialize with their chain, not standalone)")
+
+    @classmethod
+    def load_from_dir(cls, path: str | Path,
+                      compress_fraction: float = 0.5) -> "CheckpointStore":
+        """Read a checkpoint back (content IDs recovered from page headers)."""
+        d = Path(path)
+        with open(d / "shared.bin", "rb") as fh:
+            if fh.read(4) != cls._SHARED_MAGIC:
+                raise ValueError("bad shared content file magic")
+            page_size, n_blocks = struct.unpack("<IQ", fh.read(12))
+            store = cls(page_size, compress_fraction)
+            for _ in range(n_blocks):
+                page = fh.read(page_size)
+                cid = int.from_bytes(page[:8], "little")
+                store.shared.append(page_hash(cid), cid)
+        for ckpt in sorted(d.glob("entity_*.ckpt")):
+            with open(ckpt, "rb") as fh:
+                if fh.read(4) != cls._SE_MAGIC:
+                    raise ValueError(f"bad SE file magic in {ckpt}")
+                eid, psize, n_records = struct.unpack("<IIQ", fh.read(16))
+                if psize != page_size:
+                    raise ValueError("page size mismatch between files")
+                f = store.se_file(eid)
+                for _ in range(n_records):
+                    kind = fh.read(1)[0]
+                    if kind == 0:
+                        idx, h, off = struct.unpack("<IQQ", fh.read(20))
+                        f.add_pointer(idx, h, off)
+                    else:
+                        idx, h, length = struct.unpack("<IQI", fh.read(16))
+                        page = fh.read(length)
+                        f.add_data(idx, h, int.from_bytes(page[:8], "little"))
+        return store
+
+
+def restore_entity(store: CheckpointStore, entity_id: int) -> np.ndarray:
+    """Rebuild an SE's memory (content IDs per page) from the checkpoint.
+
+    "To restore an SE's memory from the checkpoint, we need only walk the
+    SE's checkpoint file, referencing pointers to the shared content file
+    as needed" (paper §6.1).
+    """
+    f = store.se_files.get(entity_id)
+    if f is None:
+        raise KeyError(f"no checkpoint file for entity {entity_id}")
+    if not f.records:
+        return np.empty(0, dtype=np.uint64)
+    n_pages = max(r[1] for r in f.records) + 1
+    pages = np.zeros(n_pages, dtype=np.uint64)
+    seen = np.zeros(n_pages, dtype=bool)
+    for kind, idx, _h, payload in f.records:
+        if seen[idx]:
+            raise ValueError(f"duplicate record for page {idx}")
+        pages[idx] = store.shared.read(payload) if kind == "ptr" else payload
+        seen[idx] = True
+    if not seen.all():
+        missing = np.flatnonzero(~seen)[:5].tolist()
+        raise ValueError(f"checkpoint incomplete: pages {missing} missing")
+    return pages
+
+
+@dataclass
+class _CkptNodeState:
+    """Per-node private service state for the checkpoint service."""
+
+    # Interactive: node-local hash -> offset table built during the
+    # collective phase ("stored in a node-local hash table that maps from
+    # content hash to offset", §6.1).
+    offsets: dict[int, int] = field(default_factory=dict)
+    shared_appends: int = 0
+    pointer_records: int = 0
+    data_records: int = 0
+    # Batch mode: deferred operations.
+    shared_plan: list[tuple[int, int]] = field(default_factory=list)
+    local_plan: list[tuple] = field(default_factory=list)
+    shared_plan_done: bool = False
+    local_plan_done: bool = False
+    failed: bool = False
+
+
+class CollectiveCheckpoint(ServiceCallbacks):
+    """The collective checkpointing service command (~230 lines of C in the
+    paper; the same callback structure here).
+
+    ``pfs``: write the shared content file through a
+    :class:`repro.storage.ParallelFileSystem` instead of a node-local RAM
+    disk.  The shared file then consumes aggregate server bandwidth — a
+    machine-wide resource — so its cost is charged via
+    ``ctx.charge_shared``.  The paper factors the FS out on Old/New-cluster
+    (RAM disks, the default here); Big-cluster runs see the shared path.
+
+    ``refine_plan``: in batch mode, refine the execution plan before
+    running it — the hook §4.2 motivates ("allows the application service
+    developer to refine and enhance the plan").  Local-phase records sort
+    by (entity, page index) so each SE file is written sequentially;
+    appends coalesce and their per-append overhead amortizes further.
+    """
+
+    name = "collective-checkpoint"
+
+    def __init__(self, store: CheckpointStore, pfs=None,
+                 refine_plan: bool = False) -> None:
+        self.store = store
+        self.pfs = pfs
+        self.refine_plan = refine_plan
+
+    # -- service initialization: open files, allocate state ---------------------------
+
+    def service_init(self, ctx: NodeContext, config: Any) -> None:
+        ctx.state = _CkptNodeState()
+
+    def collective_start(self, ctx: NodeContext, role: EntityRole,
+                         entity: Entity, hash_sample: np.ndarray) -> None:
+        # This is where checkpoint files are opened (paper §4.3); the store
+        # creates SE files lazily, so only SEs get files.
+        if role is EntityRole.SERVICE:
+            self.store.se_file(entity.entity_id)
+
+    # -- collective phase: write each distinct block to the shared file ----------------
+
+    def _charge_block_append(self, ctx: NodeContext, amortize: float = 1.0,
+                             shared: bool = False) -> None:
+        c = ctx.cost
+        ctx.charge_per_block(c.file_append_base * amortize
+                             + self.store.page_size
+                             * (c.file_append_per_byte + c.memcpy_per_byte))
+        if shared and self.pfs is not None:
+            _client, server = self.pfs.append_costs(self.store.page_size)
+            ctx.charge_shared(server * ctx.n_represented)
+
+    def collective_command(self, ctx: NodeContext, entity: Entity,
+                           content_hash: int, block: BlockRef) -> Any:
+        content_id = ctx.read_block(block)
+        st: _CkptNodeState = ctx.state
+        if ctx.mode is ExecMode.BATCH:
+            st.shared_plan.append((int(content_hash), content_id))
+            return True
+        offset = self.store.shared.append(content_hash, content_id)
+        self._charge_block_append(ctx, shared=True)
+        st.offsets[int(content_hash)] = offset
+        st.shared_appends += 1
+        return offset
+
+    def collective_finalize(self, ctx: NodeContext, role: EntityRole,
+                            entity: Entity) -> None:
+        st: _CkptNodeState = ctx.state
+        if ctx.mode is ExecMode.BATCH and not st.shared_plan_done:
+            # Execute the shared-file part of the plan as one bulk append.
+            for h, cid in st.shared_plan:
+                offset = self.store.shared.append(h, cid)
+                st.offsets[h] = offset
+                st.shared_appends += 1
+                self._charge_block_append(ctx, amortize=1.0 / 16, shared=True)
+            st.shared_plan_done = True
+
+    # -- local phase: per-SE checkpoint files ---------------------------------------------
+
+    def local_command(self, ctx: NodeContext, entity: Entity, page_idx: int,
+                      content_hash: int, block: BlockRef,
+                      handled_private: Any | None) -> None:
+        st: _CkptNodeState = ctx.state
+        if ctx.mode is ExecMode.BATCH:
+            if handled_private is not None:
+                st.local_plan.append(("ptr", entity.entity_id, page_idx,
+                                      int(content_hash)))
+            else:
+                st.local_plan.append(("data", entity.entity_id, page_idx,
+                                      int(content_hash),
+                                      entity.read_page(page_idx)))
+            return
+        f = self.store.se_file(entity.entity_id)
+        if handled_private is not None:
+            f.add_pointer(page_idx, content_hash, int(handled_private))
+            st.pointer_records += 1
+            ctx.charge_per_block(ctx.cost.file_append_base / 8
+                                 + _PTR_RECORD_BYTES
+                                 * ctx.cost.file_append_per_byte)
+        else:
+            f.add_data(page_idx, content_hash, entity.read_page(page_idx))
+            st.data_records += 1
+            self._charge_block_append(ctx)
+
+    def local_command_batch(self, ctx: NodeContext, entity: Entity,
+                            hashes: np.ndarray, covered: np.ndarray,
+                            handled_map: dict[int, Any]) -> None:
+        """Vectorized local phase (same semantics as local_command)."""
+        st: _CkptNodeState = ctx.state
+        n = len(hashes)
+        n_cov = int(covered.sum())
+        c = ctx.cost
+        if ctx.mode is ExecMode.BATCH:
+            hlist = hashes.tolist()
+            for idx in range(n):
+                h = int(hlist[idx])
+                if covered[idx]:
+                    st.local_plan.append(("ptr", entity.entity_id, idx, h))
+                else:
+                    st.local_plan.append(("data", entity.entity_id, idx, h,
+                                          entity.read_page(idx)))
+            return
+        f = self.store.se_file(entity.entity_id)
+        hlist = hashes.tolist()
+        for idx in range(n):
+            h = int(hlist[idx])
+            if covered[idx]:
+                f.add_pointer(idx, h, int(handled_map[h]))
+            else:
+                f.add_data(idx, h, entity.read_page(idx))
+        st.pointer_records += n_cov
+        st.data_records += n - n_cov
+        ctx.charge_per_block(c.file_append_base / 8
+                             + _PTR_RECORD_BYTES * c.file_append_per_byte, n_cov)
+        ctx.charge_per_block(c.file_append_base + self.store.page_size
+                             * (c.file_append_per_byte + c.memcpy_per_byte),
+                             n - n_cov)
+
+    def local_finalize(self, ctx: NodeContext, entity: Entity) -> None:
+        st: _CkptNodeState = ctx.state
+        if ctx.mode is ExecMode.BATCH and not st.local_plan_done:
+            self._execute_local_plan(ctx)
+
+    def _execute_local_plan(self, ctx: NodeContext) -> None:
+        st: _CkptNodeState = ctx.state
+        c = ctx.cost
+        amortize = 1.0 / 16
+        if self.refine_plan:
+            # Plan refinement: sequential per-file write order -> deeper
+            # append coalescing.
+            st.local_plan.sort(key=lambda op: (op[1], op[2]))
+            amortize = 1.0 / 64
+        for op in st.local_plan:
+            if op[0] == "ptr":
+                _kind, eid, idx, h = op
+                offset = self.store.shared.offset_of(h)
+                if offset is None:
+                    # Plan said covered but the shared block never landed;
+                    # fall back to literal content (correctness first).
+                    cid = ctx.cluster.entity(eid).read_page(idx)
+                    self.store.se_file(eid).add_data(idx, h, cid)
+                    st.data_records += 1
+                    self._charge_block_append(ctx, amortize=1.0 / 16)
+                    continue
+                self.store.se_file(eid).add_pointer(idx, h, offset)
+                st.pointer_records += 1
+                ctx.charge_per_block(c.file_append_base * amortize / 4
+                                     + _PTR_RECORD_BYTES * c.file_append_per_byte)
+            else:
+                _kind, eid, idx, h, cid = op
+                self.store.se_file(eid).add_data(idx, h, cid)
+                st.data_records += 1
+                self._charge_block_append(ctx, amortize=amortize)
+        st.local_plan_done = True
+
+    # -- teardown -------------------------------------------------------------------------
+
+    def service_deinit(self, ctx: NodeContext) -> bool:
+        st: _CkptNodeState = ctx.state
+        if ctx.mode is ExecMode.BATCH:
+            # PE-only nodes execute their shared plan here if no SE ever
+            # triggered collective_finalize on them (it always does, since
+            # collective_finalize runs for PEs too — this is a safety net).
+            if not st.shared_plan_done and st.shared_plan:
+                for h, cid in st.shared_plan:
+                    st.offsets[h] = self.store.shared.append(h, cid)
+                    st.shared_appends += 1
+                    self._charge_block_append(ctx, amortize=1.0 / 16,
+                                              shared=True)
+                st.shared_plan_done = True
+            if not st.local_plan_done and st.local_plan:
+                self._execute_local_plan(ctx)
+        return not st.failed
+
+
+class RawCheckpoint:
+    """The baseline: "simply record each page in each process" (§4.1).
+
+    No ConCORD involvement: every SE writes its full memory to its own file
+    (embarrassingly parallel).  ``run`` returns a compatible store plus the
+    modelled response time; gzip variants are derived from it.
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+
+    def run(self, cluster: Cluster, entity_ids: list[int],
+            n_represented: int = 1,
+            gzip: bool = False) -> tuple[CheckpointStore, float]:
+        c = cluster.cost
+        store = CheckpointStore(self.page_size)
+        per_node_time: dict[int, float] = {}
+        for eid in entity_ids:
+            entity = cluster.entity(eid)
+            f = store.se_file(eid)
+            hashes = entity.content_hashes()
+            for idx, (h, cid) in enumerate(zip(hashes.tolist(),
+                                               entity.pages.tolist())):
+                f.add_data(idx, int(h), int(cid))
+            nbytes = entity.n_pages * self.page_size * n_represented
+            t = (entity.n_pages * n_represented * (c.file_append_base / 64)
+                 + nbytes * (c.file_append_per_byte + c.memcpy_per_byte))
+            if gzip:
+                t += nbytes * c.gzip_per_byte
+            node = entity.node_id
+            per_node_time[node] = per_node_time.get(node, 0.0) + t
+        wall = max(per_node_time.values(), default=0.0) + c.barrier_time(
+            cluster.n_nodes)
+        return store, wall

@@ -1,0 +1,158 @@
+"""Collective memory deduplication (the paper's first motivating example).
+
+"Copy-on-write mechanisms can reduce memory pressure by keeping only a
+single copy of each distinct page in memory" (paper §1) — VMware ESX page
+sharing, KSM, SBLLmalloc.  Built here as a content-aware service command:
+
+* The *local phase* does the work: for each SE block on a node, the first
+  occurrence of a content hash becomes the canonical physical copy;
+  subsequent same-node occurrences are merged onto it (copy-on-write),
+  releasing their physical page.  Merging is intra-node by nature —
+  cross-node copies live in different physical memories.
+* The *collective phase* reports what is achievable: each distinct hash's
+  selected replica tallies global redundancy, so the command's result
+  carries both "saved now" and "exists overall".
+
+After the command, :meth:`CollectiveDedup.arm_cow` hooks entity writes so
+a store to a merged page breaks the sharing (the copy-on-write fault),
+restoring a private physical page — accounting stays exact under
+subsequent mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.command import NodeContext, ServiceCallbacks
+from repro.memory.entity import Entity
+from repro.memory.nsm import BlockRef
+
+__all__ = ["CollectiveDedup", "DedupNodeState"]
+
+
+@dataclass
+class DedupNodeState:
+    """Per-node dedup bookkeeping."""
+
+    # hash -> canonical (entity, page) holding the single physical copy
+    canonical: dict[int, tuple[int, int]] = field(default_factory=dict)
+    # (entity, page) of every merged duplicate -> its hash
+    merged: dict[tuple[int, int], int] = field(default_factory=dict)
+    saved_bytes: int = 0
+    cow_breaks: int = 0
+    global_redundant_blocks: int = 0  # from the collective phase
+
+
+class CollectiveDedup(ServiceCallbacks):
+    """Merge same-content pages within each node, KSM-style."""
+
+    name = "collective-dedup"
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+        self._states: dict[int, DedupNodeState] = {}
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def service_init(self, ctx: NodeContext, config: Any) -> None:
+        ctx.state = DedupNodeState()
+        self._states[ctx.node_id] = ctx.state
+
+    def collective_command(self, ctx: NodeContext, entity: Entity,
+                           content_hash: int, block: BlockRef) -> Any:
+        # One invocation per distinct hash: count global redundancy (how
+        # many copies the DHT sees beyond this one) for reporting.
+        ctx.charge_per_block(ctx.cost.query_compute_base)
+        return True
+
+    def local_command(self, ctx: NodeContext, entity: Entity, page_idx: int,
+                      content_hash: int, block: BlockRef,
+                      handled_private: Any | None) -> None:
+        st: DedupNodeState = ctx.state
+        h = int(content_hash)
+        key = (entity.entity_id, page_idx)
+        if key in st.merged or st.canonical.get(h) == key:
+            return  # already processed by an earlier dedup run
+        holder = st.canonical.get(h)
+        if holder is None:
+            st.canonical[h] = key
+            ctx.charge_per_block(ctx.cost.query_compute_base)
+            return
+        # Same content already physically present on this node: merge.
+        st.merged[key] = h
+        st.saved_bytes += self.page_size * ctx.n_represented
+        # Page-table remap + reference bump.
+        ctx.charge_per_block(ctx.cost.memcpy_per_byte * 64 + 2e-6)
+
+    def service_deinit(self, ctx: NodeContext) -> bool:
+        return True
+
+    # -- results ----------------------------------------------------------------------
+
+    def saved_bytes_total(self) -> int:
+        return sum(st.saved_bytes for st in self._states.values())
+
+    def saved_bytes_on(self, node_id: int) -> int:
+        st = self._states.get(node_id)
+        return 0 if st is None else st.saved_bytes
+
+    def merged_pages_total(self) -> int:
+        return sum(len(st.merged) for st in self._states.values())
+
+    def physical_bytes(self, cluster, node_id: int) -> int:
+        """Modelled physical memory for a node's entities after dedup."""
+        logical = sum(e.memory_bytes for e in cluster.entities_on(node_id))
+        return logical - self.saved_bytes_on(node_id)
+
+    # -- copy-on-write break-up ------------------------------------------------------------
+
+    def arm_cow(self, cluster) -> None:
+        """Hook writes so stores to merged pages break the sharing."""
+        hooked: set[int] = set()
+        for st in self._states.values():
+            for eid, _idx in list(st.merged) + list(st.canonical.values()):
+                if eid not in hooked:
+                    cluster.entity(eid).add_write_observer(self._on_write)
+                    hooked.add(eid)
+        self._cluster = cluster
+
+    def _on_write(self, entity: Entity, idxs: np.ndarray) -> None:
+        node_st = self._states.get(entity.node_id)
+        if node_st is None:
+            return
+        for idx in np.asarray(idxs).tolist():
+            key = (entity.entity_id, int(idx))
+            h = node_st.merged.pop(key, None)
+            if h is not None:
+                # CoW fault on a merged duplicate: the writer gets a
+                # private physical copy back.
+                node_st.saved_bytes -= self.page_size
+                node_st.cow_breaks += 1
+                continue
+            h = self._canonical_hash_of(node_st, key)
+            if h is None:
+                continue
+            # The canonical copy was written.  Merged duplicates still
+            # logically hold the old content, so the old physical page
+            # survives with one of them promoted to canonical; the writer
+            # pays for a fresh private page (one page of saving gone).
+            heirs = [k for k, hh in node_st.merged.items() if hh == h]
+            if heirs:
+                heir = min(heirs)
+                del node_st.merged[heir]
+                node_st.canonical[h] = heir
+                node_st.saved_bytes -= self.page_size
+                node_st.cow_breaks += 1
+            else:
+                del node_st.canonical[h]
+
+    @staticmethod
+    def _canonical_hash_of(node_st: DedupNodeState,
+                           key: tuple[int, int]) -> int | None:
+        for h, k in node_st.canonical.items():
+            if k == key:
+                return h
+        return None

@@ -1,0 +1,164 @@
+"""Collective replication (the paper's second motivating example).
+
+"Fault tolerance mechanisms that seek to maintain a given level of
+content redundancy can leverage existing redundancy to reduce their
+memory pressure" (paper §1): if a block already has k copies across the
+machine, a k-resilient store need not create more; only under-replicated
+content costs anything.
+
+As a service command: for each distinct block of the protected entities,
+the collective phase asks the platform how many copies exist (a node-wise
+query — services are free to issue queries, §3.3).  Blocks below the
+target ``k`` are pushed into *replica stores*: spare entities the caller
+provisions on distinct nodes, whose content ConCORD then tracks like
+anything else — so the created replicas themselves serve future commands
+(checkpoint, reconstruction, other entities' replication).
+
+The local phase covers content the DHT missed: such blocks have unknown
+redundancy and are replicated defensively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.command import NodeContext, ServiceCallbacks
+from repro.core.concord import ConCORD
+from repro.memory.entity import Entity, EntityKind
+from repro.memory.nsm import BlockRef
+
+__all__ = ["CollectiveReplication", "ReplicaStore", "make_replica_stores"]
+
+
+class ReplicaStore:
+    """A spare entity that absorbs replica blocks (append cursor)."""
+
+    def __init__(self, entity: Entity) -> None:
+        self.entity = entity
+        self.cursor = 0
+
+    @property
+    def free_pages(self) -> int:
+        return self.entity.n_pages - self.cursor
+
+    def absorb(self, content_id: int) -> int:
+        if self.free_pages <= 0:
+            raise RuntimeError(
+                f"replica store {self.entity.name} is full")
+        idx = self.cursor
+        self.entity.write_page(idx, content_id)
+        self.cursor += 1
+        return idx
+
+
+def make_replica_stores(cluster, nodes: list[int], capacity_pages: int,
+                        concord: ConCORD | None = None) -> dict[int, ReplicaStore]:
+    """Provision one empty replica store per node (tracked if concord)."""
+    stores = {}
+    for i, node in enumerate(nodes):
+        # Blank filler content: unique IDs so stores share nothing yet.
+        filler = (np.arange(capacity_pages, dtype=np.uint64)
+                  + (0x5E9 << 40) + i * capacity_pages)
+        e = Entity.create(cluster, node, filler, kind=EntityKind.PROCESS,
+                          name=f"replica-store-{node}")
+        if concord is not None:
+            concord.attach_entity(e)
+        stores[node] = ReplicaStore(e)
+    return stores
+
+
+@dataclass
+class _ReplNodeState:
+    checked: int = 0
+    replicated: int = 0
+    defensive: int = 0       # unknown-to-DHT blocks replicated locally
+    bytes_shipped: int = 0
+
+
+class CollectiveReplication(ServiceCallbacks):
+    """Ensure every distinct block of the SEs has >= k copies."""
+
+    name = "collective-replication"
+
+    def __init__(self, concord: ConCORD, k: int,
+                 stores: dict[int, ReplicaStore]) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not stores:
+            raise ValueError("need at least one replica store")
+        self.concord = concord
+        self.k = k
+        self.stores = stores
+        self._states: dict[int, _ReplNodeState] = {}
+        self._defended: set[int] = set()  # hashes handled defensively
+
+    def service_init(self, ctx: NodeContext, config: Any) -> None:
+        ctx.state = _ReplNodeState()
+        self._states[ctx.node_id] = ctx.state
+
+    # -- collective phase: query redundancy, top up ------------------------------------
+
+    def _replicate(self, ctx: NodeContext, content_id: int,
+                   avoid_nodes: set[int], deficit: int) -> int:
+        """Push ``deficit`` copies into stores on nodes not in avoid."""
+        made = 0
+        page = self.stores[next(iter(self.stores))].entity.page_size
+        for node, store in sorted(self.stores.items()):
+            if made >= deficit:
+                break
+            if node in avoid_nodes or store.free_pages <= 0:
+                continue
+            store.absorb(content_id)
+            ctx.send_bytes(node, page)
+            ctx.charge_per_block(ctx.cost.memcpy_per_byte * page)
+            avoid_nodes.add(node)
+            made += 1
+        return made
+
+    def collective_command(self, ctx: NodeContext, entity: Entity,
+                           content_hash: int, block: BlockRef) -> Any:
+        st: _ReplNodeState = ctx.state
+        st.checked += 1
+        answer = self.concord.num_copies(content_hash,
+                                         issuing_node=ctx.node_id)
+        ctx.charge(answer.latency)
+        copies = answer.value
+        holders = self.concord.entities(content_hash).value
+        holder_nodes = {ctx.cluster.node_of(e) for e in holders}
+        if copies >= self.k:
+            return 0
+        content_id = ctx.read_block(block)
+        made = self._replicate(ctx, content_id, set(holder_nodes),
+                               self.k - copies)
+        st.replicated += made
+        st.bytes_shipped += made * entity.page_size * ctx.n_represented
+        return made
+
+    # -- local phase: defensively replicate unknown content ------------------------------
+
+    def local_command(self, ctx: NodeContext, entity: Entity, page_idx: int,
+                      content_hash: int, block: BlockRef,
+                      handled_private: Any | None) -> None:
+        if handled_private is not None:
+            return  # redundancy was assessed collectively
+        h = int(content_hash)
+        if h in self._defended:
+            return  # another copy of the same unknown content
+        self._defended.add(h)
+        st: _ReplNodeState = ctx.state
+        content_id = entity.read_page(page_idx)
+        made = self._replicate(ctx, content_id, {entity.node_id},
+                               self.k - 1)
+        st.defensive += made
+        st.bytes_shipped += made * entity.page_size * ctx.n_represented
+
+    def service_deinit(self, ctx: NodeContext) -> bool:
+        return True
+
+    # -- results -----------------------------------------------------------------------------
+
+    def total(self, fieldname: str) -> int:
+        return sum(getattr(st, fieldname) for st in self._states.values())

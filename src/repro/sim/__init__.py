@@ -1,0 +1,29 @@
+"""Simulated parallel-machine substrate.
+
+The paper evaluates ConCORD on three physical clusters (Old-cluster,
+New-cluster, Big-cluster).  This package replaces them with a deterministic
+simulation: a discrete-event engine (:mod:`repro.sim.engine`), per-testbed
+cost models calibrated to the paper's measured micro-costs
+(:mod:`repro.sim.costmodel`), a network with unreliable datagrams, receive
+queues and a reliable acknowledged broadcast (:mod:`repro.sim.network`), and
+the node/cluster assembly (:mod:`repro.sim.cluster`).
+"""
+
+from repro.sim.engine import SimEngine, Resource
+from repro.sim.costmodel import CostModel, OLD_CLUSTER, NEW_CLUSTER, BIG_CLUSTER, TESTBEDS
+from repro.sim.network import Network, NetworkStats
+from repro.sim.cluster import Cluster, Node
+
+__all__ = [
+    "SimEngine",
+    "Resource",
+    "CostModel",
+    "OLD_CLUSTER",
+    "NEW_CLUSTER",
+    "BIG_CLUSTER",
+    "TESTBEDS",
+    "Network",
+    "NetworkStats",
+    "Cluster",
+    "Node",
+]

@@ -1,0 +1,110 @@
+"""Node and cluster assembly.
+
+A :class:`Cluster` is the simulated parallel machine: ``n_nodes`` nodes with
+a shared cost model, a discrete-event engine, and a network.  ConCORD's
+per-node components (the NSM with its memory update monitor, and the local
+DHT shard) are attached to each :class:`Node` by :class:`repro.core.ConCORD`
+when the service is brought up — mirroring the paper's split between the
+machine and the platform service that runs on it.
+
+Entities (processes/VMs — "objects that have memory") are created through
+the cluster so that entity IDs are dense and globally unique, which the DHT
+bitmaps rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.sim.costmodel import CostModel, TESTBEDS
+from repro.sim.engine import Resource, SimEngine
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.entity import Entity
+
+__all__ = ["Node", "Cluster"]
+
+
+@dataclass
+class Node:
+    """One node of the parallel machine."""
+
+    node_id: int
+    cpu: Resource = field(default_factory=Resource)
+    # Attached by ConCORD.bring_up(); typed loosely to avoid import cycles.
+    nsm: object | None = None
+    dht: object | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id})"
+
+
+class Cluster:
+    """The simulated machine: nodes + network + entity registry."""
+
+    def __init__(self, n_nodes: int, cost: CostModel | str = "new-cluster",
+                 seed: int = 0) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if isinstance(cost, str):
+            cost = TESTBEDS[cost]
+        if n_nodes > cost.n_nodes:
+            raise ValueError(
+                f"{cost.name} has {cost.n_nodes} nodes; {n_nodes} requested")
+        self.cost = cost
+        self.n_nodes = n_nodes
+        self.engine = SimEngine()
+        self.network = Network(self.engine, cost, n_nodes)
+        self.nodes = [Node(i) for i in range(n_nodes)]
+        self.entities: dict[int, "Entity"] = {}
+        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._next_entity_id = 0
+
+    # -- entity management ---------------------------------------------------------
+
+    def register_entity(self, entity: "Entity") -> int:
+        """Assign an ID and record placement; returns the entity ID."""
+        if not (0 <= entity.node_id < self.n_nodes):
+            raise ValueError(f"entity placed on invalid node {entity.node_id}")
+        eid = self._next_entity_id
+        self._next_entity_id += 1
+        entity.entity_id = eid
+        self.entities[eid] = entity
+        return eid
+
+    def entity(self, entity_id: int) -> "Entity":
+        return self.entities[entity_id]
+
+    def node_of(self, entity_id: int) -> int:
+        return self.entities[entity_id].node_id
+
+    def entities_on(self, node_id: int) -> list["Entity"]:
+        return [e for e in self.entities.values() if e.node_id == node_id]
+
+    def nodes_hosting(self, entity_ids: Iterable[int]) -> set[int]:
+        return {self.entities[eid].node_id for eid in entity_ids}
+
+    def all_entity_ids(self) -> list[int]:
+        return sorted(self.entities.keys())
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.entities)
+
+    def entity_id_mask(self, entity_ids: Iterable[int]) -> int:
+        """Entity IDs as an arbitrary-precision bitmask (DHT value format)."""
+        mask = 0
+        for eid in entity_ids:
+            mask |= 1 << eid
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Cluster(n_nodes={self.n_nodes}, testbed={self.cost.name}, "
+                f"entities={len(self.entities)})")

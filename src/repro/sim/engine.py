@@ -1,0 +1,148 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-heap scheduler.  Time is a ``float`` in
+seconds.  Events scheduled for the same instant fire in scheduling order
+(a monotone sequence number breaks ties), so runs are bit-for-bit
+reproducible.
+
+The engine carries no domain knowledge; the network model
+(:mod:`repro.sim.network`) and the memory update monitors
+(:mod:`repro.memory.monitor`) schedule their activity through it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+__all__ = ["SimEngine", "Resource", "CancelledError"]
+
+
+class CancelledError(Exception):
+    """Raised when waiting on an event that was cancelled."""
+
+
+class _Event:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimEngine:
+    """Event-heap scheduler with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_run = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def at(self, time: float, fn: Callable, *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = _Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: float, fn: Callable, *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.at(self._now + delay, fn, *args)
+
+    def cancel(self, ev: _Event) -> None:
+        """Cancel a pending event (lazy removal)."""
+        ev.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the simulated time afterwards.
+
+        Re-entrant calls (run() from inside an event handler) are an
+        error: they would drain events scheduled after the current one
+        while the handler is still mid-flight.
+        """
+        if self._running:
+            raise RuntimeError("SimEngine.run() called re-entrantly from "
+                               "inside an event handler")
+        self._running = True
+        try:
+            return self._run(until, max_events)
+        finally:
+            self._running = False
+
+    def _run(self, until: float | None, max_events: int | None) -> float:
+        fired = 0
+        while self._heap:
+            ev = self._heap[0]
+            if until is not None and ev.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn(*ev.args)
+            self._events_run += 1
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Resource:
+    """A FIFO serial resource (a node's NIC transmit path, a CPU).
+
+    Work submitted at time *t* starts at ``max(t, busy_until)`` and occupies
+    the resource for its duration; :meth:`submit` returns the completion
+    time.  This models serialization without per-item events.
+    """
+
+    __slots__ = ("busy_until", "total_busy")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+
+    def submit(self, now: float, duration: float) -> float:
+        """Occupy the resource for ``duration`` starting no earlier than now."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.total_busy += duration
+        return self.busy_until
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued work remaining at ``now``."""
+        return max(0.0, self.busy_until - now)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy = 0.0

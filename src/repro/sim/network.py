@@ -1,0 +1,219 @@
+"""Simulated network: unreliable datagrams plus a reliable ack'd channel.
+
+ConCORD (paper §3.4) splits its traffic into (a) best-effort, "send and
+forget" UDP peer-to-peer datagrams — DHT updates, hash exchanges — and (b)
+reliable, acknowledged 1-to-n control messages built on top of UDP.
+
+The model here reproduces both on the discrete-event engine:
+
+* Each node has a serial transmit path (NIC serialization at ``link_bw``)
+  and a receive path with a finite receive queue.  Receive-side service
+  time is ``max(bytes/bandwidth, packets x rx_per_msg)`` — small-datagram
+  floods (DHT updates) are packet-rate limited, not byte limited.  A
+  datagram arriving when the receiver's queued backlog would exceed
+  ``rx_queue_delay`` is dropped.  Loss is therefore *emergent* — it
+  appears under incast/burst collisions and grows with the number of
+  concurrent senders, reproducing the shape of Fig 7 (whose cause the
+  authors themselves note they were still chasing).
+* The reliable channel retransmits dropped messages after ``ack_timeout``
+  until delivery (bounded attempts), counting retransmissions.
+
+All payloads are :class:`repro.util.records.Message` objects so wire sizes
+are realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Resource, SimEngine
+from repro.util.records import Message
+
+__all__ = ["Network", "NetworkStats", "DeliveryError"]
+
+
+class DeliveryError(Exception):
+    """A reliable message exhausted its retransmission budget."""
+
+
+@dataclass
+class NetworkStats:
+    """Per-network counters; per-node breakdowns are kept by the Network."""
+
+    msgs_sent: int = 0
+    msgs_delivered: int = 0
+    msgs_dropped: int = 0
+    retransmissions: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    updates_sent: int = 0       # individual DHT updates (not batches)
+    updates_lost: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.msgs_sent == 0:
+            return 0.0
+        return self.msgs_dropped / self.msgs_sent
+
+    @property
+    def update_loss_rate(self) -> float:
+        if self.updates_sent == 0:
+            return 0.0
+        return self.updates_lost / self.updates_sent
+
+
+@dataclass
+class _NodeNet:
+    tx: Resource = field(default_factory=Resource)
+    rx: Resource = field(default_factory=Resource)
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    tx_msgs: int = 0
+    rx_msgs: int = 0
+    drops: int = 0
+
+
+class Network:
+    """Point-to-point network among ``n_nodes`` with a full-backplane switch.
+
+    Both evaluation switches in the paper have full backplane bandwidth, so
+    contention exists only at the endpoints (NIC serialization on transmit,
+    receive-queue overflow on receive).
+    """
+
+    MAX_RELIABLE_ATTEMPTS = 12
+
+    def __init__(self, engine: SimEngine, cost: CostModel, n_nodes: int) -> None:
+        self.engine = engine
+        self.cost = cost
+        self.n_nodes = n_nodes
+        self.nodes = [_NodeNet() for _ in range(n_nodes)]
+        self.stats = NetworkStats()
+
+    # -- internal ---------------------------------------------------------------
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range (n={self.n_nodes})")
+
+    def _transmit(self, src: int, size: int) -> float:
+        """Serialize on the sender NIC; returns wire departure time."""
+        return self.nodes[src].tx.submit(self.engine.now, size / self.cost.link_bw)
+
+    @staticmethod
+    def _n_packets(msg: Message) -> int:
+        """Real packets a (possibly coarse-grained) message stands for."""
+        return max(1, int(getattr(msg, "n_represented", 1)))
+
+    def _rx_service(self, msg: Message, size: int) -> float:
+        """Receive-side service time: wire drain or per-packet processing,
+        whichever dominates.  Small-datagram floods are limited by packets
+        per second, not bytes — the regime where Fig 7's loss appears.
+
+        One-sided (RDMA-style) transfers bypass the receiver CPU entirely:
+        only wire bandwidth applies.
+        """
+        if getattr(msg, "one_sided", False):
+            return size / self.cost.link_bw
+        return max(size / self.cost.link_bw,
+                   self._n_packets(msg) * self.cost.rx_per_msg)
+
+    # -- unreliable datagrams ------------------------------------------------------
+
+    def send(self, msg: Message, on_deliver: Callable[[Message], None] | None = None,
+             on_drop: Callable[[Message], None] | None = None) -> None:
+        """Best-effort datagram: may silently be dropped at the receiver."""
+        self._check(msg.src_node)
+        self._check(msg.dst_node)
+        size = msg.wire_bytes()
+        self.stats.msgs_sent += 1
+        self.stats.bytes_sent += size
+        sn = self.nodes[msg.src_node]
+        sn.tx_bytes += size
+        sn.tx_msgs += 1
+        n_updates = getattr(msg, "n_updates", None)
+        if callable(n_updates):
+            self.stats.updates_sent += n_updates()
+
+        if msg.src_node == msg.dst_node:
+            # Loopback: no NIC, no loss.
+            self.engine.after(0.0, self._deliver, msg, size, on_deliver)
+            return
+
+        depart = self._transmit(msg.src_node, size)
+        arrive = depart + self.cost.udp_latency
+        self.engine.at(arrive, self._arrive, msg, size, on_deliver, on_drop)
+
+    def _arrive(self, msg: Message, size: int,
+                on_deliver: Callable | None, on_drop: Callable | None) -> None:
+        now = self.engine.now
+        dst = msg.dst_node
+        service = self._rx_service(msg, size)
+        if self.nodes[dst].rx.backlog(now) + service > self.cost.rx_queue_delay:
+            self.stats.msgs_dropped += 1
+            self.nodes[dst].drops += 1
+            n_updates = getattr(msg, "n_updates", None)
+            if callable(n_updates):
+                self.stats.updates_lost += n_updates()
+            if on_drop is not None:
+                on_drop(msg)
+            return
+        done = self.nodes[dst].rx.submit(now, service)
+        self.engine.at(done, self._deliver, msg, size, on_deliver)
+
+    def _deliver(self, msg: Message, size: int, on_deliver: Callable | None) -> None:
+        self.stats.msgs_delivered += 1
+        self.stats.bytes_delivered += size
+        dn = self.nodes[msg.dst_node]
+        dn.rx_bytes += size
+        dn.rx_msgs += 1
+        if on_deliver is not None:
+            on_deliver(msg)
+
+    # -- reliable channel ------------------------------------------------------------
+
+    def send_reliable(self, msg: Message,
+                      on_deliver: Callable[[Message], None] | None = None) -> None:
+        """Acknowledged delivery with retransmission on loss.
+
+        Messages may be delivered out of order (as the paper allows); they
+        are never lost short of ``MAX_RELIABLE_ATTEMPTS`` consecutive drops,
+        which raises :class:`DeliveryError` at the simulated sender.
+        """
+        self._attempt_reliable(msg, on_deliver, attempt=1)
+
+    def _attempt_reliable(self, msg: Message, on_deliver: Callable | None,
+                          attempt: int) -> None:
+        if attempt > 1:
+            self.stats.retransmissions += 1
+
+        def dropped(_m: Message) -> None:
+            if attempt >= self.MAX_RELIABLE_ATTEMPTS:
+                raise DeliveryError(
+                    f"reliable message {msg.kind} {msg.src_node}->{msg.dst_node} "
+                    f"dropped {attempt} times")
+            self.engine.after(self.cost.ack_timeout,
+                              self._attempt_reliable, msg, on_deliver, attempt + 1)
+
+        self.send(msg, on_deliver=on_deliver, on_drop=dropped)
+
+    def broadcast_reliable(self, msgs: list[Message],
+                           on_deliver: Callable[[Message], None] | None = None) -> None:
+        """Reliable 1-to-n: one reliable send per destination."""
+        for m in msgs:
+            self.send_reliable(m, on_deliver)
+
+    # -- accounting -----------------------------------------------------------------
+
+    def per_node_tx_bytes(self) -> list[int]:
+        return [n.tx_bytes for n in self.nodes]
+
+    def per_node_rx_bytes(self) -> list[int]:
+        return [n.rx_bytes for n in self.nodes]
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+        for n in self.nodes:
+            n.tx_bytes = n.rx_bytes = n.tx_msgs = n.rx_msgs = n.drops = 0

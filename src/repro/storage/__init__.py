@@ -1,0 +1,34 @@
+"""Storage substrate: the filesystem facilities the checkpoint needs.
+
+Paper §6.1: "we do require that the file system provide atomic append
+functionality with multiple writers.  In effect, we have a log file with
+multiple writers.  This is a well-known problem for other forms of logging
+on parallel systems and is either a component of the parallel file system
+or of support software that builds on top of it."
+
+This package provides both flavors the evaluation uses:
+
+* :class:`RamDisk` — per-node private storage (the paper *factors out* FS
+  overhead on Old/New-cluster by writing to RAM disks: fast, contention-
+  free, node-local);
+* :class:`ParallelFileSystem` — a shared store with atomic multi-writer
+  append logs whose aggregate server bandwidth is a *shared* resource, so
+  heavy collective writes contend (the regime Big-cluster's checkpoint,
+  Fig 17, runs in).
+"""
+
+from repro.storage.pfs import (
+    AppendLog,
+    IOCosts,
+    ParallelFileSystem,
+    RamDisk,
+    StorageError,
+)
+
+__all__ = [
+    "AppendLog",
+    "IOCosts",
+    "ParallelFileSystem",
+    "RamDisk",
+    "StorageError",
+]

@@ -1,0 +1,193 @@
+"""Append logs, RAM disks, and a simulated parallel filesystem.
+
+The collective checkpoint's shared content file is "a log file with
+multiple writers" requiring atomic append (paper §6.1).  Modelled here:
+
+* :class:`AppendLog` — an append-only sequence of records with atomic
+  multi-writer append: each append returns the record's offset, appends
+  from any writer never interleave partially, and a hash-keyed dedup index
+  supports the idempotent-per-hash usage the checkpoint relies on.
+* :class:`RamDisk` — per-node private storage with node-local costs only
+  (what the paper uses to factor FS overhead out of Figs 15/16).
+* :class:`ParallelFileSystem` — shared storage: appends additionally
+  consume *aggregate server bandwidth*, a resource all clients share, so
+  collective-write phases slow down as total written bytes grow even when
+  per-node work is constant.
+
+Cost accounting is split so the checkpoint service can charge the
+node-local part via ``ctx.charge`` and the shared part via
+``ctx.charge_shared``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["StorageError", "IOCosts", "AppendLog", "RamDisk",
+           "ParallelFileSystem"]
+
+
+class StorageError(Exception):
+    """Invalid storage operation (bad offset, closed log, ...)."""
+
+
+@dataclass(frozen=True)
+class IOCosts:
+    """Cost parameters for one storage backend."""
+
+    append_base: float = 1.0e-6      # per-append client-side overhead, s
+    per_byte: float = 1.1e-9         # client-side serialization, s/B
+    shared_bw: float | None = None   # aggregate server bandwidth, B/s
+    #                                  (None = private, contention-free)
+
+    def client_time(self, nbytes: int) -> float:
+        return self.append_base + nbytes * self.per_byte
+
+    def shared_time(self, nbytes: int) -> float:
+        if self.shared_bw is None:
+            return 0.0
+        return nbytes / self.shared_bw
+
+
+@dataclass
+class _Record:
+    payload: Any
+    nbytes: int
+
+
+class AppendLog:
+    """An atomic multi-writer append log.
+
+    Offsets are record indices (the checkpoint's pointer unit); byte
+    offsets are tracked for size accounting.  ``append_once`` gives the
+    hash-keyed idempotent append the shared content file needs: concurrent
+    writers racing on the same content hash still produce exactly one
+    stored copy.
+    """
+
+    def __init__(self, name: str, costs: IOCosts) -> None:
+        self.name = name
+        self.costs = costs
+        self._records: list[_Record] = []
+        self._by_key: dict[int, int] = {}
+        self._closed = False
+        self.total_bytes = 0
+        self.appends = 0
+
+    # -- writing --------------------------------------------------------------------
+
+    def append(self, payload: Any, nbytes: int) -> int:
+        """Atomically append one record; returns its offset."""
+        if self._closed:
+            raise StorageError(f"log {self.name!r} is closed")
+        if nbytes < 0:
+            raise StorageError("record size cannot be negative")
+        offset = len(self._records)
+        self._records.append(_Record(payload, nbytes))
+        self.total_bytes += nbytes
+        self.appends += 1
+        return offset
+
+    def append_once(self, key: int, payload: Any, nbytes: int) -> tuple[int, bool]:
+        """Append keyed by ``key`` unless already present.
+
+        Returns (offset, created).  This is the primitive behind "ideally,
+        each distinct page of content would be recorded exactly once".
+        """
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing, False
+        offset = self.append(payload, nbytes)
+        self._by_key[key] = offset
+        return offset, True
+
+    def offset_of(self, key: int) -> int | None:
+        return self._by_key.get(key)
+
+    # -- reading ----------------------------------------------------------------------
+
+    def read(self, offset: int) -> Any:
+        try:
+            return self._records[offset].payload
+        except IndexError:
+            raise StorageError(
+                f"offset {offset} out of range in log {self.name!r}") from None
+
+    def record_bytes(self, offset: int) -> int:
+        try:
+            return self._records[offset].nbytes
+        except IndexError:
+            raise StorageError(
+                f"offset {offset} out of range in log {self.name!r}") from None
+
+    # -- lifecycle / stats ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class RamDisk:
+    """Per-node private storage: logs with node-local costs only."""
+
+    def __init__(self, costs: IOCosts | None = None) -> None:
+        self.costs = costs or IOCosts()
+        if self.costs.shared_bw is not None:
+            raise StorageError("RamDisk cannot have shared bandwidth")
+        self._logs: dict[str, AppendLog] = {}
+
+    def log(self, name: str) -> AppendLog:
+        existing = self._logs.get(name)
+        if existing is None:
+            existing = AppendLog(name, self.costs)
+            self._logs[name] = existing
+        return existing
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(l.total_bytes for l in self._logs.values())
+
+    def logs(self) -> list[AppendLog]:
+        return list(self._logs.values())
+
+
+class ParallelFileSystem:
+    """Shared storage visible to every node, with aggregate bandwidth.
+
+    All logs on the PFS share the server bandwidth; the per-append cost
+    splits into the client-side part (parallel across nodes) and the
+    shared server part (serial across the machine).  Callers obtain both
+    from :meth:`append_costs` and charge them through the appropriate
+    channel.
+    """
+
+    def __init__(self, costs: IOCosts | None = None) -> None:
+        self.costs = costs or IOCosts(shared_bw=32 * 1024**3)
+        if self.costs.shared_bw is None:
+            raise StorageError("ParallelFileSystem requires shared_bw")
+        self._logs: dict[str, AppendLog] = {}
+
+    def log(self, name: str) -> AppendLog:
+        existing = self._logs.get(name)
+        if existing is None:
+            existing = AppendLog(name, self.costs)
+            self._logs[name] = existing
+        return existing
+
+    def append_costs(self, nbytes: int) -> tuple[float, float]:
+        """(client seconds, shared-server seconds) for one append."""
+        return self.costs.client_time(nbytes), self.costs.shared_time(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(l.total_bytes for l in self._logs.values())
+
+    def logs(self) -> list[AppendLog]:
+        return list(self._logs.values())

@@ -1,0 +1,101 @@
+"""Reporting helpers: series and fixed-width tables for the bench harness.
+
+Every experiment runner in :mod:`repro.harness.experiments` returns a
+:class:`Table` whose rows mirror the series the paper plots, so the bench
+output can be compared line-by-line with the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Series", "Table", "fmt_bytes", "fmt_time_s"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a name and y-values aligned with the table's x."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def append(self, v: float) -> None:
+        self.values.append(float(v))
+
+
+@dataclass
+class Table:
+    """A figure-shaped result: an x-axis and one or more series."""
+
+    title: str
+    x_name: str
+    x_values: list = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: Iterable[float] | None = None) -> Series:
+        s = Series(name, [float(v) for v in values] if values is not None else [])
+        self.series.append(s)
+        return s
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self, float_fmt: str = "{:.4g}") -> str:
+        """Fixed-width text rendering, one row per x value."""
+        headers = [self.x_name] + [s.name for s in self.series]
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = [str(x)]
+            for s in self.series:
+                row.append(float_fmt.format(s.values[i]) if i < len(s.values) else "-")
+            rows.append(row)
+        widths = [max(len(h), *(len(r[c]) for r in rows)) if rows else len(h)
+                  for c, h in enumerate(headers)]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.3g} {unit}"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_time_s(t: float) -> str:
+    """Human-readable duration from seconds."""
+    if t < 1e-6:
+        return f"{t * 1e9:.3g} ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.3g} us"
+    if t < 1.0:
+        return f"{t * 1e3:.3g} ms"
+    return f"{t:.3g} s"
+
+
+def check_monotone(values: Sequence[float], increasing: bool = True,
+                   tol: float = 0.0) -> bool:
+    """True if the sequence is (weakly) monotone within tolerance."""
+    pairs = zip(values, values[1:])
+    if increasing:
+        return all(b >= a - tol for a, b in pairs)
+    return all(b <= a + tol for a, b in pairs)

@@ -1,0 +1,34 @@
+"""Workload generators: memory content with controlled redundancy.
+
+The paper's evaluation uses real MPI applications (Moldy — a molecular
+dynamics package with "considerable redundancy at the page granularity,
+both within SEs and across SEs" — and HPCCG) plus Nasty, "a synthetic
+workload with no page-level redundancy, although its memory content is not
+completely random".  We reproduce each as a parameterized generator over
+page content IDs (see DESIGN.md substitution table): what ConCORD consumes
+is the hash-to-holders relation, which these generators produce directly
+with the measured redundancy character of each application.
+"""
+
+from repro.workloads.churn import ChurnDriver, ChurnStats
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    generate_pages,
+    instantiate,
+    moldy,
+    nasty,
+    hpccg,
+    uniform_random,
+)
+
+__all__ = [
+    "ChurnDriver",
+    "ChurnStats",
+    "WorkloadSpec",
+    "generate_pages",
+    "instantiate",
+    "moldy",
+    "nasty",
+    "hpccg",
+    "uniform_random",
+]

@@ -1,0 +1,195 @@
+"""Parameterized redundancy generator and the paper's three workloads.
+
+Each entity's memory is composed of three kinds of pages:
+
+* **common** — drawn from a pool shared by *all* entities (inter-node
+  redundancy: force-field tables, replicated meshes, library pages);
+* **intra** — duplicates of the entity's own earlier pages (within-entity
+  redundancy: zero pages, repeated buffers);
+* **unique** — globally distinct content.
+
+The fractions and pool size control the degree of sharing (DoS) and how it
+scales with entity count — e.g. Moldy's DoS falls as entities are added
+because the common pool amortizes, exactly the behaviour Fig 14(a) plots.
+
+Content IDs are allocated from disjoint deterministic ranges, so uniqueness
+is exact (no birthday-paradox flakiness in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.memory.entity import Entity, EntityKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_pages",
+    "instantiate",
+    "moldy",
+    "nasty",
+    "hpccg",
+    "uniform_random",
+]
+
+# Content-ID address-space layout (all ranges disjoint):
+#   unique IDs:  (seed+1) << 44 | entity_idx << 30 | counter
+#   pool IDs:    (seed+1) << 44 | 0xFFF << 30      | pool index
+_ENTITY_SHIFT = 30
+_SEED_SHIFT = 44
+_POOL_TAG = 0xFFF
+
+_MAX_PAGES = 1 << _ENTITY_SHIFT
+_MAX_ENTITIES = _POOL_TAG  # entity index below the pool tag
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one workload instance."""
+
+    name: str
+    n_entities: int
+    pages_per_entity: int
+    common_frac: float = 0.0       # fraction of pages drawn from the shared pool
+    pool_frac: float = 0.5         # pool size as a fraction of pages_per_entity
+    intra_frac: float = 0.0        # fraction duplicating the entity's own pages
+    gzip_content_ratio: float = 0.7  # modelled gzip ratio on this content
+    compress_fraction: float = 0.5   # byte-materialization pattern fraction
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entities < 1 or self.n_entities > _MAX_ENTITIES:
+            raise ValueError(f"n_entities out of range: {self.n_entities}")
+        if self.pages_per_entity < 1 or self.pages_per_entity > _MAX_PAGES:
+            raise ValueError(f"pages_per_entity out of range")
+        if not 0 <= self.common_frac <= 1 or not 0 <= self.intra_frac <= 1:
+            raise ValueError("fractions must be in [0, 1]")
+        if self.common_frac + self.intra_frac > 1:
+            raise ValueError("common_frac + intra_frac must be <= 1")
+        if self.pool_frac <= 0:
+            raise ValueError("pool_frac must be positive")
+
+    def with_entities(self, n_entities: int) -> "WorkloadSpec":
+        return replace(self, n_entities=n_entities)
+
+    def with_pages(self, pages_per_entity: int) -> "WorkloadSpec":
+        return replace(self, pages_per_entity=pages_per_entity)
+
+
+def _base(seed: int, entity_idx: int) -> int:
+    return ((seed + 1) << _SEED_SHIFT) | (entity_idx << _ENTITY_SHIFT)
+
+
+def generate_pages(spec: WorkloadSpec) -> list[np.ndarray]:
+    """Generate per-entity content-ID arrays for a spec."""
+    rng = np.random.default_rng(spec.seed)
+    p = spec.pages_per_entity
+    pool_size = max(1, int(round(spec.pool_frac * p)))
+    pool = (_base(spec.seed, _POOL_TAG)
+            + np.arange(pool_size, dtype=np.uint64)).astype(np.uint64)
+
+    n_common = int(round(spec.common_frac * p))
+    n_intra = int(round(spec.intra_frac * p))
+    n_unique = p - n_common - n_intra
+
+    out: list[np.ndarray] = []
+    for idx in range(spec.n_entities):
+        unique = (_base(spec.seed, idx)
+                  + np.arange(n_unique, dtype=np.uint64)).astype(np.uint64)
+        # Common pages are a contiguous (wrapped) slice of the pool: one
+        # rank's shared data is internally distinct (replicated tables,
+        # meshes), and overlap across ranks grows with rank count — the
+        # mechanism behind Fig 14a's falling DoS.
+        if n_common:
+            start = int(rng.integers(0, len(pool)))
+            sel = (start + np.arange(n_common)) % len(pool)
+            common = pool[sel]
+        else:
+            common = np.empty(0, dtype=np.uint64)
+        # Intra duplicates copy already-placed pages of this entity.
+        placed = np.concatenate([unique, common]) if n_unique + n_common else \
+            pool[:1]
+        intra = rng.choice(placed, size=n_intra) if n_intra else \
+            np.empty(0, dtype=np.uint64)
+        pages = np.concatenate([unique, common, intra])
+        rng.shuffle(pages)
+        out.append(pages.astype(np.uint64))
+    return out
+
+
+def instantiate(cluster: "Cluster", spec: WorkloadSpec,
+                kind: EntityKind = EntityKind.PROCESS,
+                placement: str = "round_robin",
+                page_size: int = 4096) -> list[Entity]:
+    """Create the spec's entities on a cluster.
+
+    ``placement``: ``round_robin`` spreads entities across nodes (the
+    paper's 1-process-per-node runs use n_entities == n_nodes); ``packed``
+    fills node 0 first (for intra-node sharing studies).
+    """
+    arrays = generate_pages(spec)
+    entities = []
+    for i, pages in enumerate(arrays):
+        if placement == "round_robin":
+            node = i % cluster.n_nodes
+        elif placement == "packed":
+            node = min(i * cluster.n_nodes // max(1, len(arrays)),
+                       cluster.n_nodes - 1)
+        else:
+            raise ValueError(f"unknown placement {placement!r}")
+        entities.append(Entity.create(cluster, node, pages, kind=kind,
+                                      name=f"{spec.name}-{i}",
+                                      page_size=page_size))
+    return entities
+
+
+# -- the paper's workloads ------------------------------------------------------------
+
+
+def moldy(n_entities: int, pages_per_entity: int, seed: int = 0) -> WorkloadSpec:
+    """Moldy-like: considerable redundancy within and across entities.
+
+    ~50% of each rank's pages come from content shared by all ranks and
+    ~12% duplicate the rank's own pages, so DoS starts around 0.8 for one
+    rank and falls toward ~0.4 as ranks are added (Fig 14a's DoS series).
+    """
+    return WorkloadSpec(name="moldy", n_entities=n_entities,
+                        pages_per_entity=pages_per_entity,
+                        common_frac=0.50, pool_frac=0.70, intra_frac=0.12,
+                        gzip_content_ratio=0.62, compress_fraction=0.55,
+                        seed=seed)
+
+
+def nasty(n_entities: int, pages_per_entity: int, seed: int = 0) -> WorkloadSpec:
+    """Nasty: no page-level redundancy; content not completely random."""
+    return WorkloadSpec(name="nasty", n_entities=n_entities,
+                        pages_per_entity=pages_per_entity,
+                        common_frac=0.0, intra_frac=0.0,
+                        gzip_content_ratio=0.78, compress_fraction=0.25,
+                        seed=seed)
+
+
+def hpccg(n_entities: int, pages_per_entity: int, seed: int = 0) -> WorkloadSpec:
+    """HPCCG-like: moderate redundancy (sparse CG mini-app)."""
+    return WorkloadSpec(name="hpccg", n_entities=n_entities,
+                        pages_per_entity=pages_per_entity,
+                        common_frac=0.30, pool_frac=0.5, intra_frac=0.08,
+                        gzip_content_ratio=0.58, compress_fraction=0.5,
+                        seed=seed)
+
+
+def uniform_random(n_entities: int, pages_per_entity: int,
+                   distinct_pool: int, seed: int = 0) -> WorkloadSpec:
+    """Every page drawn uniformly from a pool of ``distinct_pool`` IDs —
+    the knob property tests turn to sweep redundancy end to end."""
+    return WorkloadSpec(name="uniform", n_entities=n_entities,
+                        pages_per_entity=pages_per_entity,
+                        common_frac=1.0,
+                        pool_frac=distinct_pool / pages_per_entity,
+                        intra_frac=0.0, seed=seed)

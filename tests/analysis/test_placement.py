@@ -1,0 +1,115 @@
+"""Unit tests for sharing-aware placement (Memory Buddies over ConCORD)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, Entity
+from repro.analysis import (
+    placement_sharing_score,
+    sharing_graph,
+    suggest_colocation,
+)
+
+
+def build_vm_families(n_families=2, vms_per_family=2, shared=32, private=16,
+                      seed=0):
+    """Families of VMs: same-family VMs share an OS image; cross-family
+    VMs share nothing.  Spread so families start split across nodes."""
+    cluster = Cluster(4, seed=seed)
+    rng = np.random.default_rng(seed)
+    vms = []
+    for fam in range(n_families):
+        base = np.arange(shared, dtype=np.uint64) + 10_000 * (fam + 1)
+        for i in range(vms_per_family):
+            priv = rng.integers((fam * 8 + i + 1) << 40,
+                                (fam * 8 + i + 2) << 40,
+                                private, dtype=np.uint64)
+            node = (fam + i * n_families) % cluster.n_nodes
+            vms.append(Entity.create(cluster, node,
+                                     np.concatenate([base, priv]),
+                                     name=f"fam{fam}-vm{i}"))
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    return cluster, vms, concord
+
+
+class TestSharingGraph:
+    def test_family_edges_only(self):
+        _c, vms, concord = build_vm_families()
+        g = sharing_graph(concord, [v.entity_id for v in vms])
+        assert set(g.nodes) == {v.entity_id for v in vms}
+        # fam0: vms[0],vms[1]; fam1: vms[2],vms[3]
+        assert g.has_edge(vms[0].entity_id, vms[1].entity_id)
+        assert g.has_edge(vms[2].entity_id, vms[3].entity_id)
+        assert not g.has_edge(vms[0].entity_id, vms[2].entity_id)
+
+    def test_edge_weight_is_shared_distinct_hashes(self):
+        _c, vms, concord = build_vm_families(shared=32)
+        g = sharing_graph(concord, [v.entity_id for v in vms])
+        assert g[vms[0].entity_id][vms[1].entity_id]["weight"] == 32
+
+    def test_multicopy_counts_once(self):
+        """An entity holding a block twice still shares one distinct hash."""
+        cluster = Cluster(2, seed=1)
+        a = Entity.create(cluster, 0, np.array([5, 5, 6], dtype=np.uint64))
+        b = Entity.create(cluster, 1, np.array([5, 7, 8], dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        g = sharing_graph(concord, [a.entity_id, b.entity_id])
+        assert g[a.entity_id][b.entity_id]["weight"] == 1
+
+
+class TestColocation:
+    def test_families_reunited(self):
+        _c, vms, concord = build_vm_families()
+        eids = [v.entity_id for v in vms]
+        g = sharing_graph(concord, eids)
+        placement = suggest_colocation(g, n_nodes=2, capacity=2)
+        assert placement[vms[0].entity_id] == placement[vms[1].entity_id]
+        assert placement[vms[2].entity_id] == placement[vms[3].entity_id]
+        assert placement[vms[0].entity_id] != placement[vms[2].entity_id]
+
+    def test_score_improves_over_initial_spread(self):
+        cluster, vms, concord = build_vm_families()
+        eids = [v.entity_id for v in vms]
+        g = sharing_graph(concord, eids)
+        initial = {v.entity_id: v.node_id for v in vms}
+        suggested = suggest_colocation(g, n_nodes=2, capacity=2)
+        assert placement_sharing_score(g, suggested) > \
+            placement_sharing_score(g, initial)
+
+    def test_capacity_respected(self):
+        _c, vms, concord = build_vm_families(n_families=3, vms_per_family=2)
+        g = sharing_graph(concord, [v.entity_id for v in vms])
+        placement = suggest_colocation(g, n_nodes=3, capacity=2)
+        from collections import Counter
+        loads = Counter(placement.values())
+        assert max(loads.values()) <= 2
+        assert len(placement) == 6
+
+    def test_validation(self):
+        _c, vms, concord = build_vm_families()
+        g = sharing_graph(concord, [v.entity_id for v in vms])
+        with pytest.raises(ValueError):
+            suggest_colocation(g, n_nodes=0, capacity=2)
+        with pytest.raises(ValueError):
+            suggest_colocation(g, n_nodes=2, capacity=0)
+        with pytest.raises(ValueError):
+            suggest_colocation(g, n_nodes=1, capacity=2)  # 4 vms > 2 slots
+
+    def test_no_sharing_still_places_everyone(self):
+        from repro import workloads
+        from tests.conftest import make_system
+
+        _c, ents, concord = make_system(n_nodes=4,
+                                        spec=workloads.nasty(4, 16))
+        eids = [e.entity_id for e in ents]
+        g = sharing_graph(concord, eids)
+        placement = suggest_colocation(g, n_nodes=4, capacity=1)
+        assert sorted(placement) == sorted(eids)
+        assert placement_sharing_score(g, placement) == 0
+
+    def test_score_of_empty_placement(self):
+        _c, vms, concord = build_vm_families()
+        g = sharing_graph(concord, [v.entity_id for v in vms])
+        assert placement_sharing_score(g, {}) == 0

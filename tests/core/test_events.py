@@ -1,0 +1,138 @@
+"""Unit tests for command tracing: protocol invariants on real runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import CommandTracer, EventKind, TraceEvent
+from repro.core.scope import ServiceScope
+from repro.services.checkpoint import CheckpointStore, CollectiveCheckpoint
+from repro.services.null import NullService
+from repro import workloads
+from tests.conftest import make_system
+
+
+def traced_run(n_nodes=2, pages=32, mutate=0.0, seed=5):
+    cluster, ents, concord = make_system(
+        n_nodes=n_nodes, spec=workloads.moldy(n_nodes, pages, seed=seed))
+    if mutate:
+        rng = np.random.default_rng(seed)
+        for e in ents:
+            e.mutate_random(mutate, rng)
+    tracer = CommandTracer()
+    store = CheckpointStore()
+    result = concord.execute_command(
+        CollectiveCheckpoint(store), ServiceScope.of([e.entity_id
+                                                      for e in ents]),
+        tracer=tracer)
+    return tracer, result, ents
+
+
+class TestTracerBasics:
+    def test_empty(self):
+        t = CommandTracer()
+        assert len(t) == 0
+        assert t.first_index(EventKind.INVOKE) is None
+        assert t.last_index(EventKind.INVOKE) is None
+        assert t.phases() == []
+
+    def test_emit_and_query(self):
+        t = CommandTracer()
+        t.emit(EventKind.INVOKE, 1, 2, 3)
+        t.emit(EventKind.HANDLED, 1, 2)
+        assert t.count(EventKind.INVOKE) == 1
+        assert t.of_kind(EventKind.HANDLED) == [
+            TraceEvent(1, EventKind.HANDLED, (1, 2))]
+        assert list(t)[0].seq == 0
+
+    def test_summary_covers_all_kinds(self):
+        t = CommandTracer()
+        s = t.summary()
+        assert set(s) == {k.value for k in EventKind}
+        assert all(v == 0 for v in s.values())
+
+
+class TestProtocolInvariants:
+    def test_phases_in_order(self):
+        tracer, _r, _e = traced_run()
+        assert tracer.phases() == ["init", "collective", "local", "teardown"]
+        # Every phase that begins also ends.
+        assert tracer.count(EventKind.PHASE_BEGIN) == tracer.count(
+            EventKind.PHASE_END)
+
+    def test_every_select_resolves(self):
+        """Each selected hash ends as exactly one HANDLED or one STALE."""
+        tracer, _r, _e = traced_run(mutate=0.3)
+        selects = tracer.of_kind(EventKind.SELECT)
+        assert selects, "no selections traced"
+        for ev in selects:
+            h = ev.data[0]
+            outcome = [e for e in tracer.events_for_hash(h)
+                       if e.kind in (EventKind.HANDLED, EventKind.STALE)]
+            assert len(outcome) == 1, h
+
+    def test_invokes_follow_selection_order(self):
+        tracer, _r, _e = traced_run()
+        for ev in tracer.of_kind(EventKind.SELECT):
+            h, _candidates, first = ev.data
+            invokes = [e for e in tracer.events_for_hash(h)
+                       if e.kind is EventKind.INVOKE]
+            assert invokes[0].data[1] == first
+
+    def test_stale_only_after_all_candidates_failed(self):
+        tracer, _r, _e = traced_run(mutate=0.5)
+        stales = tracer.of_kind(EventKind.STALE)
+        assert stales, "expected stale hashes at 50% mutation"
+        for ev in stales:
+            h, tried = ev.data
+            fails = [e for e in tracer.events_for_hash(h)
+                     if e.kind is EventKind.INVOKE_FAILED]
+            assert len(fails) == len(tried)
+
+    def test_counts_match_stats(self):
+        tracer, result, _e = traced_run(mutate=0.3)
+        s = result.stats
+        assert tracer.count(EventKind.HANDLED) == s.handled
+        assert tracer.count(EventKind.STALE) == s.stale_unhandled
+        assert tracer.count(EventKind.INVOKE) == s.invokes
+        assert tracer.count(EventKind.INVOKE_FAILED) == s.retries
+        assert tracer.count(EventKind.SELECT) == s.believed_hashes
+
+    def test_local_entity_events_cover_all_ses(self):
+        tracer, result, ents = traced_run()
+        evs = tracer.of_kind(EventKind.LOCAL_ENTITY)
+        assert {e.data[0] for e in evs} == {e.entity_id for e in ents}
+        assert sum(e.data[1] for e in evs) == result.stats.local_blocks
+        assert sum(e.data[2] for e in evs) == result.stats.covered_blocks
+
+    def test_deinit_per_scope_node(self):
+        tracer, _r, _e = traced_run(n_nodes=3)
+        evs = tracer.of_kind(EventKind.DEINIT)
+        assert sorted(e.data[0] for e in evs) == [0, 1, 2]
+        assert all(e.data[1] for e in evs)
+
+    def test_collective_events_inside_collective_phase(self):
+        tracer, _r, _e = traced_run()
+        begin = next(e.seq for e in tracer.events
+                     if e.kind is EventKind.PHASE_BEGIN
+                     and e.data[0] == "collective")
+        end = next(e.seq for e in tracer.events
+                   if e.kind is EventKind.PHASE_END
+                   and e.data[0] == "collective")
+        for ev in tracer.of_kind(EventKind.INVOKE):
+            assert begin < ev.seq < end
+
+    def test_no_tracer_no_overhead_path(self):
+        """Execution without a tracer works identically (None plumbed)."""
+        cluster, ents, concord = make_system(n_nodes=2)
+        r = concord.execute_command(NullService(),
+                                    ServiceScope.of([e.entity_id
+                                                     for e in ents]))
+        assert r.success
+
+    def test_exchange_targets_se_nodes_only(self):
+        tracer, _r, ents = traced_run(n_nodes=3)
+        se_nodes = {e.node_id for e in ents}
+        for ev in tracer.of_kind(EventKind.EXCHANGE):
+            _shard, dst, n_entries = ev.data
+            assert dst in se_nodes
+            assert n_entries > 0

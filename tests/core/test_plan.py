@@ -1,0 +1,75 @@
+"""Unit tests for batch-mode execution plans."""
+
+import pytest
+
+from repro.core.plan import ExecutionPlan, PlanOp
+
+
+class TestRecordExecute:
+    def test_record_and_len(self):
+        p = ExecutionPlan()
+        p.record("write", 1, 2)
+        p.record("write", 3, 4)
+        assert len(p) == 2
+        assert list(p)[0] == PlanOp("write", (1, 2))
+
+    def test_execute_dispatches_in_order(self):
+        p = ExecutionPlan()
+        p.record("a", 1)
+        p.record("b", 2)
+        p.record("a", 3)
+        seen = []
+        n = p.execute({"a": lambda x: seen.append(("a", x)),
+                       "b": lambda x: seen.append(("b", x))})
+        assert n == 3
+        assert seen == [("a", 1), ("b", 2), ("a", 3)]
+        assert p.executed
+
+    def test_unknown_op_raises(self):
+        p = ExecutionPlan()
+        p.record("mystery")
+        with pytest.raises(KeyError):
+            p.execute({})
+
+    def test_double_execute_rejected(self):
+        p = ExecutionPlan()
+        p.record("a")
+        p.execute({"a": lambda: None})
+        with pytest.raises(RuntimeError):
+            p.execute({"a": lambda: None})
+
+    def test_append_after_execute_rejected(self):
+        p = ExecutionPlan()
+        p.execute({})
+        with pytest.raises(RuntimeError):
+            p.record("late")
+
+    def test_ops_of(self):
+        p = ExecutionPlan()
+        p.record("x", 1)
+        p.record("y", 2)
+        p.record("x", 3)
+        assert [op.args for op in p.ops_of("x")] == [(1,), (3,)]
+
+
+class TestRefinement:
+    def test_reorder(self):
+        p = ExecutionPlan()
+        for v in (3, 1, 2):
+            p.record("op", v)
+        p.reorder(key=lambda op: op.args[0])
+        assert [op.args[0] for op in p] == [1, 2, 3]
+
+    def test_reorder_after_execute_rejected(self):
+        p = ExecutionPlan()
+        p.execute({})
+        with pytest.raises(RuntimeError):
+            p.reorder(key=lambda op: 0)
+
+    def test_clear_resets(self):
+        p = ExecutionPlan()
+        p.record("a")
+        p.execute({"a": lambda: None})
+        p.clear()
+        assert len(p) == 0 and not p.executed
+        p.record("a")  # usable again

@@ -1,0 +1,58 @@
+"""Unit tests for ServiceScope."""
+
+import pytest
+
+from repro.core.scope import EntityRole, ServiceScope
+from tests.conftest import make_system
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = ServiceScope.of([1, 2], [3])
+        assert s.service_entities == (1, 2)
+        assert s.participating_entities == (3,)
+        assert len(s) == 3
+
+    def test_empty_ses_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceScope.of([])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceScope.of([1, 2], [2, 3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceScope.of([1, 1])
+        with pytest.raises(ValueError):
+            ServiceScope.of([1], [2, 2])
+
+    def test_with_all_participants(self):
+        cluster, ents, _concord = make_system(n_nodes=4)
+        s = ServiceScope.with_all_participants(cluster, [ents[0].entity_id])
+        assert s.service_entities == (ents[0].entity_id,)
+        assert set(s.participating_entities) == \
+            set(cluster.all_entity_ids()) - {ents[0].entity_id}
+
+
+class TestMasksAndRoles:
+    def test_masks(self):
+        s = ServiceScope.of([0, 2], [5])
+        assert s.se_mask == 0b101
+        assert s.pe_mask == 0b100000
+        assert s.scope_mask == 0b100101
+
+    def test_role_of(self):
+        s = ServiceScope.of([1], [2])
+        assert s.role_of(1) is EntityRole.SERVICE
+        assert s.role_of(2) is EntityRole.PARTICIPANT
+        assert s.role_of(3) is None
+
+    def test_all_entities_order(self):
+        s = ServiceScope.of([4, 1], [9])
+        assert s.all_entities() == (4, 1, 9)
+
+    def test_frozen(self):
+        s = ServiceScope.of([1])
+        with pytest.raises(AttributeError):
+            s.service_entities = (2,)  # type: ignore[misc]

@@ -1,0 +1,62 @@
+"""Unit tests for the DHT memory-footprint models (Fig 6)."""
+
+import pytest
+
+from repro.dht.allocator import dht_memory_bytes, malloc_model_bytes, slab_model_bytes
+
+GB = 1024**3
+
+
+class TestModels:
+    def test_zero_entries_small(self):
+        assert malloc_model_bytes(0) < 4096
+        assert slab_model_bytes(0) < 4096
+
+    def test_linear_growth(self):
+        m1 = slab_model_bytes(1_000_000)
+        m2 = slab_model_bytes(2_000_000)
+        assert 1.8 < m2 / m1 < 2.2
+
+    def test_malloc_exceeds_slab(self):
+        for n in (1000, 10**6, 10**8):
+            assert malloc_model_bytes(n) > slab_model_bytes(n)
+
+    def test_malloc_slab_gap_moderate(self):
+        """Fig 6: malloc costs more, but same order (roughly 1.1-1.6x)."""
+        n = 4_000_000
+        ratio = malloc_model_bytes(n) / slab_model_bytes(n)
+        assert 1.05 < ratio < 1.8
+
+    def test_bitmap_capacity_beyond_default_grows_entries(self):
+        small = slab_model_bytes(1000, n_entities=10)
+        big = slab_model_bytes(1000, n_entities=100_000)
+        assert big > small
+
+    def test_multicopy_fraction_adds(self):
+        assert malloc_model_bytes(1000, multicopy_fraction=0.5) > \
+            malloc_model_bytes(1000, multicopy_fraction=0.0)
+
+    def test_dispatch(self):
+        assert dht_memory_bytes(10, allocator="slab") == slab_model_bytes(10)
+        assert dht_memory_bytes(10, allocator="malloc") == malloc_model_bytes(10)
+        with pytest.raises(ValueError):
+            dht_memory_bytes(10, allocator="jemalloc")
+
+
+class TestFig6Calibration:
+    def test_overhead_at_16gb_entity(self):
+        """Paper: at 16 GB/entity the custom allocator's extra memory is
+        ~8% of entity memory; malloc noticeably more."""
+        n_entries = 16 * GB // 4096  # all-distinct worst case
+        entity_bytes = 16 * GB
+        slab_pct = slab_model_bytes(n_entries) / entity_bytes * 100
+        malloc_pct = malloc_model_bytes(n_entries) / entity_bytes * 100
+        assert 5 <= slab_pct <= 11
+        assert malloc_pct > slab_pct
+        assert malloc_pct <= 18
+
+    def test_overhead_at_256gb_entity_still_bounded(self):
+        """Paper: ~12.5% even at 256 GB/entity (via swap)."""
+        n_entries = 256 * GB // 4096
+        pct = slab_model_bytes(n_entries) / (256 * GB) * 100
+        assert pct <= 14

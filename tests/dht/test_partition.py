@@ -1,0 +1,60 @@
+"""Unit tests for zero-hop partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.dht.partition import Partition
+
+
+class TestHomeNode:
+    def test_in_range(self):
+        p = Partition(7)
+        for h in range(1000):
+            assert 0 <= p.home_node(h) < 7
+
+    def test_deterministic_and_zero_hop(self):
+        """Every node computes the same home with no shared state."""
+        assert Partition(5).home_node(123) == Partition(5).home_node(123)
+
+    def test_single_node(self):
+        p = Partition(1)
+        assert all(p.home_node(h) == 0 for h in range(100))
+
+    def test_bad_node_count(self):
+        with pytest.raises(ValueError):
+            Partition(0)
+
+    def test_vectorized_matches_scalar(self):
+        p = Partition(9)
+        hs = np.random.default_rng(0).integers(0, 2**63, 500, dtype=np.uint64)
+        homes = p.home_nodes(hs)
+        for h, home in zip(hs.tolist(), homes.tolist()):
+            assert p.home_node(int(h)) == home
+
+    def test_balance(self):
+        """Keys spread near-uniformly over nodes."""
+        p = Partition(8)
+        hs = np.random.default_rng(1).integers(0, 2**63, 80000, dtype=np.uint64)
+        counts = np.bincount(p.home_nodes(hs), minlength=8)
+        assert counts.min() > 80000 / 8 * 0.9
+        assert counts.max() < 80000 / 8 * 1.1
+
+    def test_not_identity_on_content_hash(self):
+        """Routing is salted: home != hash % n in general."""
+        p = Partition(16)
+        mismatches = sum(p.home_node(h) != h % 16 for h in range(1000))
+        assert mismatches > 800
+
+
+class TestGrouping:
+    def test_group_by_home_partitions_indices(self):
+        p = Partition(4)
+        hs = np.arange(100, dtype=np.uint64)
+        groups = p.group_by_home(hs)
+        all_idx = np.concatenate(list(groups.values()))
+        assert sorted(all_idx.tolist()) == list(range(100))
+        for home, idxs in groups.items():
+            assert (p.home_nodes(hs[idxs]) == home).all()
+
+    def test_group_empty(self):
+        assert Partition(4).group_by_home(np.empty(0, dtype=np.uint64)) == {}

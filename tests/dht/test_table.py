@@ -1,0 +1,144 @@
+"""Unit tests for the local DHT shard."""
+
+import pytest
+
+from repro.dht.table import LocalDHT
+
+
+class TestInsertRemove:
+    def test_insert_lookup(self):
+        t = LocalDHT()
+        t.insert(100, 2)
+        assert 100 in t
+        assert t.entity_ids(100) == [2]
+        assert t.num_entities(100) == 1
+        assert t.num_copies(100) == 1
+
+    def test_multiple_entities(self):
+        t = LocalDHT()
+        t.insert(5, 0)
+        t.insert(5, 3)
+        assert t.entity_ids(5) == [0, 3]
+        assert t.entities_mask(5) == 0b1001
+
+    def test_multicopy_refcount(self):
+        t = LocalDHT()
+        t.insert(5, 1)
+        t.insert(5, 1)
+        t.insert(5, 1)
+        assert t.num_entities(5) == 1
+        assert t.num_copies(5) == 3
+        assert t.copies_of(5, 1) == 3
+        assert t.n_multicopy_entries == 1
+
+    def test_remove_peels_refcounts_first(self):
+        t = LocalDHT()
+        t.insert(5, 1)
+        t.insert(5, 1)
+        assert t.remove(5, 1)
+        assert t.num_copies(5) == 1
+        assert 5 in t
+        assert t.remove(5, 1)
+        assert 5 not in t
+        assert t.n_multicopy_entries == 0
+
+    def test_remove_unknown_returns_false(self):
+        t = LocalDHT()
+        assert not t.remove(1, 1)
+        t.insert(1, 2)
+        assert not t.remove(1, 3)
+
+    def test_remove_last_entity_deletes_entry(self):
+        t = LocalDHT()
+        t.insert(9, 0)
+        t.remove(9, 0)
+        assert t.n_hashes == 0
+        assert t.entities_mask(9) == 0
+
+    def test_total_copies_invariant(self):
+        t = LocalDHT()
+        ops = [(5, 0), (5, 0), (6, 1), (5, 2)]
+        for h, e in ops:
+            t.insert(h, e)
+        assert t.n_copies == 4
+        t.remove(5, 0)
+        assert t.n_copies == 3
+
+    def test_large_entity_ids(self):
+        t = LocalDHT()
+        t.insert(7, 500)
+        assert t.entity_ids(7) == [500]
+        assert t.entities_mask(7) == 1 << 500
+
+
+class TestRemoveEntity:
+    def test_purges_everywhere(self):
+        t = LocalDHT()
+        t.insert(1, 0)
+        t.insert(1, 1)
+        t.insert(2, 1)
+        t.insert(2, 1)  # refcounted
+        removed = t.remove_entity(1)
+        assert removed == 3
+        assert t.entity_ids(1) == [0]
+        assert 2 not in t
+        assert t.n_copies == 1
+
+    def test_noop_for_unknown_entity(self):
+        t = LocalDHT()
+        t.insert(1, 0)
+        assert t.remove_entity(9) == 0
+        assert t.n_copies == 1
+
+
+class TestIteration:
+    def test_items(self):
+        t = LocalDHT()
+        t.insert(1, 0)
+        t.insert(2, 1)
+        assert dict(t.items()) == {1: 0b1, 2: 0b10}
+        assert sorted(t.hashes()) == [1, 2]
+
+    def test_extra_copies_accessor(self):
+        t = LocalDHT()
+        t.insert(1, 0)
+        assert t.extra_copies(1) == {}
+        t.insert(1, 0)
+        assert t.extra_copies(1) == {0: 1}
+
+    def test_clear(self):
+        t = LocalDHT()
+        t.insert(1, 0)
+        t.insert(1, 0)
+        t.clear()
+        assert t.n_hashes == 0 and t.n_copies == 0
+        assert t.n_multicopy_entries == 0
+
+
+class TestReferenceSemantics:
+    def test_random_ops_match_multiset_model(self):
+        """The shard must behave exactly like a (hash, entity) multiset."""
+        import collections
+        import random
+
+        rnd = random.Random(7)
+        t = LocalDHT()
+        model: collections.Counter = collections.Counter()
+        for _ in range(2000):
+            h = rnd.randrange(20)
+            e = rnd.randrange(6)
+            if rnd.random() < 0.6:
+                t.insert(h, e)
+                model[(h, e)] += 1
+            else:
+                ok = t.remove(h, e)
+                assert ok == (model[(h, e)] > 0)
+                if ok:
+                    model[(h, e)] -= 1
+        for h in range(20):
+            want_entities = sorted({e for (hh, e), c in model.items()
+                                    if hh == h and c > 0})
+            want_copies = sum(c for (hh, _e), c in model.items() if hh == h)
+            assert t.entity_ids(h) == want_entities
+            assert t.num_copies(h) == want_copies
+        assert t.n_copies == sum(model.values())

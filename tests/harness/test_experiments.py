@@ -1,0 +1,129 @@
+"""Regression tests for the experiment runners (small parameterizations).
+
+The benchmarks run each figure at paper scale and assert its shape; these
+tests run miniature versions so `pytest tests/` alone protects the whole
+harness against breakage.
+"""
+
+import pytest
+
+from repro.harness import experiments as X
+from repro.util.stats import Table
+
+
+def check_table(t: Table, series: set[str], n_rows: int) -> None:
+    assert isinstance(t, Table)
+    assert {s.name for s in t.series} == series
+    assert len(t.x_values) == n_rows
+    for s in t.series:
+        assert len(s.values) == n_rows
+        assert all(v == v for v in s.values)  # no NaNs
+    assert t.render()  # renders without error
+
+
+class TestFigureRunners:
+    def test_fig05_small(self):
+        t = X.run_fig05(sizes=(10_000, 40_000), reps=2_000)
+        check_table(t, {"insert_hash_ns", "delete_hash_ns",
+                        "insert_block_ns", "delete_block_ns"}, 2)
+        assert all(v > 0 for s in t.series for v in s.values)
+
+    def test_fig06_small(self):
+        t = X.run_fig06(mem_gb=(1, 4))
+        check_table(t, {"malloc_mb", "custom_mb", "malloc_overhead_pct",
+                        "custom_overhead_pct"}, 2)
+
+    def test_fig07_small(self):
+        t = X.run_fig07(node_counts=(1, 2, 4), gb_per_entity=0.25, R=256)
+        check_table(t, {"updates_millions", "loss_rate_pct"}, 3)
+        v = t.get("updates_millions").values
+        assert v[1] == pytest.approx(2 * v[0], rel=0.01)
+
+    def test_fig08_small(self):
+        t = X.run_fig08(sizes=(50_000, 200_000), reps=5_000)
+        check_table(t, {"entities_query_ns", "num_copies_query_ns",
+                        "entities_compute_ns", "num_copies_compute_ns"}, 2)
+
+    def test_fig09_small(self):
+        t = X.run_fig09(hash_millions=(2, 8), R=512)
+        check_table(t, {"sharing_single_ms", "num_shared_single_ms",
+                        "sharing_distributed_ms",
+                        "num_shared_distributed_ms"}, 2)
+        assert t.get("sharing_single_ms").values[1] > \
+            t.get("sharing_distributed_ms").values[1]
+
+    def test_fig10_small(self):
+        t = X.run_fig10(mem_mb=(256, 512), R=512)
+        check_table(t, {"interactive_ms", "batch_ms"}, 2)
+
+    def test_fig11_small(self):
+        t = X.run_fig11(proc_counts=(1, 2), R=512)
+        check_table(t, {"interactive_ms", "batch_ms",
+                        "traffic_per_node_mb"}, 2)
+
+    def test_fig12_small(self):
+        t = X.run_fig12(node_counts=(1, 4), R=512, gb_per_proc=0.25)
+        check_table(t, {"response_ms"}, 2)
+
+    def test_fig14_small(self):
+        for wl in ("moldy", "nasty"):
+            t = X.run_fig14(node_counts=(1, 2), sim_pages=256, workload=wl)
+            check_table(t, {"raw_pct", "raw_gzip_pct", "concord_pct",
+                            "concord_gzip_pct", "dos_pct"}, 2)
+
+    def test_fig14_runner_aliases(self):
+        assert "moldy" in X.run_fig14a.__doc__.lower()
+        assert "nasty" in X.run_fig14b.__doc__.lower()
+
+    def test_fig15_small(self):
+        t = X.run_fig15(mem_mb=(256, 512), R=1024)
+        check_table(t, {"raw_gzip_ms", "concord_ms", "raw_ms"}, 2)
+
+    def test_fig16_small(self):
+        t = X.run_fig16(node_counts=(1, 2), R=1024)
+        check_table(t, {"raw_gzip_ms", "concord_ms", "raw_ms"}, 2)
+
+    def test_fig17_small(self):
+        t = X.run_fig17(node_counts=(1, 2), R=1024, gb_per_proc=0.25)
+        check_table(t, {"response_ms"}, 2)
+
+    def test_monitor_overhead_small(self):
+        t = X.run_monitor_overhead(periods=(2.0,), mem_mb=16)
+        check_table(t, {"md5_cpu_pct", "sfh_cpu_pct",
+                        "update_traffic_pct_of_link"}, 1)
+
+
+class TestAblationRunners:
+    def test_modes_small(self):
+        t = X.run_ablation_modes(redundancy=(0.0, 0.5), sim_pages=256)
+        check_table(t, {"interactive_ms", "batch_ms", "ckpt_ratio_pct"}, 2)
+
+    def test_redundancy_small(self):
+        t = X.run_ablation_redundancy(common=(0.0, 0.8), sim_pages=256)
+        check_table(t, {"coverage_pct", "ckpt_ratio_pct",
+                        "handled_per_believed_pct"}, 2)
+        r = t.get("ckpt_ratio_pct").values
+        assert r[1] < r[0]
+
+    def test_staleness_small(self):
+        t = X.run_ablation_staleness(mutate=(0.0, 0.5), sim_pages=256)
+        check_table(t, {"coverage_pct", "stale_hashes_pct",
+                        "retries_per_hash", "restore_exact"}, 2)
+        assert t.get("restore_exact").values == [1.0, 1.0]
+
+    def test_throttle_small(self):
+        t = X.run_ablation_throttle(rates=(None, 100), sim_pages=256)
+        check_table(t, {"tracked_pct_after_1s", "pending_updates"}, 2)
+
+    def test_rdma_small(self):
+        t = X.run_ablation_rdma(node_counts=(4,), gb_per_entity=0.25,
+                                R=256)
+        check_table(t, {"udp_loss_pct", "rdma_loss_pct"}, 1)
+        assert t.get("rdma_loss_pct").values == [0.0]
+
+
+class TestRegistry:
+    def test_all_experiments_callable_registry(self):
+        assert len(X.ALL_EXPERIMENTS) >= 18
+        for name, fn in X.ALL_EXPERIMENTS.items():
+            assert callable(fn), name

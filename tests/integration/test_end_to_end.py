@@ -1,0 +1,171 @@
+"""Integration tests: the full platform-service lifecycle across modules.
+
+Boot a cluster -> trace memory (optionally over the lossy network) ->
+query -> execute service commands -> mutate -> re-sync -> checkpoint ->
+restore -> reconstruct -> migrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheckpointStore,
+    Cluster,
+    CollectiveCheckpoint,
+    CollectiveMigration,
+    ConCORD,
+    Entity,
+    EntityKind,
+    ExecMode,
+    NullService,
+    RawCheckpoint,
+    ServiceScope,
+    restore_entity,
+    workloads,
+)
+from repro.queries.reference import ReferenceModel
+from repro.services.migrate import MigrationPlan
+
+
+class TestFullLifecycle:
+    def test_trace_query_checkpoint_restore(self):
+        cluster = Cluster(8, cost="new-cluster", seed=11)
+        ents = workloads.instantiate(cluster, workloads.moldy(8, 256, seed=11))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        eids = [e.entity_id for e in ents]
+
+        # Queries agree with ground truth.
+        ref = ReferenceModel(cluster)
+        assert concord.sharing(eids).value == pytest.approx(ref.sharing(eids))
+
+        # Application mutates; ConCORD resyncs; queries track.
+        rng = np.random.default_rng(0)
+        for e in ents:
+            e.mutate_random(0.2, rng)
+        concord.sync()
+        assert concord.sharing(eids).value == pytest.approx(ref.sharing(eids))
+
+        # Checkpoint, then more mutation (checkpoint must hold the old
+        # state), then restore equals state at checkpoint time.
+        snaps = [e.snapshot() for e in ents]
+        store = CheckpointStore()
+        result = concord.execute_command(CollectiveCheckpoint(store),
+                                         ServiceScope.of(eids))
+        assert result.success
+        for e in ents:
+            e.mutate_random(0.5, rng)
+        for e, snap in zip(ents, snaps):
+            assert (restore_entity(store, e.entity_id) == snap).all()
+
+    def test_lossy_network_stays_correct(self):
+        """Heavy initial-scan traffic drops updates; the checkpoint is
+        still exact because the local phase covers the gaps."""
+        cluster = Cluster(8, cost="new-cluster", seed=13)
+        ents = workloads.instantiate(cluster,
+                                     workloads.moldy(8, 2048, seed=13))
+        concord = ConCORD(cluster, use_network=True)
+        concord.initial_scan()
+        dropped = cluster.network.stats.updates_lost
+        store = CheckpointStore()
+        result = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([e.entity_id for e in ents]))
+        assert result.success
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+        if dropped:
+            # Lost inserts -> DHT missed content -> local fallback kicked in.
+            assert result.stats.uncovered_blocks > 0
+
+    def test_checkpoint_then_migrate_then_checkpoint(self):
+        cluster = Cluster(4, seed=17)
+        ents = workloads.instantiate(cluster, workloads.moldy(3, 128, seed=17))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        eids = [e.entity_id for e in ents]
+
+        plan = MigrationPlan({eids[0]: 3})
+        svc = CollectiveMigration(plan)
+        r = concord.execute_command(
+            svc, ServiceScope.of([eids[0]], eids[1:]))
+        assert r.success
+        svc.finish(concord)
+        assert ents[0].node_id == 3
+        concord.sync()
+
+        store = CheckpointStore()
+        r2 = concord.execute_command(CollectiveCheckpoint(store),
+                                     ServiceScope.of(eids))
+        assert r2.success
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    def test_two_services_share_one_platform(self):
+        """The refactoring claim: multiple application services run over a
+        single tracking instance with no extra monitor passes."""
+        cluster = Cluster(4, seed=19)
+        ents = workloads.instantiate(cluster, workloads.moldy(4, 128, seed=19))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        scans_after_boot = sum(s.scans for s in concord.monitor_stats())
+        eids = [e.entity_id for e in ents]
+        concord.execute_command(NullService(), ServiceScope.of(eids))
+        store = CheckpointStore()
+        concord.execute_command(CollectiveCheckpoint(store),
+                                ServiceScope.of(eids))
+        # No additional monitor scans were needed by either service.
+        assert sum(s.scans for s in concord.monitor_stats()) == scans_after_boot
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    def test_checkpoint_disk_roundtrip_with_real_bytes(self, tmp_path):
+        cluster = Cluster(2, seed=23)
+        ents = workloads.instantiate(cluster, workloads.moldy(2, 48, seed=23))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore(compress_fraction=0.55)
+        concord.execute_command(CollectiveCheckpoint(store),
+                                ServiceScope.of([e.entity_id for e in ents]))
+        store.write_to_dir(tmp_path / "ck")
+        loaded = CheckpointStore.load_from_dir(tmp_path / "ck", 0.55)
+        for e in ents:
+            assert (restore_entity(loaded, e.entity_id) == e.pages).all()
+        # Real gzip numbers behave like the modelled ones directionally.
+        raw_gzip, concord_gzip = loaded.gzip_sizes_real()
+        assert concord_gzip < raw_gzip
+
+
+class TestScaleShapes:
+    def test_query_command_checkpoint_all_flat_with_scale(self):
+        """One pass over the three headline 'constant response time'
+        claims (Figs 9, 12, 17) at test scale."""
+        walls = {"query": [], "null": [], "ckpt": []}
+        for n in (2, 4, 8):
+            cluster = Cluster(n, cost="big-cluster", seed=29)
+            ents = workloads.instantiate(cluster,
+                                         workloads.moldy(n, 256, seed=29))
+            concord = ConCORD(cluster)
+            concord.initial_scan()
+            eids = [e.entity_id for e in ents]
+            walls["query"].append(concord.sharing(eids).latency)
+            walls["null"].append(concord.execute_command(
+                NullService(), ServiceScope.of(eids)).wall_time)
+            store = CheckpointStore()
+            walls["ckpt"].append(concord.execute_command(
+                CollectiveCheckpoint(store), ServiceScope.of(eids)).wall_time)
+        for series, vals in walls.items():
+            assert max(vals) < 2.0 * min(vals), (series, vals)
+
+    def test_checkpoint_beats_raw_on_size_not_time(self):
+        cluster = Cluster(8, cost="old-cluster", seed=31)
+        ents = workloads.instantiate(cluster, workloads.moldy(8, 512, seed=31))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        eids = [e.entity_id for e in ents]
+        store = CheckpointStore()
+        r = concord.execute_command(CollectiveCheckpoint(store),
+                                    ServiceScope.of(eids))
+        _raw_store, t_raw = RawCheckpoint().run(cluster, eids)
+        assert store.compression_ratio < 0.75   # big size win (Fig 14a)
+        assert r.wall_time < 6 * t_raw          # bounded time cost (Fig 16)

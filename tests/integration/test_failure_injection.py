@@ -1,0 +1,177 @@
+"""Failure injection: the platform under hostile conditions.
+
+Best-effort systems earn their keep when things go wrong.  These tests
+drive loss, overload, exhausted retransmissions, vanishing entities, and
+degenerate entities through the full stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheckpointStore,
+    Cluster,
+    CollectiveCheckpoint,
+    ConCORD,
+    Entity,
+    NullService,
+    ServiceScope,
+    restore_entity,
+    workloads,
+)
+from repro.sim.network import DeliveryError, Network
+from repro.util.records import ControlMessage, MsgKind, UpdateBatch
+
+
+class TestReliableChannelExhaustion:
+    def test_delivery_error_after_max_attempts(self):
+        """A receiver that can never accept traffic exhausts the reliable
+        channel's retransmission budget."""
+        cluster = Cluster(2, cost=cluster_cost_with_zero_queue(), seed=0)
+        net = cluster.network
+        msg = ControlMessage(MsgKind.CONTROL, 0, 1, op="start")
+        net.send_reliable(msg)
+        with pytest.raises(DeliveryError):
+            cluster.engine.run()
+
+    def test_unreliable_flood_never_raises(self):
+        cluster = Cluster(2, cost=cluster_cost_with_zero_queue(), seed=0)
+        for _ in range(100):
+            cluster.network.send(UpdateBatch(MsgKind.UPDATE, 0, 1,
+                                             inserts=[(1, 0)]))
+        cluster.engine.run()  # drops silently; no exception
+        assert cluster.network.stats.msgs_dropped == 100
+
+
+def cluster_cost_with_zero_queue():
+    from repro.sim.costmodel import NEW_CLUSTER
+
+    # A receive queue that can hold nothing: every non-loopback arrival
+    # is dropped.
+    return NEW_CLUSTER.scaled(rx_queue_delay=0.0)
+
+
+class TestLossyTracking:
+    def test_half_lost_updates_checkpoint_still_exact(self):
+        """Force heavy update loss, then checkpoint: the local phase
+        papers over every hole."""
+        from repro.sim.costmodel import NEW_CLUSTER
+
+        # A receiver much slower than the scan guarantees heavy loss.
+        slow_rx = NEW_CLUSTER.scaled(rx_per_msg=10e-6, rx_queue_delay=1e-3)
+        cluster = Cluster(4, cost=slow_rx, seed=1)
+        ents = workloads.instantiate(cluster,
+                                     workloads.nasty(4, 4096, seed=1))
+        concord = ConCORD(cluster, use_network=True, update_batch_size=1)
+        concord.initial_scan()
+        lost = cluster.network.stats.updates_lost
+        tracked = concord.total_tracked_hashes
+        total = sum(e.n_pages for e in ents)
+        assert lost > 0
+        assert tracked == total - lost
+        store = CheckpointStore()
+        r = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([e.entity_id for e in ents]))
+        assert r.success
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+        assert r.stats.uncovered_blocks >= lost
+
+    def test_lost_removes_leave_ghost_entries_that_commands_survive(self):
+        """A lost *remove* leaves a ghost DHT entry (hash no entity still
+        holds); commands must detect it as stale, not crash."""
+        cluster = Cluster(2, cost="new-cluster", seed=2)
+        e = Entity.create(cluster, 0,
+                          np.arange(32, dtype=np.uint64) + 100)
+        concord = ConCORD(cluster)  # lossless for the initial view
+        concord.initial_scan()
+        # Mutate; manually drop the removes (simulating their loss).
+        old_hashes = e.content_hashes().copy()
+        e.write_pages(np.arange(8), np.arange(8, dtype=np.uint64) + 999)
+        mon = concord.monitors[0]
+        mon.scan()
+        # Discard pending removes, keep inserts: the ghost scenario.
+        kept = [u for u in mon._pending if u[0] == "i"]
+        mon._pending.clear()
+        mon._pending.extend(kept)
+        mon.flush()
+        ghost = int(old_hashes[0])
+        assert concord.num_copies(ghost).value == 1  # ghost present
+        store = CheckpointStore()
+        r = concord.execute_command(CollectiveCheckpoint(store),
+                                    ServiceScope.of([e.entity_id]))
+        assert r.stats.stale_unhandled >= 1
+        assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+
+class TestVanishingEntities:
+    def test_detached_entity_content_gone_from_view(self):
+        cluster = Cluster(2, seed=3)
+        a = Entity.create(cluster, 0, np.arange(16, dtype=np.uint64))
+        b = Entity.create(cluster, 1, np.arange(16, dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        concord.detach_entity(b.entity_id)
+        h = int(a.content_hashes()[0])
+        assert concord.entities(h).value == {a.entity_id}
+
+    def test_checkpoint_with_detached_pe_falls_back(self):
+        """The scope references a PE whose tracking was torn down after
+        the DHT learned about it: its replicas fail, SEs still complete."""
+        cluster = Cluster(2, seed=4)
+        pages = np.arange(16, dtype=np.uint64) + 500
+        se = Entity.create(cluster, 0, pages)
+        pe = Entity.create(cluster, 1, pages.copy())
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        # Wipe the PE's memory (crash) but leave stale DHT entries for it.
+        pe.write_pages(np.arange(16),
+                       np.arange(16, dtype=np.uint64) + 10**9)
+        store = CheckpointStore()
+        r = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([se.entity_id], [pe.entity_id]))
+        assert r.success
+        assert (restore_entity(store, se.entity_id) == se.pages).all()
+
+
+class TestDegenerateEntities:
+    def test_empty_entity_checkpoints_to_empty(self):
+        cluster = Cluster(2, seed=5)
+        empty = Entity.create(cluster, 0, np.empty(0, dtype=np.uint64))
+        other = Entity.create(cluster, 1, np.arange(8, dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        r = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([empty.entity_id, other.entity_id]))
+        assert r.success
+        assert len(restore_entity(store, empty.entity_id)) == 0
+        assert (restore_entity(store, other.entity_id) == other.pages).all()
+
+    def test_single_page_entity(self):
+        cluster = Cluster(1, seed=6)
+        e = Entity.create(cluster, 0, np.array([7], dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        r = concord.execute_command(NullService(),
+                                    ServiceScope.of([e.entity_id]))
+        assert r.success
+        assert r.stats.local_blocks == 1
+        assert r.stats.coverage == 1.0
+
+    def test_all_entities_identical(self):
+        cluster = Cluster(4, seed=7)
+        pages = np.arange(32, dtype=np.uint64)
+        ents = [Entity.create(cluster, i, pages.copy()) for i in range(4)]
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        r = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([e.entity_id for e in ents]))
+        assert store.shared.n_blocks == 32  # 128 logical -> 32 stored
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()

@@ -1,0 +1,105 @@
+"""Unit tests for the node-specific module."""
+
+import numpy as np
+import pytest
+
+from repro.memory.entity import Entity
+from repro.memory.nsm import BlockRef, NodeSpecificModule
+from repro.sim.cluster import Cluster
+
+
+def make(pages=(10, 20, 30)):
+    c = Cluster(2)
+    e = Entity.create(c, 0, np.array(pages, dtype=np.uint64))
+    nsm = NodeSpecificModule(c, 0)
+    nsm.attach_entity(e)
+    return c, e, nsm
+
+
+class TestAttachment:
+    def test_attach(self):
+        _c, e, nsm = make()
+        assert e.entity_id in nsm.entity_ids
+        assert nsm.entities() == [e]
+
+    def test_attach_idempotent(self):
+        _c, e, nsm = make()
+        nsm.attach_entity(e)
+        assert nsm.entity_ids.count(e.entity_id) == 1
+
+    def test_wrong_node_rejected(self):
+        c = Cluster(2)
+        e = Entity.create(c, 1, np.arange(2, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            NodeSpecificModule(c, 0).attach_entity(e)
+
+    def test_unregistered_rejected(self):
+        c = Cluster(1)
+        e = Entity(0, np.arange(2, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            NodeSpecificModule(c, 0).attach_entity(e)
+
+
+class TestScannedView:
+    def test_record_scan_builds_map(self):
+        _c, e, nsm = make()
+        nsm.record_scan(e, e.content_hashes())
+        assert nsm.n_mapped_hashes == 3
+        h = int(e.content_hashes()[1])
+        assert nsm.lookup_scanned(h) == [(e.entity_id, 1)]
+
+    def test_rescan_replaces(self):
+        _c, e, nsm = make()
+        old_h = int(e.content_hashes()[0])
+        nsm.record_scan(e, e.content_hashes())
+        e.write_page(0, 99)
+        nsm.record_scan(e, e.content_hashes())
+        assert nsm.lookup_scanned(old_h) == []
+        assert nsm.n_mapped_hashes == 3
+
+    def test_duplicate_content_lists_both_blocks(self):
+        _c, e, nsm = make(pages=(5, 5, 7))
+        nsm.record_scan(e, e.content_hashes())
+        h = int(e.content_hashes()[0])
+        assert sorted(nsm.lookup_scanned(h)) == [(e.entity_id, 0),
+                                                 (e.entity_id, 1)]
+
+    def test_detach_purges(self):
+        _c, e, nsm = make()
+        nsm.record_scan(e, e.content_hashes())
+        nsm.detach_entity(e.entity_id)
+        assert nsm.n_mapped_hashes == 0
+        assert nsm.entity_ids == []
+        assert nsm.scanned_hashes_of(e.entity_id) is None
+
+
+class TestGroundTruth:
+    def test_resolve_block_current(self):
+        _c, e, nsm = make()
+        h = int(e.content_hashes()[2])
+        ref = nsm.resolve_block(e.entity_id, h)
+        assert ref == BlockRef(e.entity_id, 2, 4096)
+        assert ref.pointer == (e.entity_id, 2)
+        assert nsm.read_block(ref) == 30
+
+    def test_resolve_detects_staleness(self):
+        """The central mechanism: content mutated after a scan resolves to
+        None even though the scanned view still lists it."""
+        _c, e, nsm = make()
+        h = int(e.content_hashes()[0])
+        nsm.record_scan(e, e.content_hashes())
+        e.write_page(0, 999)
+        assert nsm.lookup_scanned(h)  # scanned view is stale
+        assert nsm.resolve_block(e.entity_id, h) is None  # truth wins
+
+    def test_resolve_new_content_without_scan(self):
+        _c, e, nsm = make()
+        e.write_page(0, 4242)
+        h = int(e.content_hashes()[0])
+        assert nsm.resolve_block(e.entity_id, h) is not None
+
+    def test_resolve_wrong_node(self):
+        c = Cluster(2)
+        e = Entity.create(c, 1, np.arange(3, dtype=np.uint64))
+        nsm0 = NodeSpecificModule(c, 0)
+        assert nsm0.resolve_block(e.entity_id, int(e.content_hashes()[0])) is None

@@ -1,0 +1,128 @@
+"""Property-based tests for the application services' headline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CheckpointStore,
+    Cluster,
+    CollectiveCheckpoint,
+    CollectiveDedup,
+    ConCORD,
+    Entity,
+    ServiceScope,
+)
+from repro.services.migrate import CollectiveMigration, MigrationPlan
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def migration_world(draw):
+    """Two source VMs with arbitrary content overlap and a destination."""
+    n_pages = draw(st.integers(4, 40))
+    pool = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 500))
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(4, seed=seed)
+    vms = [Entity.create(cluster, i,
+                         rng.integers(0, pool, n_pages).astype(np.uint64))
+           for i in range(2)]
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    return cluster, vms, concord
+
+
+class TestMigrationProps:
+    @SLOW
+    @given(migration_world())
+    def test_bytes_sent_bounded_by_distinct_content(self, world):
+        """Migration never ships more than min(raw, distinct + fallback)
+        and never less than the distinct content (nothing is free unless
+        a destination-resident copy exists — there is none here)."""
+        cluster, vms, concord = world
+        eids = [v.entity_id for v in vms]
+        plan = MigrationPlan({e: 3 for e in eids})
+        svc = CollectiveMigration(plan)
+        result = concord.execute_command(svc, ServiceScope.of(eids))
+        assert result.success
+        sent = sum(c.state.bytes_sent for c in result.contexts.values()
+                   if c.state)
+        raw = CollectiveMigration.raw_bytes(cluster, eids)
+        distinct = len(np.unique(np.concatenate(
+            [v.content_hashes() for v in vms])))
+        assert distinct * 4096 <= sent <= raw
+        # Memory is intact after relocation.
+        snaps = [v.snapshot() for v in vms]
+        svc.finish(concord)
+        for v, s in zip(vms, snaps):
+            assert v.node_id == 3
+            assert (v.snapshot() == s).all()
+
+
+class TestDedupProps:
+    @SLOW
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=40),
+           st.integers(0, 100))
+    def test_savings_equal_same_node_duplicates(self, page_ids, seed):
+        from collections import Counter
+
+        cluster = Cluster(2, seed=seed)
+        e = Entity.create(cluster, 0, np.array(page_ids, dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        svc = CollectiveDedup()
+        concord.execute_command(svc, ServiceScope.of([e.entity_id]))
+        dup_pages = sum(c - 1 for c in Counter(page_ids).values())
+        assert svc.merged_pages_total() == dup_pages
+        assert svc.saved_bytes_total() == dup_pages * 4096
+        assert (e.pages == np.array(page_ids, dtype=np.uint64)).all()
+
+    @SLOW
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=24),
+           st.lists(st.tuples(st.integers(0, 23), st.integers(0, 3)),
+                    max_size=30))
+    def test_cow_accounting_never_negative(self, page_ids, writes):
+        cluster = Cluster(1, seed=0)
+        e = Entity.create(cluster, 0, np.array(page_ids, dtype=np.uint64))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        svc = CollectiveDedup()
+        concord.execute_command(svc, ServiceScope.of([e.entity_id]))
+        svc.arm_cow(cluster)
+        for idx, val in writes:
+            e.write_page(idx % e.n_pages, val)
+            assert svc.saved_bytes_total() >= 0
+            # Saved bytes never exceed current same-node duplication.
+            from collections import Counter
+            dup_now = sum(c - 1 for c in
+                          Counter(e.pages.tolist()).values())
+            assert svc.saved_bytes_total() <= dup_now * 4096
+
+
+class TestCheckpointSizeProps:
+    @SLOW
+    @given(st.lists(st.lists(st.integers(0, 15), min_size=1, max_size=30),
+                    min_size=1, max_size=4),
+           st.integers(0, 200))
+    def test_concord_size_bounded_by_raw_and_distinct(self, layouts, seed):
+        """distinct*page <= concord_size <= raw_size + records overhead."""
+        cluster = Cluster(4, seed=seed)
+        ents = [Entity.create(cluster, i % 4,
+                              np.array(pages, dtype=np.uint64))
+                for i, pages in enumerate(layouts)]
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        r = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([e.entity_id for e in ents]))
+        assert r.success
+        distinct = len(np.unique(np.concatenate(
+            [e.content_hashes() for e in ents])))
+        assert store.shared.n_blocks == distinct
+        assert distinct * 4096 <= store.concord_size_bytes
+        assert store.concord_size_bytes <= store.raw_size_bytes * 1.02 + 4096

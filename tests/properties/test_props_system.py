@@ -1,0 +1,139 @@
+"""Property-based tests for system-level invariants.
+
+These are the paper's load-bearing guarantees:
+
+* query answers == brute-force recomputation for any workload (when the
+  DHT view is synchronized);
+* intra + inter sharing == total sharing, always;
+* checkpoint/restore is the identity under *arbitrary* staleness — the
+  two-phase service command's correctness claim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CheckpointStore,
+    Cluster,
+    CollectiveCheckpoint,
+    ConCORD,
+    Entity,
+    ServiceScope,
+    restore_entity,
+)
+from repro.queries.reference import ReferenceModel
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def small_system(draw):
+    """A cluster with 1-4 nodes and 1-5 entities of arbitrary content."""
+    n_nodes = draw(st.integers(1, 4))
+    n_entities = draw(st.integers(1, 5))
+    cluster = Cluster(n_nodes, seed=draw(st.integers(0, 100)))
+    entities = []
+    for _ in range(n_entities):
+        node = draw(st.integers(0, n_nodes - 1))
+        pages = draw(st.lists(st.integers(0, 12), min_size=1, max_size=40))
+        entities.append(Entity.create(
+            cluster, node, np.array(pages, dtype=np.uint64)))
+    return cluster, entities
+
+
+class TestQueryEquivalence:
+    @SLOW
+    @given(small_system())
+    def test_all_queries_match_reference(self, sys_):
+        cluster, ents = sys_
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        ref = ReferenceModel(cluster)
+        eids = [e.entity_id for e in ents]
+
+        assert concord.sharing(eids).value == pytest.approx(ref.sharing(eids))
+        assert concord.intra_sharing(eids).value == pytest.approx(
+            ref.intra_sharing(eids))
+        assert concord.inter_sharing(eids).value == pytest.approx(
+            ref.inter_sharing(eids))
+        for k in (1, 2, 3):
+            assert concord.num_shared_content(eids, k).value == \
+                ref.num_shared_content(eids, k)
+            assert concord.shared_content(eids, k).value == \
+                ref.shared_content(eids, k)
+        # node-wise spot checks
+        counts = ref.copy_counts(eids)
+        for h in list(counts)[:10]:
+            assert concord.num_copies(h).value == counts[h]
+            assert concord.entities(h).value == ref.entities(h)
+
+    @SLOW
+    @given(small_system())
+    def test_sharing_decomposition_identity(self, sys_):
+        cluster, ents = sys_
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        eids = [e.entity_id for e in ents]
+        assert (concord.intra_sharing(eids).value
+                + concord.inter_sharing(eids).value) == pytest.approx(
+            concord.sharing(eids).value)
+
+
+class TestCheckpointUnderStaleness:
+    @SLOW
+    @given(small_system(),
+           st.lists(st.tuples(st.integers(0, 4), st.integers(0, 39),
+                              st.integers(0, 15)),
+                    max_size=30),
+           st.sampled_from(["interactive", "batch"]))
+    def test_restore_is_identity_after_arbitrary_mutation(self, sys_,
+                                                          writes, mode_name):
+        """Scan, then mutate arbitrarily WITHOUT resyncing, then
+        checkpoint: restore must equal the post-mutation ground truth."""
+        from repro.core.command import ExecMode
+
+        cluster, ents = sys_
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        for ent_i, page_i, val in writes:
+            e = ents[ent_i % len(ents)]
+            e.write_page(page_i % e.n_pages, val)
+        store = CheckpointStore()
+        eids = [e.entity_id for e in ents]
+        mode = (ExecMode.INTERACTIVE if mode_name == "interactive"
+                else ExecMode.BATCH)
+        result = concord.execute_command(CollectiveCheckpoint(store),
+                                         ServiceScope.of(eids), mode=mode)
+        assert result.success
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    @SLOW
+    @given(small_system())
+    def test_shared_file_never_duplicates(self, sys_):
+        cluster, ents = sys_
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        concord.execute_command(CollectiveCheckpoint(store),
+                                ServiceScope.of([e.entity_id for e in ents]))
+        blocks = store.shared.blocks
+        assert len(blocks) == len(set(blocks))
+
+    @SLOW
+    @given(small_system())
+    def test_coverage_accounting_consistent(self, sys_):
+        cluster, ents = sys_
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        r = concord.execute_command(CollectiveCheckpoint(store),
+                                    ServiceScope.of([e.entity_id
+                                                     for e in ents]))
+        s = r.stats
+        assert s.covered_blocks + s.uncovered_blocks == s.local_blocks
+        assert s.handled + s.stale_unhandled == s.believed_hashes
+        assert s.local_blocks == sum(e.n_pages for e in ents)

@@ -1,0 +1,125 @@
+"""Property-based tests for the tracking pipeline (monitor -> NSM -> DHT).
+
+The pipeline invariant: after any interleaving of writes and monitor
+passes, one final scan+flush makes the DHT's multiset equal the ground
+truth exactly (when no datagrams are lost).
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ConCORD, Entity, MonitorMode
+from repro.queries.reference import ReferenceModel
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+# An op is (entity_idx, page_idx, value, scan_after?).
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 15), st.integers(0, 20),
+              st.booleans()),
+    max_size=60)
+
+
+def dht_multiset(concord) -> Counter:
+    """(hash -> copies) across all shards."""
+    out: Counter = Counter()
+    for shard in concord.tracing.shards:
+        for h, mask in shard.items():
+            copies = mask.bit_count()
+            for _e, extra in shard.extra_copies(h).items():
+                copies += extra
+            out[h] += copies
+    return out
+
+
+def truth_multiset(cluster) -> Counter:
+    out: Counter = Counter()
+    for e in cluster.entities.values():
+        for h in e.content_hashes().tolist():
+            out[int(h)] += 1
+    return out
+
+
+class TestConvergence:
+    @SLOW
+    @given(ops_strategy,
+           st.sampled_from([MonitorMode.PERIODIC_SCAN, MonitorMode.DIRTY_BIT]))
+    def test_final_sync_equals_ground_truth(self, ops, mode):
+        cluster = Cluster(3, seed=1)
+        ents = [Entity.create(cluster, i % 3,
+                              np.arange(16, dtype=np.uint64) + 100 * i)
+                for i in range(3)]
+        concord = ConCORD(cluster, monitor_mode=mode)
+        concord.initial_scan()
+        for ent_i, page_i, val, scan_after in ops:
+            ents[ent_i].write_page(page_i, val)
+            if scan_after:
+                concord.sync()
+        concord.sync()
+        assert dht_multiset(concord) == truth_multiset(cluster)
+
+    @SLOW
+    @given(ops_strategy)
+    def test_write_fault_mode_converges_without_scans(self, ops):
+        """True CoW: every write reported at fault time; no periodic scan
+        needed beyond the initial one."""
+        cluster = Cluster(2, seed=2)
+        ents = [Entity.create(cluster, i % 2,
+                              np.arange(16, dtype=np.uint64) + 100 * i)
+                for i in range(3)]
+        concord = ConCORD(cluster, monitor_mode=MonitorMode.COW)
+        concord.initial_scan()
+        for mon in concord.monitors:
+            mon.enable_write_faults()
+        for ent_i, page_i, val, _scan in ops:
+            ents[ent_i].write_page(page_i, val)
+        for mon in concord.monitors:
+            mon.flush()
+        assert dht_multiset(concord) == truth_multiset(cluster)
+
+    @SLOW
+    @given(ops_strategy, st.integers(1, 30))
+    def test_throttled_monitor_converges_eventually(self, ops, rate):
+        """Throttling defers updates but never loses them: enough flush
+        intervals always reach ground truth."""
+        cluster = Cluster(2, seed=3)
+        ents = [Entity.create(cluster, i % 2,
+                              np.arange(8, dtype=np.uint64) + 100 * i)
+                for i in range(2)]
+        concord = ConCORD(cluster, throttle_updates_per_s=float(rate))
+        for mon in concord.monitors:
+            mon.initial_scan()
+        for ent_i, page_i, val, _ in ops:
+            ents[ent_i % 2].write_page(page_i % 8, val)
+        for mon in concord.monitors:
+            mon.scan()
+        # Drain: at most ceil(pending/rate) unit intervals each.
+        for mon in concord.monitors:
+            for _ in range(200):
+                if mon.pending_updates == 0:
+                    break
+                mon.flush(interval=1.0)
+        assert dht_multiset(concord) == truth_multiset(cluster)
+
+    @SLOW
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=3, unique=True))
+    def test_detach_removes_exactly_that_entity(self, victims):
+        cluster = Cluster(3, seed=4)
+        ents = [Entity.create(cluster, i,
+                              np.arange(12, dtype=np.uint64) + 50 * i)
+                for i in range(3)]
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        for v in victims:
+            concord.detach_entity(ents[v].entity_id)
+        survivors = [e for i, e in enumerate(ents) if i not in victims]
+        want: Counter = Counter()
+        for e in survivors:
+            for h in e.content_hashes().tolist():
+                want[int(h)] += 1
+        assert dht_multiset(concord) == want

@@ -1,0 +1,256 @@
+"""Unit tests for collective checkpointing (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.command import ExecMode
+from repro.core.scope import ServiceScope
+from repro.queries.reference import ReferenceModel
+from repro.services.checkpoint import (
+    CheckpointStore,
+    CollectiveCheckpoint,
+    RawCheckpoint,
+    restore_entity,
+)
+from repro import workloads
+from tests.conftest import make_system
+
+
+def checkpoint(concord, ents, mode=ExecMode.INTERACTIVE, pes=()):
+    store = CheckpointStore()
+    ses = [e.entity_id for e in ents if e.entity_id not in set(pes)]
+    result = concord.execute_command(CollectiveCheckpoint(store),
+                                     ServiceScope.of(ses, pes), mode=mode)
+    return store, result
+
+
+class TestRoundTrip:
+    def test_restore_identity(self, cluster4, moldy4, concord4):
+        store, result = checkpoint(concord4, moldy4)
+        assert result.success
+        for e in moldy4:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    def test_restore_identity_batch_mode(self, cluster4, moldy4, concord4):
+        store, result = checkpoint(concord4, moldy4, mode=ExecMode.BATCH)
+        for e in moldy4:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    def test_restore_under_staleness(self):
+        cluster, ents, concord = make_system(n_nodes=4)
+        rng = np.random.default_rng(1)
+        for e in ents:
+            e.mutate_random(0.4, rng)
+        store, result = checkpoint(concord, ents)
+        assert result.stats.stale_unhandled > 0
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+    def test_restore_missing_entity_raises(self, concord4, moldy4):
+        store, _ = checkpoint(concord4, moldy4)
+        with pytest.raises(KeyError):
+            restore_entity(store, 999)
+
+
+class TestDeduplication:
+    def test_each_distinct_block_once_in_shared_file(self, cluster4, moldy4,
+                                                     concord4):
+        store, result = checkpoint(concord4, moldy4)
+        ids = store.shared.blocks
+        assert len(ids) == len(set(ids))  # no duplicates
+        ref = ReferenceModel(cluster4)
+        distinct = ref.distinct_content([e.entity_id for e in moldy4])
+        assert len(ids) == len(distinct)
+
+    def test_se_files_hold_only_pointers_when_synced(self, concord4, moldy4):
+        store, _ = checkpoint(concord4, moldy4)
+        for f in store.se_files.values():
+            assert f.n_data_records == 0
+            assert f.n_pointer_records > 0
+
+    def test_compression_ratio_tracks_dos(self, cluster4, moldy4, concord4):
+        """Fig 14a: the ConCORD ratio matches the degree of sharing."""
+        store, _ = checkpoint(concord4, moldy4)
+        dos = concord4.degree_of_sharing([e.entity_id for e in moldy4])
+        assert store.compression_ratio == pytest.approx(dos, abs=0.03)
+
+    def test_nasty_overhead_minuscule(self):
+        """Fig 14b: with no redundancy the overhead stays tiny."""
+        _c, ents, concord = make_system(n_nodes=4,
+                                        spec=workloads.nasty(4, 256))
+        store, _ = checkpoint(concord, ents)
+        assert 1.0 <= store.compression_ratio < 1.02
+
+    def test_pe_content_contributes(self):
+        """A PE holding an SE's page provides the shared copy."""
+        from repro import Cluster, ConCORD, Entity
+
+        cluster = Cluster(2, seed=0)
+        pages = np.arange(50, 66, dtype=np.uint64)
+        se = Entity.create(cluster, 0, pages)
+        pe = Entity.create(cluster, 1, pages.copy())
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        result = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([se.entity_id], [pe.entity_id]))
+        assert result.stats.coverage == 1.0
+        assert (restore_entity(store, se.entity_id) == se.pages).all()
+        # The PE itself got no checkpoint file.
+        assert pe.entity_id not in store.se_files
+
+
+class TestSizesAndGzip:
+    def test_raw_size_accounts_every_block(self, cluster4, moldy4, concord4):
+        store, _ = checkpoint(concord4, moldy4)
+        total_pages = sum(e.n_pages for e in moldy4)
+        assert store.raw_size_bytes >= total_pages * 4096
+
+    def test_gzip_model_orders(self, concord4, moldy4):
+        store, _ = checkpoint(concord4, moldy4)
+        raw_gzip, concord_gzip = store.gzip_sizes_model(0.62)
+        assert concord_gzip < store.concord_size_bytes
+        assert raw_gzip < store.raw_size_bytes
+        assert concord_gzip < raw_gzip
+
+    def test_gzip_real_bytes(self):
+        """Real zlib on materialized pages: ConCORD+gzip beats raw+gzip
+        when redundancy exists, because gzip's window misses far-apart
+        duplicate pages."""
+        _c, ents, concord = make_system(n_nodes=2,
+                                        spec=workloads.moldy(2, 64, seed=8))
+        store, _ = checkpoint(concord, ents)
+        raw_gzip, concord_gzip = store.gzip_sizes_real()
+        assert concord_gzip < raw_gzip
+        assert raw_gzip < store.raw_size_bytes
+
+
+class TestOnDiskFormat:
+    def test_write_load_restore(self, tmp_path):
+        _c, ents, concord = make_system(n_nodes=2,
+                                        spec=workloads.moldy(2, 32, seed=9))
+        store, _ = checkpoint(concord, ents)
+        store.write_to_dir(tmp_path / "ckpt")
+        loaded = CheckpointStore.load_from_dir(tmp_path / "ckpt")
+        for e in ents:
+            assert (restore_entity(loaded, e.entity_id) == e.pages).all()
+
+    def test_disk_files_exist(self, tmp_path):
+        _c, ents, concord = make_system(n_nodes=2,
+                                        spec=workloads.nasty(2, 8, seed=1))
+        store, _ = checkpoint(concord, ents)
+        store.write_to_dir(tmp_path / "d")
+        assert (tmp_path / "d" / "shared.bin").exists()
+        for e in ents:
+            assert (tmp_path / "d" / f"entity_{e.entity_id}.ckpt").exists()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        (d / "shared.bin").write_bytes(b"NOPE" + b"\0" * 12)
+        with pytest.raises(ValueError):
+            CheckpointStore.load_from_dir(d)
+
+
+class TestTiming:
+    def test_ordering_raw_le_concord_le_rawgzip(self):
+        """Fig 15: raw < ConCORD < raw+gzip in response time."""
+        cluster, ents, concord = make_system(
+            n_nodes=4, spec=workloads.moldy(4, 512, seed=4))
+        eids = [e.entity_id for e in ents]
+        _store, t_concord = (lambda s_r: (s_r[0], s_r[1].wall_time))(
+            checkpoint(concord, ents))
+        raw = RawCheckpoint()
+        _s, t_raw = raw.run(cluster, eids)
+        _s, t_rawgzip = raw.run(cluster, eids, gzip=True)
+        assert t_raw < t_concord < t_rawgzip
+
+    def test_time_flat_with_scale(self):
+        """Fig 16/17: response time roughly constant as nodes scale."""
+        t = []
+        for n in (2, 8):
+            _c, ents, concord = make_system(
+                n_nodes=n, spec=workloads.moldy(n, 256, seed=4))
+            _store, result = checkpoint(concord, ents)
+            t.append(result.wall_time)
+        assert t[1] < 2.0 * t[0]
+
+
+class TestSharedContentFile:
+    def test_append_dedup_idempotent(self):
+        from repro.services.checkpoint import SharedContentFile
+
+        f = SharedContentFile()
+        o1 = f.append(10, 100)
+        o2 = f.append(10, 100)
+        assert o1 == o2
+        assert f.n_blocks == 1
+        assert f.read(o1) == 100
+
+    def test_offsets_sequential(self):
+        from repro.services.checkpoint import SharedContentFile
+
+        f = SharedContentFile()
+        assert [f.append(h, h) for h in range(5)] == list(range(5))
+        assert f.offset_of(3) == 3
+        assert f.offset_of(99) is None
+
+    def test_duplicate_page_record_rejected_on_restore(self):
+        store = CheckpointStore()
+        f = store.se_file(0)
+        f.add_data(0, 1, 11)
+        f.add_data(0, 2, 22)
+        with pytest.raises(ValueError):
+            restore_entity(store, 0)
+
+    def test_incomplete_checkpoint_rejected_on_restore(self):
+        store = CheckpointStore()
+        f = store.se_file(0)
+        f.add_data(3, 1, 11)  # pages 0-2 missing
+        with pytest.raises(ValueError):
+            restore_entity(store, 0)
+
+
+class TestPlanRefinement:
+    def test_refined_batch_is_faster_and_identical(self):
+        """Paper §4.2: batch mode exists so the service can refine the
+        plan; refinement must change cost, never outcome."""
+        import numpy as np
+
+        from repro.core.command import ExecMode
+
+        cluster, ents, concord = make_system(
+            n_nodes=4, spec=workloads.moldy(4, 512, seed=10))
+        rng = np.random.default_rng(10)
+        for e in ents:
+            e.mutate_random(0.3, rng)  # force data records into SE files
+        eids = [e.entity_id for e in ents]
+        plain_store = CheckpointStore()
+        r_plain = concord.execute_command(
+            CollectiveCheckpoint(plain_store),
+            ServiceScope.of(eids), mode=ExecMode.BATCH)
+        refined_store = CheckpointStore()
+        r_refined = concord.execute_command(
+            CollectiveCheckpoint(refined_store, refine_plan=True),
+            ServiceScope.of(eids), mode=ExecMode.BATCH)
+        assert r_refined.wall_time < r_plain.wall_time
+        for e in ents:
+            assert (restore_entity(refined_store, e.entity_id)
+                    == e.pages).all()
+            assert (restore_entity(plain_store, e.entity_id)
+                    == e.pages).all()
+
+    def test_refined_plan_writes_records_in_page_order(self):
+        from repro.core.command import ExecMode
+
+        cluster, ents, concord = make_system(
+            n_nodes=2, spec=workloads.nasty(2, 64, seed=11))
+        store = CheckpointStore()
+        concord.execute_command(
+            CollectiveCheckpoint(store, refine_plan=True),
+            ServiceScope.of([e.entity_id for e in ents]),
+            mode=ExecMode.BATCH)
+        for f in store.se_files.values():
+            idxs = [r[1] for r in f.records]
+            assert idxs == sorted(idxs)

@@ -1,0 +1,129 @@
+"""Unit tests for collective deduplication (KSM-style, intra-node)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, Entity, ServiceScope
+from repro.services.dedup import CollectiveDedup
+
+
+def build(node_layout, seed=0):
+    """node_layout: list of (node, pages-tuple) per entity."""
+    cluster = Cluster(4, seed=seed)
+    ents = [Entity.create(cluster, node, np.array(pages, dtype=np.uint64))
+            for node, pages in node_layout]
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    return cluster, ents, concord
+
+
+def run_dedup(cluster, ents, concord):
+    svc = CollectiveDedup()
+    result = concord.execute_command(
+        svc, ServiceScope.of([e.entity_id for e in ents]))
+    return svc, result
+
+
+class TestMerging:
+    def test_intra_entity_duplicates_merged(self):
+        cluster, ents, concord = build([(0, (5, 5, 5, 7))])
+        svc, result = run_dedup(cluster, ents, concord)
+        assert result.success
+        assert svc.merged_pages_total() == 2   # two extra copies of 5
+        assert svc.saved_bytes_total() == 2 * 4096
+
+    def test_cross_entity_same_node_merged(self):
+        cluster, ents, concord = build([(0, (1, 2)), (0, (1, 3))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        assert svc.merged_pages_total() == 1
+        assert svc.saved_bytes_on(0) == 4096
+
+    def test_cross_node_copies_not_merged(self):
+        """Different physical memories: nothing to merge."""
+        cluster, ents, concord = build([(0, (1, 2)), (1, (1, 3))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        assert svc.merged_pages_total() == 0
+        assert svc.saved_bytes_total() == 0
+
+    def test_logical_content_unchanged(self):
+        cluster, ents, concord = build([(0, (5, 5, 6)), (0, (5, 6))])
+        snaps = [e.snapshot() for e in ents]
+        run_dedup(cluster, ents, concord)
+        for e, snap in zip(ents, snaps):
+            assert (e.snapshot() == snap).all()
+
+    def test_physical_bytes_accounting(self):
+        cluster, ents, concord = build([(0, (9, 9, 9, 9))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        assert svc.physical_bytes(cluster, 0) == 1 * 4096  # 4 pages -> 1
+        assert svc.physical_bytes(cluster, 1) == 0
+
+    def test_idempotent_second_run(self):
+        cluster, ents, concord = build([(0, (5, 5, 6))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        saved = svc.saved_bytes_total()
+        result2 = concord.execute_command(
+            svc, ServiceScope.of([e.entity_id for e in ents]))
+        assert result2.success
+        assert svc.saved_bytes_total() == saved
+
+
+class TestCopyOnWriteBreaks:
+    def test_write_to_merged_page_breaks_sharing(self):
+        cluster, ents, concord = build([(0, (5, 5, 6))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        svc.arm_cow(cluster)
+        assert svc.saved_bytes_total() == 4096
+        # Page 1 was merged onto page 0; writing it faults.
+        ents[0].write_page(1, 42)
+        st = svc._states[0]
+        assert st.cow_breaks == 1
+        assert svc.saved_bytes_total() == 0
+        assert (ents[0].pages == np.array([5, 42, 6])).all()
+
+    def test_write_to_canonical_promotes_heir(self):
+        cluster, ents, concord = build([(0, (5, 5, 5))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        svc.arm_cow(cluster)
+        assert svc.saved_bytes_total() == 2 * 4096
+        ents[0].write_page(0, 42)  # canonical holder rewritten
+        st = svc._states[0]
+        assert st.cow_breaks == 1
+        assert svc.saved_bytes_total() == 4096  # pages 1,2 still share
+        # The heir (page 1) is the new canonical.
+        h = int(ents[0].content_hashes()[1])
+        assert st.canonical[h] == (ents[0].entity_id, 1)
+
+    def test_write_to_unrelated_page_no_effect(self):
+        cluster, ents, concord = build([(0, (5, 5, 6))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        svc.arm_cow(cluster)
+        ents[0].write_page(2, 7)
+        assert svc.saved_bytes_total() == 4096
+        assert svc._states[0].cow_breaks == 0
+
+    def test_saved_bytes_never_negative_under_random_writes(self):
+        rng = np.random.default_rng(3)
+        cluster, ents, concord = build(
+            [(0, tuple(rng.integers(0, 4, size=32).tolist()))])
+        svc, _ = run_dedup(cluster, ents, concord)
+        svc.arm_cow(cluster)
+        for _ in range(64):
+            ents[0].write_page(int(rng.integers(0, 32)),
+                               int(rng.integers(0, 4)))
+            assert svc.saved_bytes_total() >= 0
+
+
+class TestScale:
+    def test_moldy_workload_savings_match_intra_sharing(self):
+        from repro import workloads
+        from tests.conftest import make_system
+
+        cluster, ents, concord = make_system(
+            n_nodes=2, spec=workloads.moldy(4, 256, seed=4))
+        svc, result = run_dedup(cluster, ents, concord)
+        intra = concord.intra_sharing(
+            [e.entity_id for e in ents]).value
+        total_bytes = sum(e.memory_bytes for e in ents)
+        assert svc.saved_bytes_total() == pytest.approx(
+            intra * total_bytes, rel=0.01)

@@ -1,0 +1,156 @@
+"""Unit tests for collective migration."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, Entity, EntityKind, ServiceScope
+from repro.services.migrate import CollectiveMigration, MigrationPlan
+
+
+def build(n_nodes=4, n_vms=2, pages=64, shared_fraction=0.5,
+          dest_resident_fraction=0.0, seed=0):
+    """VMs on nodes 0..n_vms-1 migrating to the last node(s); optionally a
+    resident entity at the destination already holding some content."""
+    cluster = Cluster(n_nodes, seed=seed)
+    base = np.arange(pages, dtype=np.uint64) + 1000
+    vms = []
+    n_shared = int(pages * shared_fraction)
+    for i in range(n_vms):
+        own = (np.arange(pages - n_shared, dtype=np.uint64)
+               + 100_000 * (i + 1))
+        vms.append(Entity.create(cluster, i,
+                                 np.concatenate([base[:n_shared], own]),
+                                 kind=EntityKind.VM))
+    dest = n_nodes - 1
+    resident = None
+    n_res = int(pages * dest_resident_fraction)
+    if n_res:
+        resident = Entity.create(
+            cluster, dest,
+            np.concatenate([base[:n_res],
+                            np.arange(16, dtype=np.uint64) + 900_000]),
+            kind=EntityKind.PROCESS, name="resident")
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    plan = MigrationPlan({vm.entity_id: dest for vm in vms})
+    return cluster, concord, vms, resident, plan
+
+
+def migrate(cluster, concord, vms, resident, plan):
+    svc = CollectiveMigration(plan)
+    pes = [resident.entity_id] if resident is not None else []
+    result = concord.execute_command(
+        svc, ServiceScope.of([vm.entity_id for vm in vms], pes))
+    return svc, result
+
+
+class TestTransferSavings:
+    def test_shared_blocks_sent_once(self):
+        cluster, concord, vms, res, plan = build(shared_fraction=0.5)
+        svc, result = migrate(cluster, concord, vms, res, plan)
+        sent = sum(c.state.bytes_sent for c in result.contexts.values()
+                   if c.state)
+        raw = CollectiveMigration.raw_bytes(
+            cluster, [vm.entity_id for vm in vms])
+        assert sent < raw
+        # 2 VMs sharing 50%: distinct = 1.5x one VM -> sent ~ 75% of raw
+        assert sent / raw == pytest.approx(0.75, abs=0.05)
+
+    def test_no_sharing_sends_everything_once(self):
+        cluster, concord, vms, res, plan = build(shared_fraction=0.0)
+        svc, result = migrate(cluster, concord, vms, res, plan)
+        sent = sum(c.state.bytes_sent for c in result.contexts.values()
+                   if c.state)
+        raw = CollectiveMigration.raw_bytes(
+            cluster, [vm.entity_id for vm in vms])
+        assert sent == pytest.approx(raw, rel=0.02)
+
+    def test_destination_resident_content_free(self):
+        """Blocks already at the destination don't cross the network."""
+        cluster, concord, vms, res, plan = build(shared_fraction=0.5,
+                                                 dest_resident_fraction=0.5)
+        svc, result = migrate(cluster, concord, vms, res, plan)
+        local_hits = sum(c.state.blocks_local_at_dest
+                         for c in result.contexts.values() if c.state)
+        assert local_hits > 0
+        sent = sum(c.state.bytes_sent for c in result.contexts.values()
+                   if c.state)
+        raw = CollectiveMigration.raw_bytes(
+            cluster, [vm.entity_id for vm in vms])
+        assert sent / raw < 0.7
+
+    def test_stale_content_falls_back_to_direct_send(self):
+        cluster, concord, vms, res, plan = build(shared_fraction=0.0)
+        vms[0].write_pages(np.arange(8),
+                           np.arange(8, dtype=np.uint64) + 777_000)
+        svc, result = migrate(cluster, concord, vms, res, plan)
+        fallback = sum(c.state.fallback_blocks
+                       for c in result.contexts.values() if c.state)
+        assert fallback >= 8
+        assert result.success
+
+
+class TestRelocation:
+    def test_finish_moves_entities(self):
+        cluster, concord, vms, res, plan = build()
+        svc, _result = migrate(cluster, concord, vms, res, plan)
+        snaps = [vm.snapshot() for vm in vms]
+        svc.finish(concord)
+        dest = cluster.n_nodes - 1
+        for vm, snap in zip(vms, snaps):
+            assert vm.node_id == dest
+            assert (vm.snapshot() == snap).all()  # memory unchanged
+            assert vm.entity_id in concord.nsms[dest].entity_ids
+            assert vm.entity_id not in concord.nsms[0].entity_ids
+
+    def test_post_migration_tracking_continues(self):
+        cluster, concord, vms, res, plan = build()
+        svc, _ = migrate(cluster, concord, vms, res, plan)
+        svc.finish(concord)
+        concord.sync()
+        h = int(vms[0].content_hashes()[0])
+        assert vms[0].entity_id in concord.entities(h).value
+
+    def test_same_node_migration_noop(self):
+        cluster = Cluster(2, seed=1)
+        vm = Entity.create(cluster, 0, np.arange(8, dtype=np.uint64),
+                           kind=EntityKind.VM)
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        plan = MigrationPlan({vm.entity_id: 0})
+        svc = CollectiveMigration(plan)
+        concord.execute_command(svc, ServiceScope.of([vm.entity_id]))
+        svc.finish(concord)
+        assert vm.node_id == 0
+        assert concord.nsms[0].entity_ids.count(vm.entity_id) == 1
+
+
+class TestTrackingConsistency:
+    def test_migration_does_not_inflate_dht(self):
+        """Regression: the scan base must travel with the entity, or the
+        destination's next scan re-inserts every page (double copies)."""
+        from repro.queries.reference import ReferenceModel
+
+        cluster, concord, vms, res, plan = build(shared_fraction=0.5)
+        eids = [vm.entity_id for vm in vms]
+        all_ids = cluster.all_entity_ids()
+        before = concord.sharing(all_ids).value
+        svc, _result = migrate(cluster, concord, vms, res, plan)
+        svc.finish(concord)
+        concord.sync()
+        after = concord.sharing(all_ids).value
+        assert after == pytest.approx(before)
+        ref = ReferenceModel(cluster)
+        h = int(vms[0].content_hashes()[0])
+        assert concord.num_copies(h).value == ref.num_copies(h)
+
+    def test_post_migration_mutations_still_tracked(self):
+        cluster, concord, vms, res, plan = build()
+        svc, _result = migrate(cluster, concord, vms, res, plan)
+        svc.finish(concord)
+        concord.sync()
+        vms[0].write_page(0, 987_654)
+        concord.sync()
+        new_h = int(vms[0].content_hashes()[0])
+        assert concord.num_copies(new_h).value >= 1
+        assert vms[0].entity_id in concord.entities(new_h).value

@@ -1,0 +1,91 @@
+"""Unit tests for the null service command (Figs 10-12 baseline)."""
+
+import pytest
+
+from repro.core.command import ExecMode
+from repro.core.scope import ServiceScope
+from repro.services.null import NullService
+from repro import workloads
+from tests.conftest import make_system
+
+
+def run_null(n_nodes=2, pages=64, mode=ExecMode.INTERACTIVE, spec=None):
+    cluster, ents, concord = make_system(
+        n_nodes=n_nodes, spec=spec or workloads.moldy(n_nodes, pages, seed=2))
+    svc = NullService()
+    scope = ServiceScope.of([e.entity_id for e in ents])
+    result = concord.execute_command(svc, scope, mode=mode)
+    return cluster, ents, result
+
+
+class TestCorrectness:
+    def test_succeeds_both_modes(self):
+        for mode in ExecMode:
+            _c, _e, result = run_null(mode=mode)
+            assert result.success
+
+    def test_memory_untouched(self):
+        cluster, ents, concord = make_system(n_nodes=2)
+        snaps = [e.snapshot() for e in ents]
+        concord.execute_command(NullService(),
+                                ServiceScope.of([e.entity_id for e in ents]))
+        for e, snap in zip(ents, snaps):
+            assert (e.snapshot() == snap).all()
+
+    def test_counts_in_state(self):
+        _c, ents, result = run_null(n_nodes=2, pages=64)
+        total_local = sum(ctx.state.local_blocks
+                          for ctx in result.contexts.values()
+                          if ctx.state is not None)
+        assert total_local == sum(e.n_pages for e in ents)
+        total_collective = sum(ctx.state.collective_blocks
+                               for ctx in result.contexts.values()
+                               if ctx.state is not None)
+        assert total_collective == result.stats.handled
+
+    def test_full_coverage_when_synced(self):
+        _c, _e, result = run_null()
+        assert result.stats.coverage == 1.0
+
+    def test_deinit_called_everywhere(self):
+        _c, _e, result = run_null(n_nodes=4, pages=32,
+                                  spec=workloads.moldy(4, 32))
+        states = [ctx.state for ctx in result.contexts.values()
+                  if ctx.state is not None]
+        assert all(s.deinit_called for s in states)
+
+
+class TestTiming:
+    def test_time_linear_in_memory(self):
+        """Fig 10: execution time linear in per-SE memory (affine: fixed
+        barrier/broadcast costs show at small sizes, so use sizes where
+        per-block work dominates)."""
+        t = {}
+        for pages in (512, 4096):
+            _c, _e, result = run_null(n_nodes=2, pages=pages)
+            t[pages] = result.wall_time
+        # 8x memory -> between 3x and 10x time
+        assert 3.0 < t[4096] / t[512] < 10.0
+
+    def test_time_flat_with_scale(self):
+        """Fig 11/12: constant time as SEs and nodes grow together."""
+        t = []
+        for n in (2, 8):
+            _c, _e, result = run_null(n_nodes=n, pages=256,
+                                      spec=workloads.moldy(n, 256, seed=2))
+            t.append(result.wall_time)
+        assert t[1] < 1.6 * t[0]
+
+    def test_batch_cheaper_than_interactive(self):
+        _c, _e, ri = run_null(pages=512, mode=ExecMode.INTERACTIVE)
+        _c, _e, rb = run_null(pages=512, mode=ExecMode.BATCH)
+        assert rb.wall_time < ri.wall_time
+
+    def test_traffic_per_node_flat_with_scale(self):
+        """§5.4: per-node traffic volume stays constant as we scale."""
+        per_node = []
+        for n in (2, 8):
+            _c, _e, result = run_null(n_nodes=n, pages=256,
+                                      spec=workloads.moldy(n, 256, seed=2))
+            per_node.append(result.stats.total_bytes / n)
+        assert per_node[1] < 2.5 * per_node[0]

@@ -1,0 +1,119 @@
+"""Unit tests for collective VM reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, Entity, EntityKind, ServiceScope
+from repro.services.checkpoint import CheckpointStore, CollectiveCheckpoint
+from repro.services.reconstruct import (
+    CollectiveReconstruction,
+    ImageDescriptor,
+    register_image,
+)
+from repro.util.hashing import page_hashes
+
+
+def build_world(overlap_fraction=0.5, n_pages=64, seed=0):
+    """A stored image, live PEs sharing `overlap_fraction` of its content,
+    and a blank target entity on node 0."""
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(4, seed=seed)
+    image_pages = (np.arange(n_pages, dtype=np.uint64) + 10_000)
+    n_overlap = int(n_pages * overlap_fraction)
+    # Two live VMs that together still hold the first n_overlap pages.
+    live1 = Entity.create(cluster, 1, np.concatenate([
+        image_pages[:n_overlap // 2],
+        rng.integers(1 << 40, 1 << 41, n_pages // 2, dtype=np.uint64)]),
+        kind=EntityKind.VM)
+    live2 = Entity.create(cluster, 2, np.concatenate([
+        image_pages[n_overlap // 2:n_overlap],
+        rng.integers(1 << 41, 1 << 42, n_pages // 2, dtype=np.uint64)]),
+        kind=EntityKind.VM)
+
+    # The backing checkpoint holding the full image.
+    backing = CheckpointStore()
+    f = backing.se_file(777)
+    hs = page_hashes(image_pages)
+    for idx, (h, cid) in enumerate(zip(hs.tolist(), image_pages.tolist())):
+        f.add_data(idx, int(h), int(cid))
+
+    # Blank target on node 0.
+    target = Entity.create(cluster, 0,
+                           np.zeros(n_pages, dtype=np.uint64),
+                           kind=EntityKind.VM, name="target")
+    concord = ConCORD(cluster)
+    concord.initial_scan()
+    descriptor = ImageDescriptor(entity_id=target.entity_id, hashes=hs)
+    register_image(concord, target, descriptor)
+    return cluster, concord, target, (live1, live2), backing, descriptor, \
+        image_pages
+
+
+def run_reconstruction(overlap=0.5, **kw):
+    (cluster, concord, target, lives, backing, descriptor,
+     image_pages) = build_world(overlap_fraction=overlap, **kw)
+    svc = CollectiveReconstruction(descriptor, backing, backing_entity_id=777)
+    scope = ServiceScope.of([target.entity_id],
+                            [e.entity_id for e in lives])
+    result = concord.execute_command(svc, scope)
+    return target, image_pages, result, svc
+
+
+class TestReconstruction:
+    def test_image_fully_rebuilt(self):
+        target, image_pages, result, _svc = run_reconstruction()
+        assert result.success
+        assert (target.pages == image_pages).all()
+
+    def test_live_content_preferred_over_storage(self):
+        target, _img, result, svc = run_reconstruction(overlap=0.5)
+        st = [c.state for c in result.contexts.values() if c.state]
+        from_net = sum(s.from_network for s in st)
+        from_store = sum(s.from_storage for s in st)
+        assert from_net > 0
+        assert from_store > 0
+        # roughly the overlap fraction comes from the network
+        total = from_net + from_store
+        assert 0.3 < from_net / total < 0.7
+
+    def test_zero_overlap_all_from_storage(self):
+        target, image_pages, result, _svc = run_reconstruction(overlap=0.0)
+        assert (target.pages == image_pages).all()
+        st = [c.state for c in result.contexts.values() if c.state]
+        assert sum(s.from_network for s in st) == 0
+
+    def test_full_overlap_mostly_network(self):
+        target, image_pages, result, _svc = run_reconstruction(overlap=1.0)
+        assert (target.pages == image_pages).all()
+        st = [c.state for c in result.contexts.values() if c.state]
+        assert sum(s.from_storage for s in st) == 0
+
+    def test_network_bytes_accounted(self):
+        _t, _i, result, _svc = run_reconstruction(overlap=1.0)
+        assert result.stats.total_bytes > 64 * 4096 * 0.4
+
+    def test_descriptor_from_checkpoint(self):
+        """ImageDescriptor can be derived from a real collective
+        checkpoint, closing the loop checkpoint -> reconstruct."""
+        cluster = Cluster(2, seed=3)
+        vm = Entity.create(cluster, 0,
+                           np.arange(32, dtype=np.uint64) + 500,
+                           kind=EntityKind.VM)
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        store = CheckpointStore()
+        concord.execute_command(CollectiveCheckpoint(store),
+                                ServiceScope.of([vm.entity_id]))
+        desc = ImageDescriptor.from_checkpoint(store, vm.entity_id)
+        assert desc.n_pages == 32
+        assert np.array_equal(desc.hashes, vm.content_hashes())
+
+    def test_missing_hash_raises(self):
+        (cluster, concord, target, lives, backing, descriptor,
+         _img) = build_world(overlap_fraction=0.0)
+        empty_backing = CheckpointStore()  # nothing stored at all
+        svc = CollectiveReconstruction(descriptor, empty_backing,
+                                       backing_entity_id=777)
+        scope = ServiceScope.of([target.entity_id])
+        with pytest.raises(KeyError):
+            concord.execute_command(svc, scope)

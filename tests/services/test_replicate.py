@@ -1,0 +1,139 @@
+"""Unit tests for collective replication (k-copy fault tolerance)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, Entity, ServiceScope
+from repro.queries.reference import ReferenceModel
+from repro.services.replicate import (
+    CollectiveReplication,
+    ReplicaStore,
+    make_replica_stores,
+)
+
+
+def build(n_nodes=4, shared_fraction=0.5, pages=32, seed=0,
+          store_capacity=256):
+    cluster = Cluster(n_nodes, seed=seed)
+    base = np.arange(pages, dtype=np.uint64) + 77
+    n_shared = int(pages * shared_fraction)
+    ents = []
+    for i in range(2):
+        own = np.arange(pages - n_shared, dtype=np.uint64) + (i + 1) * 10**6
+        ents.append(Entity.create(cluster, i,
+                                  np.concatenate([base[:n_shared], own])))
+    concord = ConCORD(cluster)
+    stores = make_replica_stores(cluster, [n_nodes - 2, n_nodes - 1],
+                                 store_capacity, concord=concord)
+    concord.initial_scan()
+    return cluster, ents, concord, stores
+
+
+def replicate(cluster, ents, concord, stores, k=2):
+    svc = CollectiveReplication(concord, k, stores)
+    result = concord.execute_command(
+        svc, ServiceScope.of([e.entity_id for e in ents]))
+    concord.sync()
+    return svc, result
+
+
+class TestTopUp:
+    def test_every_block_reaches_k_copies(self):
+        cluster, ents, concord, stores = build()
+        svc, result = replicate(cluster, ents, concord, stores, k=2)
+        assert result.success
+        ref = ReferenceModel(cluster)
+        for e in ents:
+            for h in np.unique(e.content_hashes()).tolist():
+                assert ref.num_copies(int(h)) >= 2, hex(h)
+
+    def test_existing_redundancy_is_leveraged(self):
+        """Blocks already shared by the two SEs (2 copies) cost nothing
+        at k=2; only private blocks are shipped."""
+        cluster, ents, concord, stores = build(shared_fraction=0.5, pages=32)
+        svc, _ = replicate(cluster, ents, concord, stores, k=2)
+        private_blocks = 2 * 16  # each SE's unique half
+        assert svc.total("replicated") == private_blocks
+        assert svc.total("bytes_shipped") == private_blocks * 4096
+
+    def test_k3_ships_more_than_k2(self):
+        made = []
+        for k in (2, 3):
+            cluster, ents, concord, stores = build()
+            svc, _ = replicate(cluster, ents, concord, stores, k=k)
+            made.append(svc.total("replicated"))
+        assert made[1] > made[0]
+
+    def test_second_run_is_noop(self):
+        cluster, ents, concord, stores = build()
+        svc, _ = replicate(cluster, ents, concord, stores, k=2)
+        svc2 = CollectiveReplication(concord, 2, stores)
+        result2 = concord.execute_command(
+            svc2, ServiceScope.of([e.entity_id for e in ents]))
+        assert svc2.total("replicated") == 0
+        assert svc2.total("bytes_shipped") == 0
+
+    def test_replicas_placed_on_distinct_nodes(self):
+        cluster, ents, concord, stores = build()
+        svc, _ = replicate(cluster, ents, concord, stores, k=3)
+        # k=3 for private blocks: original + both stores, never two copies
+        # in the same store for one block.
+        ref = ReferenceModel(cluster)
+        for e in ents:
+            for h in np.unique(e.content_hashes()).tolist():
+                holders = ref.entities(int(h))
+                nodes = [cluster.node_of(x) for x in holders]
+                assert len(nodes) == len(set(nodes))
+
+
+class TestUnknownContent:
+    def test_defensive_replication_of_untracked_blocks(self):
+        """Content written after the scan is unknown to the DHT; the local
+        phase replicates it defensively."""
+        cluster, ents, concord, stores = build(shared_fraction=0.0)
+        ents[0].write_pages(np.arange(4),
+                            np.arange(4, dtype=np.uint64) + 5 * 10**8)
+        svc, result = replicate(cluster, ents, concord, stores, k=2)
+        assert svc.total("defensive") >= 4
+        ref = ReferenceModel(cluster)
+        for h in np.unique(ents[0].content_hashes()).tolist():
+            assert ref.num_copies(int(h)) >= 2
+
+    def test_duplicate_unknown_content_defended_once(self):
+        cluster, ents, concord, stores = build(shared_fraction=0.0)
+        ents[0].write_pages(np.arange(4),
+                            np.full(4, 123456789, dtype=np.uint64))
+        svc, _ = replicate(cluster, ents, concord, stores, k=2)
+        # 4 pages, 1 distinct content -> 1 defensive replica.
+        assert svc.total("defensive") == 1
+
+
+class TestValidationAndCapacity:
+    def test_bad_k(self):
+        cluster, ents, concord, stores = build()
+        with pytest.raises(ValueError):
+            CollectiveReplication(concord, 0, stores)
+
+    def test_no_stores(self):
+        cluster, ents, concord, _stores = build()
+        with pytest.raises(ValueError):
+            CollectiveReplication(concord, 2, {})
+
+    def test_store_absorb_and_capacity(self):
+        cluster = Cluster(1)
+        e = Entity.create(cluster, 0, np.arange(2, dtype=np.uint64))
+        store = ReplicaStore(e)
+        assert store.free_pages == 2
+        store.absorb(11)
+        store.absorb(22)
+        assert store.free_pages == 0
+        with pytest.raises(RuntimeError):
+            store.absorb(33)
+        assert e.read_page(0) == 11 and e.read_page(1) == 22
+
+    def test_replica_stores_are_tracked_entities(self):
+        cluster, ents, concord, stores = build()
+        for store in stores.values():
+            assert store.entity.entity_id in cluster.entities
+            nsm = concord.nsms[store.entity.node_id]
+            assert store.entity.entity_id in nsm.entity_ids

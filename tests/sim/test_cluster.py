@@ -1,0 +1,89 @@
+"""Unit tests for Node/Cluster assembly and entity registry."""
+
+import numpy as np
+import pytest
+
+from repro.memory.entity import Entity, EntityKind
+from repro.sim.cluster import Cluster
+from repro.sim.costmodel import OLD_CLUSTER
+
+
+def make_entity(cluster, node, n_pages=8):
+    pages = np.arange(n_pages, dtype=np.uint64) + 1000 * (len(cluster.entities) + 1)
+    return Entity.create(cluster, node, pages)
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = Cluster(n_nodes=4, cost="new-cluster")
+        assert c.n_nodes == 4
+        assert len(c.nodes) == 4
+        assert c.cost.name == "new-cluster"
+
+    def test_cost_model_object(self):
+        c = Cluster(n_nodes=2, cost=OLD_CLUSTER)
+        assert c.cost is OLD_CLUSTER
+
+    def test_node_count_capped_by_testbed(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=9, cost="new-cluster")  # New-cluster has 8
+        Cluster(n_nodes=128, cost="big-cluster")  # fine
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)
+
+    def test_seed_controls_rng(self):
+        a = Cluster(2, seed=1).rng.integers(0, 100, 5)
+        b = Cluster(2, seed=1).rng.integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+
+class TestEntityRegistry:
+    def test_ids_dense_and_unique(self):
+        c = Cluster(4)
+        es = [make_entity(c, i % 4) for i in range(6)]
+        assert [e.entity_id for e in es] == list(range(6))
+
+    def test_node_of(self):
+        c = Cluster(4)
+        e = make_entity(c, 2)
+        assert c.node_of(e.entity_id) == 2
+        assert c.entity(e.entity_id) is e
+
+    def test_entities_on(self):
+        c = Cluster(2)
+        a = make_entity(c, 0)
+        b = make_entity(c, 1)
+        d = make_entity(c, 0)
+        assert {e.entity_id for e in c.entities_on(0)} == {a.entity_id,
+                                                           d.entity_id}
+        assert [e.entity_id for e in c.entities_on(1)] == [b.entity_id]
+
+    def test_nodes_hosting(self):
+        c = Cluster(3)
+        a = make_entity(c, 0)
+        b = make_entity(c, 2)
+        assert c.nodes_hosting([a.entity_id, b.entity_id]) == {0, 2}
+
+    def test_invalid_placement_rejected(self):
+        c = Cluster(2)
+        with pytest.raises(ValueError):
+            make_entity(c, 5)
+
+    def test_entity_name_autoassigned(self):
+        c = Cluster(2)
+        e = Entity.create(c, 0, np.arange(4, dtype=np.uint64),
+                          kind=EntityKind.VM)
+        assert e.name == f"vm-{e.entity_id}"
+
+    def test_mask_helper(self):
+        c = Cluster(2)
+        assert c.entity_id_mask([0, 3]) == 0b1001
+
+    def test_all_entity_ids_sorted(self):
+        c = Cluster(2)
+        for i in range(4):
+            make_entity(c, i % 2)
+        assert c.all_entity_ids() == [0, 1, 2, 3]
+        assert c.n_entities == 4

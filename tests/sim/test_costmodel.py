@@ -1,0 +1,96 @@
+"""Unit tests for the testbed cost models and their calibration anchors."""
+
+import pytest
+
+from repro.sim.costmodel import BIG_CLUSTER, NEW_CLUSTER, OLD_CLUSTER, TESTBEDS
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(TESTBEDS) == {"old-cluster", "new-cluster", "big-cluster"}
+
+    def test_node_counts_match_paper(self):
+        assert OLD_CLUSTER.n_nodes == 24
+        assert NEW_CLUSTER.n_nodes == 8
+        assert BIG_CLUSTER.n_nodes == 128  # the scale Figs 7/12/17 reach
+
+    def test_old_cluster_is_slowest(self):
+        for field in ("dht_insert_hash", "hash_page_md5", "page_touch",
+                      "gzip_per_byte"):
+            assert getattr(OLD_CLUSTER, field) > getattr(NEW_CLUSTER, field)
+        assert OLD_CLUSTER.link_bw < NEW_CLUSTER.link_bw < BIG_CLUSTER.link_bw
+
+    def test_fig5_anchor_new_cluster(self):
+        """Fig 5 plateaus: inserts cost more than deletes; hash ops more
+        than block ops; all in the single-digit-microsecond range."""
+        c = NEW_CLUSTER
+        assert c.dht_insert_hash > c.dht_delete_hash
+        assert c.dht_insert_hash > c.nsm_insert_block
+        assert 1e-6 < c.dht_insert_hash < 10e-6
+
+    def test_md5_more_expensive_than_sfh(self):
+        for c in TESTBEDS.values():
+            assert c.hash_page_md5 > 2 * c.hash_page_sfh
+
+    def test_hash_page_cost_dispatch(self):
+        assert NEW_CLUSTER.hash_page_cost("md5") == NEW_CLUSTER.hash_page_md5
+        assert NEW_CLUSTER.hash_page_cost("sfh") == NEW_CLUSTER.hash_page_sfh
+        with pytest.raises(ValueError):
+            NEW_CLUSTER.hash_page_cost("sha1")
+
+
+class TestDerived:
+    def test_tx_time(self):
+        assert NEW_CLUSTER.tx_time(NEW_CLUSTER.link_bw) == pytest.approx(1.0)
+        assert NEW_CLUSTER.tx_time(0) == 0.0
+
+    def test_rtt(self):
+        assert NEW_CLUSTER.rtt() == 2 * NEW_CLUSTER.udp_latency
+
+    def test_tree_depth(self):
+        c = NEW_CLUSTER
+        assert c.tree_depth(1) == 0
+        assert c.tree_depth(2) == 1
+        assert c.tree_depth(8) == 3
+        assert c.tree_depth(9) == 4
+        assert c.tree_depth(128) == 7
+
+    def test_barrier_grows_logarithmically(self):
+        c = OLD_CLUSTER
+        b2, b16 = c.barrier_time(2), c.barrier_time(16)
+        assert b16 > b2
+        assert b16 < 8 * b2  # log growth, not linear
+
+    def test_reliable_bcast_scales_mildly(self):
+        c = NEW_CLUSTER
+        t1 = c.reliable_bcast_time(1, 256)
+        t8 = c.reliable_bcast_time(8, 256)
+        assert t8 > t1
+        assert t8 < 1e-2
+
+    def test_scaled_override(self):
+        c = NEW_CLUSTER.scaled(page_touch=1.0)
+        assert c.page_touch == 1.0
+        assert c.link_bw == NEW_CLUSTER.link_bw
+        # frozen original untouched
+        assert NEW_CLUSTER.page_touch != 1.0
+
+
+class TestMonitorCalibration:
+    def test_scan_overhead_matches_paper_sec52(self):
+        """Old-cluster, 2 s period, MD5: ~6.4% of one CPU; SFH ~2.2%.
+
+        The paper traces 'a typical process from a range of HPC
+        benchmarks' (~64 MB); that reproduces its numbers within
+        tolerance.
+        """
+        c = OLD_CLUSTER
+        traced_pages = int(64 * 2**20 / 4096)
+        scan = traced_pages * (c.page_scan_read + c.hash_page_md5)
+        overhead_md5 = scan / 2.0
+        assert 0.045 <= overhead_md5 <= 0.085
+        scan_sfh = traced_pages * (c.page_scan_read + c.hash_page_sfh)
+        assert 0.015 <= scan_sfh / 2.0 <= 0.03
+        # 5 s period: 2.6% (MD5) and <1.5% (SFH)
+        assert 0.018 <= scan / 5.0 <= 0.035
+        assert scan_sfh / 5.0 < 0.012

@@ -1,0 +1,137 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.sim.costmodel import NEW_CLUSTER
+from repro.sim.engine import SimEngine
+from repro.sim.network import DeliveryError, Network
+from repro.util.records import ControlMessage, Message, MsgKind, UpdateBatch
+
+
+def make_net(n=4, cost=NEW_CLUSTER):
+    eng = SimEngine()
+    return eng, Network(eng, cost, n)
+
+
+def msg(src, dst, kind=MsgKind.UPDATE):
+    return Message(kind, src, dst)
+
+
+class TestUnreliable:
+    def test_delivery(self):
+        eng, net = make_net()
+        got = []
+        net.send(msg(0, 1), on_deliver=lambda m: got.append(m))
+        eng.run()
+        assert len(got) == 1
+        assert net.stats.msgs_delivered == 1
+        assert net.stats.msgs_dropped == 0
+
+    def test_latency_positive(self):
+        eng, net = make_net()
+        times = []
+        net.send(msg(0, 1), on_deliver=lambda m: times.append(eng.now))
+        eng.run()
+        assert times[0] > NEW_CLUSTER.udp_latency
+
+    def test_loopback_is_instant_and_lossless(self):
+        eng, net = make_net()
+        got = []
+        for _ in range(1000):
+            net.send(msg(2, 2), on_deliver=lambda m: got.append(1))
+        eng.run()
+        assert len(got) == 1000
+        assert net.nodes[2].tx_bytes > 0  # counted as sent
+
+    def test_invalid_node_rejected(self):
+        _eng, net = make_net(2)
+        with pytest.raises(ValueError):
+            net.send(msg(0, 5))
+
+    def test_byte_counters(self):
+        eng, net = make_net()
+        m = msg(0, 1)
+        net.send(m)
+        eng.run()
+        assert net.nodes[0].tx_bytes == m.wire_bytes()
+        assert net.nodes[1].rx_bytes == m.wire_bytes()
+        assert net.per_node_tx_bytes()[0] == m.wire_bytes()
+
+    def test_overload_drops(self):
+        """Blasting one receiver far beyond its queue drops datagrams."""
+        eng, net = make_net(4)
+        big = [UpdateBatch(MsgKind.UPDATE, src, 3,
+                           inserts=[(i, 0) for i in range(64)])
+               for src in (0, 1, 2) for _ in range(600)]
+        for m in big:
+            net.send(m)
+        eng.run()
+        assert net.stats.msgs_dropped > 0
+        assert net.stats.update_loss_rate > 0
+        assert (net.stats.msgs_delivered + net.stats.msgs_dropped
+                == net.stats.msgs_sent)
+
+    def test_on_drop_callback(self):
+        eng, net = make_net(4)
+        dropped = []
+        for src in (0, 1, 2):
+            for _ in range(600):
+                net.send(UpdateBatch(MsgKind.UPDATE, src, 3,
+                                     inserts=[(1, 0)] * 64),
+                         on_drop=lambda m: dropped.append(m))
+        eng.run()
+        assert len(dropped) == net.stats.msgs_dropped
+
+    def test_light_load_no_loss(self):
+        eng, net = make_net(4)
+        for i in range(50):
+            net.send(msg(0, 1))
+        eng.run()
+        assert net.stats.msgs_dropped == 0
+
+
+class TestReliable:
+    def test_delivery(self):
+        eng, net = make_net()
+        got = []
+        net.send_reliable(msg(0, 1), on_deliver=lambda m: got.append(m))
+        eng.run()
+        assert len(got) == 1
+
+    def test_retransmits_until_delivered(self):
+        """Saturate the receiver with junk, then check the reliable message
+        still arrives (after retransmissions)."""
+        eng, net = make_net(4)
+        for src in (0, 1, 2):
+            for _ in range(400):
+                net.send(UpdateBatch(MsgKind.UPDATE, src, 3,
+                                     inserts=[(1, 0)] * 64))
+        got = []
+        net.send_reliable(ControlMessage(MsgKind.CONTROL, 0, 3, op="start"),
+                          on_deliver=lambda m: got.append(m))
+        eng.run()
+        assert len(got) == 1
+
+    def test_broadcast_reliable(self):
+        eng, net = make_net(4)
+        got = []
+        msgs = [ControlMessage(MsgKind.CONTROL, 0, d, op="go")
+                for d in range(1, 4)]
+        net.broadcast_reliable(msgs, on_deliver=lambda m: got.append(m.dst_node))
+        eng.run()
+        assert sorted(got) == [1, 2, 3]
+
+    def test_reset_stats(self):
+        eng, net = make_net()
+        net.send(msg(0, 1))
+        eng.run()
+        net.reset_stats()
+        assert net.stats.msgs_sent == 0
+        assert net.nodes[0].tx_bytes == 0
+
+
+class TestStats:
+    def test_loss_rate_zero_when_idle(self):
+        _eng, net = make_net()
+        assert net.stats.loss_rate == 0.0
+        assert net.stats.update_loss_rate == 0.0

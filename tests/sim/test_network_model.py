@@ -1,0 +1,106 @@
+"""Unit tests for the receive-side service model (packet rate vs bytes)."""
+
+import pytest
+
+from repro.sim.costmodel import BIG_CLUSTER, NEW_CLUSTER
+from repro.sim.engine import SimEngine
+from repro.sim.network import Network
+from repro.util.records import Message, MsgKind, UpdateBatch
+
+
+def make(cost=NEW_CLUSTER, n=2):
+    eng = SimEngine()
+    return eng, Network(eng, cost, n)
+
+
+class TestRxService:
+    def test_small_packet_dominated_by_per_msg_cost(self):
+        _e, net = make()
+        m = Message(MsgKind.UPDATE, 0, 1)
+        assert net._rx_service(m, m.wire_bytes()) == NEW_CLUSTER.rx_per_msg
+
+    def test_large_message_dominated_by_bytes(self):
+        _e, net = make()
+        m = Message(MsgKind.UPDATE, 0, 1)
+        big = 10 * 1024 * 1024
+        assert net._rx_service(m, big) == pytest.approx(
+            big / NEW_CLUSTER.link_bw)
+
+    def test_coarse_grained_message_costs_per_represented_packet(self):
+        _e, net = make()
+        m = UpdateBatch(MsgKind.UPDATE, 0, 1, inserts=[(1, 0)],
+                        n_represented=100)
+        assert net._rx_service(m, m.wire_bytes()) == pytest.approx(
+            100 * NEW_CLUSTER.rx_per_msg)
+
+    def test_one_sided_skips_packet_cost(self):
+        _e, net = make()
+        m = UpdateBatch(MsgKind.UPDATE, 0, 1, inserts=[(1, 0)],
+                        n_represented=100, one_sided=True)
+        assert net._rx_service(m, m.wire_bytes()) == pytest.approx(
+            m.wire_bytes() / NEW_CLUSTER.link_bw)
+
+    def test_n_packets_floor_is_one(self):
+        _e, net = make()
+        m = Message(MsgKind.ACK, 0, 1)
+        assert net._n_packets(m) == 1
+
+
+class TestTransportValidation:
+    def test_engine_rejects_unknown_transport(self):
+        from repro.dht.engine import ContentTracingEngine
+        from repro.sim.cluster import Cluster
+
+        with pytest.raises(ValueError):
+            ContentTracingEngine(Cluster(2), transport="carrier-pigeon")
+
+    def test_concord_threads_transport(self):
+        from repro import Cluster, ConCORD
+
+        c = ConCORD(Cluster(2), update_transport="rdma")
+        assert c.tracing.transport == "rdma"
+
+    def test_rdma_batches_marked_one_sided(self):
+        from repro import Cluster, ConCORD
+
+        cluster = Cluster(2, seed=0)
+        import numpy as np
+
+        from repro import Entity
+
+        Entity.create(cluster, 0, np.arange(4, dtype=np.uint64))
+        concord = ConCORD(cluster, use_network=True, update_transport="rdma")
+        seen = []
+        orig_send = cluster.network.send
+
+        def spy(msg, *a, **kw):
+            seen.append(msg.one_sided)
+            return orig_send(msg, *a, **kw)
+
+        cluster.network.send = spy
+        concord.initial_scan()
+        assert seen and all(seen)
+
+
+class TestPacingIsObservable:
+    def test_paced_updates_arrive_spread_over_scan_time(self):
+        """With a production duration, update batches depart staggered
+        rather than all at t=0."""
+        from repro.dht.engine import ContentTracingEngine
+        from repro.sim.cluster import Cluster
+
+        cluster = Cluster(2, seed=0)
+        eng = ContentTracingEngine(cluster, use_network=True, batch_size=8)
+        times = []
+        orig = cluster.network.send
+
+        def spy(msg, *a, **kw):
+            times.append(cluster.engine.now)
+            return orig(msg, *a, **kw)
+
+        cluster.network.send = spy
+        eng.route_updates(0, [(h, 0) for h in range(64)], [], duration=1.0)
+        cluster.engine.run()
+        assert len(times) >= 8
+        assert max(times) - min(times) > 0.5
+        assert max(times) <= 1.0

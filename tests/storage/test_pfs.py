@@ -1,0 +1,144 @@
+"""Unit tests for the storage substrate (append logs, RAM disk, PFS)."""
+
+import pytest
+
+from repro.storage import AppendLog, IOCosts, ParallelFileSystem, RamDisk, StorageError
+
+
+class TestAppendLog:
+    def make(self):
+        return AppendLog("shared", IOCosts())
+
+    def test_append_returns_sequential_offsets(self):
+        log = self.make()
+        assert [log.append(f"r{i}", 10) for i in range(5)] == list(range(5))
+        assert log.n_records == 5
+        assert log.total_bytes == 50
+        assert log.appends == 5
+
+    def test_read_back(self):
+        log = self.make()
+        off = log.append("payload", 4096)
+        assert log.read(off) == "payload"
+        assert log.record_bytes(off) == 4096
+
+    def test_read_bad_offset(self):
+        log = self.make()
+        with pytest.raises(StorageError):
+            log.read(0)
+        log.append("x", 1)
+        with pytest.raises(StorageError):
+            log.record_bytes(7)
+
+    def test_append_once_idempotent_per_key(self):
+        """The multi-writer atomic-append-with-dedup the shared content
+        file requires: racing writers on one hash store one copy."""
+        log = self.make()
+        o1, created1 = log.append_once(0xABC, "blk", 4096)
+        o2, created2 = log.append_once(0xABC, "blk", 4096)
+        assert created1 and not created2
+        assert o1 == o2
+        assert log.n_records == 1
+        assert log.offset_of(0xABC) == o1
+        assert log.offset_of(0xDEF) is None
+
+    def test_mixed_keys_interleave_atomically(self):
+        log = self.make()
+        offs = {}
+        for writer in range(4):          # 4 "concurrent" writers
+            for k in range(8):
+                offs.setdefault(k, log.append_once(k, f"b{k}", 64)[0])
+        assert log.n_records == 8
+        for k, off in offs.items():
+            assert log.read(off) == f"b{k}"
+
+    def test_closed_log_rejects_appends(self):
+        log = self.make()
+        log.close()
+        with pytest.raises(StorageError):
+            log.append("x", 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StorageError):
+            self.make().append("x", -1)
+
+    def test_len(self):
+        log = self.make()
+        log.append("a", 1)
+        assert len(log) == 1
+
+
+class TestIOCosts:
+    def test_client_time(self):
+        c = IOCosts(append_base=1e-6, per_byte=1e-9)
+        assert c.client_time(1000) == pytest.approx(2e-6)
+
+    def test_shared_time_none_for_private(self):
+        assert IOCosts().shared_time(10**9) == 0.0
+
+    def test_shared_time_scales(self):
+        c = IOCosts(shared_bw=1e9)
+        assert c.shared_time(5e8) == pytest.approx(0.5)
+
+
+class TestRamDisk:
+    def test_logs_created_lazily_and_cached(self):
+        rd = RamDisk()
+        a = rd.log("ckpt-0")
+        assert rd.log("ckpt-0") is a
+        assert rd.log("ckpt-1") is not a
+        assert len(rd.logs()) == 2
+
+    def test_total_bytes(self):
+        rd = RamDisk()
+        rd.log("a").append("x", 100)
+        rd.log("b").append("y", 50)
+        assert rd.total_bytes == 150
+
+    def test_rejects_shared_bw(self):
+        with pytest.raises(StorageError):
+            RamDisk(IOCosts(shared_bw=1e9))
+
+
+class TestParallelFileSystem:
+    def test_requires_shared_bw(self):
+        with pytest.raises(StorageError):
+            ParallelFileSystem(IOCosts(shared_bw=None))
+
+    def test_append_costs_split(self):
+        pfs = ParallelFileSystem(IOCosts(append_base=1e-6, per_byte=0,
+                                         shared_bw=1e9))
+        client, server = pfs.append_costs(10**6)
+        assert client == pytest.approx(1e-6)
+        assert server == pytest.approx(1e-3)
+
+    def test_logs_shared_namespace(self):
+        pfs = ParallelFileSystem()
+        log = pfs.log("shared-content")
+        log.append_once(1, "b", 4096)
+        assert pfs.total_bytes == 4096
+        assert pfs.log("shared-content") is log
+
+
+class TestCheckpointIntegration:
+    def test_pfs_shared_term_raises_wall_time(self):
+        """A checkpoint writing its shared file through the PFS takes
+        longer than the RAM-disk variant, by the shared-server term."""
+        from repro import (CheckpointStore, CollectiveCheckpoint,
+                           ServiceScope, workloads)
+        from tests.conftest import make_system
+
+        _c, ents, concord = make_system(
+            n_nodes=4, spec=workloads.moldy(4, 512, seed=2))
+        eids = [e.entity_id for e in ents]
+
+        r_ram = concord.execute_command(
+            CollectiveCheckpoint(CheckpointStore()), ServiceScope.of(eids))
+        slow_pfs = ParallelFileSystem(IOCosts(shared_bw=2 * 1024**3))
+        r_pfs = concord.execute_command(
+            CollectiveCheckpoint(CheckpointStore(), pfs=slow_pfs),
+            ServiceScope.of(eids))
+        assert r_pfs.wall_time > r_ram.wall_time
+        expected_term = (r_pfs.stats.handled * 4096) / (2 * 1024**3)
+        assert (r_pfs.wall_time - r_ram.wall_time) == pytest.approx(
+            expected_term, rel=0.05)

@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness import ALL_EXPERIMENTS
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestList:
+    def test_lists_every_experiment(self):
+        code, out = run_cli("list")
+        assert code == 0
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_summaries_present(self):
+        _code, out = run_cli("list")
+        assert "Fig 9" in out
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        code, _out = run_cli("run", "fig99")
+        assert code == 2
+
+    def test_run_single(self):
+        code, out = run_cli("run", "fig06")
+        assert code == 0
+        assert "Fig 6" in out
+        assert "completed in" in out
+
+    def test_run_with_out_dir(self, tmp_path):
+        code, _out = run_cli("run", "fig06", "--out", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "fig06.txt").read_text().startswith("== Fig 6")
+
+
+class TestDemoInfo:
+    def test_demo(self):
+        code, out = run_cli("demo")
+        assert code == 0
+        assert "restore verified" in out
+
+    def test_info_lists_testbeds(self):
+        code, out = run_cli("info")
+        assert code == 0
+        for name in ("old-cluster", "new-cluster", "big-cluster"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])

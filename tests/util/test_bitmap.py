@@ -1,0 +1,116 @@
+"""Unit tests for EntityBitmap (refcounted entity sets)."""
+
+import numpy as np
+import pytest
+
+from repro.util.bitmap import EntityBitmap
+
+
+class TestBasicSetOps:
+    def test_empty(self):
+        b = EntityBitmap()
+        assert len(b) == 0
+        assert b.num_copies == 0
+        assert not b
+        assert 0 not in b
+
+    def test_add_contains(self):
+        b = EntityBitmap()
+        b.add(3)
+        assert 3 in b
+        assert 2 not in b
+        assert len(b) == 1
+
+    def test_construct_from_iterable(self):
+        b = EntityBitmap([1, 5, 9])
+        assert b.to_set() == {1, 5, 9}
+
+    def test_large_ids_grow_words(self):
+        b = EntityBitmap()
+        b.add(1000)
+        assert 1000 in b
+        assert 999 not in b
+        assert len(b) == 1
+
+    def test_discard(self):
+        b = EntityBitmap([4])
+        assert b.discard(4)
+        assert 4 not in b
+        assert not b.discard(4)
+
+    def test_discard_unknown(self):
+        b = EntityBitmap()
+        assert not b.discard(7)
+        assert not b.discard(100000)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            EntityBitmap().add(-1)
+
+
+class TestRefcounting:
+    def test_multiple_copies_same_entity(self):
+        b = EntityBitmap()
+        b.add(2)
+        b.add(2)
+        b.add(2)
+        assert b.copies(2) == 3
+        assert b.num_copies == 3
+        assert b.num_entities == 1
+
+    def test_discard_peels_copies(self):
+        b = EntityBitmap([2, 2])
+        assert b.discard(2)
+        assert 2 in b
+        assert b.copies(2) == 1
+        assert b.discard(2)
+        assert 2 not in b
+        assert b.copies(2) == 0
+
+    def test_copies_of_absent(self):
+        assert EntityBitmap().copies(3) == 0
+
+
+class TestAlgebra:
+    def test_intersection_count(self):
+        a = EntityBitmap([1, 2, 3])
+        b = EntityBitmap([2, 3, 4])
+        assert a.intersection_count(b) == 2
+        assert a.union_count(b) == 4
+
+    def test_intersects(self):
+        assert EntityBitmap([1]).intersects(EntityBitmap([1, 9]))
+        assert not EntityBitmap([1]).intersects(EntityBitmap([2]))
+
+    def test_different_lengths_align(self):
+        a = EntityBitmap([1])
+        b = EntityBitmap([1, 500])
+        assert a.intersection_count(b) == 1
+        assert b.intersection_count(a) == 1
+
+    def test_members_among(self):
+        b = EntityBitmap([3, 7])
+        assert b.members_among([7, 1, 3]) == [7, 3]
+
+    def test_eq(self):
+        assert EntityBitmap([1, 2]) == EntityBitmap([2, 1])
+        assert EntityBitmap([1]) != EntityBitmap([1, 1])
+        a = EntityBitmap([1])
+        a.add(300)
+        a.discard(300)
+        assert a == EntityBitmap([1])
+
+
+class TestConversion:
+    def test_to_array_sorted(self):
+        b = EntityBitmap([9, 1, 70])
+        assert b.to_array().tolist() == [1, 9, 70]
+
+    def test_iter(self):
+        assert sorted(EntityBitmap([5, 2])) == [2, 5]
+
+    def test_storage_bytes_positive(self):
+        b = EntityBitmap([1])
+        s1 = b.storage_bytes()
+        b.add(1)  # refcount overflow entry
+        assert b.storage_bytes() > s1

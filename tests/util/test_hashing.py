@@ -1,0 +1,145 @@
+"""Unit tests for content hashing."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    HashAlgo,
+    hash_bytes,
+    md5_64,
+    mix64,
+    page_hash,
+    page_hashes,
+    superfasthash32,
+    superfasthash32_batch,
+    superfasthash64,
+    unmix64,
+)
+
+
+class TestMix64:
+    def test_scalar_roundtrip(self):
+        for x in [0, 1, 2**63, 2**64 - 1, 0xDEADBEEF]:
+            assert int(unmix64(mix64(x))) == x
+
+    def test_array_roundtrip(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 2**63, size=1000, dtype=np.uint64)
+        assert np.array_equal(unmix64(mix64(xs)), xs)
+
+    def test_deterministic(self):
+        assert int(mix64(12345)) == int(mix64(12345))
+
+    def test_scalar_matches_array(self):
+        xs = np.array([7, 99, 2**40], dtype=np.uint64)
+        ys = mix64(xs)
+        for x, y in zip(xs.tolist(), ys.tolist()):
+            assert int(mix64(int(x))) == y
+
+    def test_avalanche(self):
+        """Flipping one input bit flips ~half the output bits."""
+        a = int(mix64(0x1234567890ABCDEF))
+        b = int(mix64(0x1234567890ABCDEE))
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+    def test_output_dtype(self):
+        assert mix64(np.uint64(5)).dtype == np.uint64
+        assert mix64(np.arange(4, dtype=np.uint64)).dtype == np.uint64
+
+
+class TestPageHashes:
+    def test_bijective_on_distinct_ids(self):
+        ids = np.arange(10000, dtype=np.uint64)
+        hs = page_hashes(ids)
+        assert len(np.unique(hs)) == len(ids)
+
+    def test_equal_ids_equal_hashes(self):
+        ids = np.array([5, 5, 9, 5], dtype=np.uint64)
+        hs = page_hashes(ids)
+        assert hs[0] == hs[1] == hs[3]
+        assert hs[0] != hs[2]
+
+    def test_scalar_wrapper(self):
+        ids = np.array([77], dtype=np.uint64)
+        assert page_hash(77) == int(page_hashes(ids)[0])
+
+    def test_zero_id_nonzero_hash(self):
+        assert page_hash(0) != 0
+
+    def test_distribution_uniformity(self):
+        """Hash high bits should be roughly uniform (chi-square-ish)."""
+        hs = page_hashes(np.arange(64000, dtype=np.uint64))
+        buckets = (hs >> np.uint64(58)).astype(int)  # 64 buckets
+        counts = np.bincount(buckets, minlength=64)
+        assert counts.min() > 64000 / 64 * 0.8
+        assert counts.max() < 64000 / 64 * 1.2
+
+
+class TestSuperFastHash:
+    def test_deterministic(self):
+        assert superfasthash32(b"hello world") == superfasthash32(b"hello world")
+
+    def test_distinct_inputs(self):
+        seen = {superfasthash32(bytes([i, j])) for i in range(16)
+                for j in range(16)}
+        assert len(seen) == 256
+
+    def test_length_tails(self):
+        """1/2/3-byte tails hash distinctly from each other and prefixes."""
+        vals = {superfasthash32(b"abcd"[:n]) for n in range(5)}
+        assert len(vals) == 5
+
+    def test_empty(self):
+        assert isinstance(superfasthash32(b""), int)
+
+    def test_seed_changes_hash(self):
+        assert superfasthash32(b"data") != superfasthash32(b"data", seed=1)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        batch = superfasthash32_batch(pages)
+        for i in range(16):
+            assert int(batch[i]) == superfasthash32(pages[i].tobytes())
+
+    def test_batch_4kb_pages(self):
+        rng = np.random.default_rng(2)
+        pages = rng.integers(0, 256, size=(4, 4096), dtype=np.uint8)
+        batch = superfasthash32_batch(pages)
+        assert int(batch[0]) == superfasthash32(pages[0].tobytes())
+
+    def test_batch_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            superfasthash32_batch(np.zeros(16, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            superfasthash32_batch(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_sfh64_combines_two_seeds(self):
+        h = superfasthash64(b"block content")
+        assert h >> 32 == superfasthash32(b"block content")
+        assert h & 0xFFFFFFFF == superfasthash32(b"block content",
+                                                 seed=0x5BD1E995)
+
+
+class TestHashBytes:
+    def test_md5_64_matches_hashlib(self):
+        data = b"x" * 4096
+        expect = int.from_bytes(hashlib.md5(data).digest()[:8], "little")
+        assert md5_64(data) == expect
+
+    def test_algo_dispatch(self):
+        data = b"some page"
+        assert hash_bytes(data, HashAlgo.MD5) == md5_64(data)
+        assert hash_bytes(data, HashAlgo.SUPERFAST) == superfasthash64(data)
+
+    def test_algos_disagree(self):
+        data = b"content"
+        assert hash_bytes(data, HashAlgo.MD5) != hash_bytes(
+            data, HashAlgo.SUPERFAST)
+
+    def test_bad_algo(self):
+        with pytest.raises(ValueError):
+            hash_bytes(b"", "nope")  # type: ignore[arg-type]

@@ -1,0 +1,68 @@
+"""Unit tests for reporting helpers."""
+
+import pytest
+
+from repro.util.stats import Series, Table, check_monotone, fmt_bytes, fmt_time_s
+
+
+class TestTable:
+    def make(self):
+        t = Table("Fig X", "nodes", x_values=[1, 2, 4])
+        t.add_series("raw", [1.0, 2.0, 4.0])
+        t.add_series("concord", [1.5, 2.5, 4.5])
+        return t
+
+    def test_get_series(self):
+        t = self.make()
+        assert t.get("raw").values == [1.0, 2.0, 4.0]
+        with pytest.raises(KeyError):
+            t.get("missing")
+
+    def test_render_contains_all_rows(self):
+        out = self.make().render()
+        assert "Fig X" in out
+        assert "nodes" in out
+        assert out.count("\n") >= 5
+
+    def test_render_handles_short_series(self):
+        t = Table("t", "x", x_values=[1, 2])
+        t.add_series("s", [1.0])
+        assert "-" in t.render()
+
+    def test_notes_rendered(self):
+        t = self.make()
+        t.note("measured on sim")
+        assert "measured on sim" in t.render()
+
+    def test_incremental_series(self):
+        t = Table("t", "x")
+        s = t.add_series("y")
+        t.x_values.append(1)
+        s.append(3)
+        assert t.get("y").values == [3.0]
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2 KB"
+        assert "MB" in fmt_bytes(15 * 1024 * 1024)
+        assert "GB" in fmt_bytes(3 * 1024**3)
+
+    def test_fmt_time(self):
+        assert "ns" in fmt_time_s(5e-9)
+        assert "us" in fmt_time_s(5e-6)
+        assert "ms" in fmt_time_s(5e-3)
+        assert fmt_time_s(2.0) == "2 s"
+
+
+class TestMonotone:
+    def test_increasing(self):
+        assert check_monotone([1, 2, 3])
+        assert not check_monotone([1, 3, 2])
+
+    def test_decreasing(self):
+        assert check_monotone([3, 2, 1], increasing=False)
+
+    def test_tolerance(self):
+        assert check_monotone([1.0, 0.99, 2.0], tol=0.05)

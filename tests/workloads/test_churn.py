@@ -1,0 +1,124 @@
+"""Unit tests for the churn driver."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, workloads
+from repro.workloads.churn import ChurnDriver
+
+
+def make_entities(n=2, pages=128, seed=0):
+    cluster = Cluster(2, seed=seed)
+    ents = workloads.instantiate(cluster, workloads.nasty(n, pages, seed=seed))
+    return cluster, ents
+
+
+class TestValidation:
+    def test_bad_pattern(self):
+        _c, ents = make_entities()
+        with pytest.raises(ValueError):
+            ChurnDriver(ents, 4, pattern="zigzag")
+
+    def test_bad_rate(self):
+        _c, ents = make_entities()
+        with pytest.raises(ValueError):
+            ChurnDriver(ents, 0)
+
+    def test_no_entities(self):
+        with pytest.raises(ValueError):
+            ChurnDriver([], 4)
+
+    def test_bad_hotspot(self):
+        _c, ents = make_entities()
+        with pytest.raises(ValueError):
+            ChurnDriver(ents, 4, pattern="hotspot", hotspot_fraction=0.0)
+
+
+class TestPatterns:
+    def test_tick_writes_expected_count(self):
+        _c, ents = make_entities()
+        d = ChurnDriver(ents, pages_per_tick=8)
+        assert d.tick() == 8 * len(ents)
+        assert d.stats.ticks == 1
+        assert d.stats.pages_written == 16
+
+    def test_uniform_changes_content(self):
+        _c, ents = make_entities()
+        before = ents[0].snapshot()
+        ChurnDriver(ents, 16, pattern="uniform").tick()
+        assert (ents[0].snapshot() != before).sum() > 0
+
+    def test_hotspot_confines_writes(self):
+        _c, ents = make_entities(pages=200)
+        d = ChurnDriver(ents, 20, pattern="hotspot", hotspot_fraction=0.1)
+        for _ in range(10):
+            d.tick()
+        dirty_idxs = np.flatnonzero(ents[0].dirty)
+        assert dirty_idxs.max() < 20  # 10% of 200
+
+    def test_streaming_sweeps_address_space(self):
+        _c, ents = make_entities(pages=64)
+        d = ChurnDriver(ents, 16, pattern="streaming")
+        for _ in range(4):
+            d.tick()
+        # One full sweep: every page written exactly once per sweep.
+        assert ents[0].dirty.all()
+
+    def test_pool_content_creates_redundancy(self):
+        _c, ents = make_entities(pages=64)
+        pool = np.array([42], dtype=np.uint64)
+        d = ChurnDriver(ents, 64, content_pool=pool)
+        d.tick()
+        assert (ents[0].pages == 42).all()
+        assert (ents[1].pages == 42).all()
+
+    def test_fresh_content_unique(self):
+        _c, ents = make_entities(pages=64)
+        d = ChurnDriver(ents, 64, pattern="streaming")
+        d.tick()
+        all_ids = np.concatenate([e.pages for e in ents])
+        assert len(np.unique(all_ids)) == len(all_ids)
+
+    def test_deterministic(self):
+        snaps = []
+        for _ in range(2):
+            _c, ents = make_entities(seed=3)
+            d = ChurnDriver(ents, 8, seed=9)
+            d.tick()
+            d.tick()
+            snaps.append([e.snapshot() for e in ents])
+        for a, b in zip(*snaps):
+            assert np.array_equal(a, b)
+
+
+class TestEngineIntegration:
+    def test_run_on_engine(self):
+        cluster, ents = make_entities()
+        d = ChurnDriver(ents, 4)
+        d.run_on(cluster.engine, period=1.0, horizon=5.0)
+        cluster.engine.run()
+        assert d.stats.ticks == 5
+
+    def test_bad_period(self):
+        cluster, ents = make_entities()
+        with pytest.raises(ValueError):
+            ChurnDriver(ents, 4).run_on(cluster.engine, 0.0, 5.0)
+
+    def test_churn_with_monitor_keeps_dht_converging(self):
+        """Monitor scans interleaved with churn: after churn stops and one
+        final sync, the DHT matches ground truth exactly."""
+        from repro.queries.reference import ReferenceModel
+
+        cluster = Cluster(2, seed=4)
+        ents = workloads.instantiate(cluster, workloads.moldy(2, 128, seed=4))
+        concord = ConCORD(cluster)
+        concord.initial_scan()
+        d = ChurnDriver(ents, 16, pattern="uniform", seed=4)
+        for _ in range(5):
+            d.tick()
+            concord.sync()
+        concord.sync()
+        ref = ReferenceModel(cluster)
+        eids = [e.entity_id for e in ents]
+        assert concord.sharing(eids).value == pytest.approx(ref.sharing(eids))
+        assert concord.total_tracked_hashes == len(ref.distinct_content(eids))

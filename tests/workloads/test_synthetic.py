@@ -1,0 +1,115 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    generate_pages,
+    hpccg,
+    instantiate,
+    moldy,
+    nasty,
+    uniform_random,
+)
+
+
+class TestSpecValidation:
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1, 8, common_frac=0.8, intra_frac=0.4)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1, 8, common_frac=-0.1)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0, 8)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1, 0)
+
+    def test_with_helpers(self):
+        s = moldy(2, 64).with_entities(8).with_pages(128)
+        assert s.n_entities == 8
+        assert s.pages_per_entity == 128
+        assert s.name == "moldy"
+
+
+class TestGeneration:
+    def test_shapes(self):
+        arrays = generate_pages(moldy(3, 100, seed=1))
+        assert len(arrays) == 3
+        assert all(len(a) == 100 for a in arrays)
+        assert all(a.dtype == np.uint64 for a in arrays)
+
+    def test_deterministic(self):
+        a = generate_pages(moldy(2, 64, seed=5))
+        b = generate_pages(moldy(2, 64, seed=5))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_seed_changes_content(self):
+        a = generate_pages(moldy(2, 64, seed=1))
+        b = generate_pages(moldy(2, 64, seed=2))
+        assert not np.array_equal(a[0], b[0])
+
+    def test_nasty_globally_unique(self):
+        arrays = generate_pages(nasty(4, 256))
+        all_ids = np.concatenate(arrays)
+        assert len(np.unique(all_ids)) == len(all_ids)
+
+    def test_moldy_has_cross_entity_sharing(self):
+        arrays = generate_pages(moldy(2, 256, seed=0))
+        shared = np.intersect1d(arrays[0], arrays[1])
+        assert len(shared) > 0
+
+    def test_moldy_has_intra_sharing(self):
+        (pages,) = generate_pages(moldy(1, 256, seed=0))
+        assert len(np.unique(pages)) < len(pages)
+
+    def test_dos_decreases_with_entities_moldy(self):
+        """Fig 14a's DoS shape: more ranks -> lower distinct/total."""
+        def dos(n):
+            arrays = generate_pages(moldy(n, 256, seed=0))
+            all_ids = np.concatenate(arrays)
+            return len(np.unique(all_ids)) / len(all_ids)
+
+        d = [dos(n) for n in (1, 4, 16)]
+        assert d[0] > d[1] > d[2]
+        assert d[0] > 0.7          # single rank mostly distinct
+        assert d[2] < 0.55         # strong collective redundancy at 16
+
+    def test_uniform_random_pool_bounds_distinct(self):
+        arrays = generate_pages(uniform_random(4, 128, distinct_pool=16,
+                                               seed=1))
+        all_ids = np.concatenate(arrays)
+        assert len(np.unique(all_ids)) <= 16
+
+    def test_hpccg_moderate(self):
+        arrays = generate_pages(hpccg(4, 256, seed=0))
+        all_ids = np.concatenate(arrays)
+        dos = len(np.unique(all_ids)) / len(all_ids)
+        assert 0.5 < dos < 0.95
+
+
+class TestInstantiate:
+    def test_round_robin_placement(self):
+        c = Cluster(4)
+        ents = instantiate(c, nasty(8, 16))
+        assert [e.node_id for e in ents] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_packed_placement(self):
+        c = Cluster(2)
+        ents = instantiate(c, nasty(4, 16), placement="packed")
+        assert [e.node_id for e in ents] == [0, 0, 1, 1]
+
+    def test_bad_placement(self):
+        c = Cluster(2)
+        with pytest.raises(ValueError):
+            instantiate(c, nasty(2, 8), placement="diagonal")
+
+    def test_names_and_page_size(self):
+        c = Cluster(2)
+        ents = instantiate(c, moldy(2, 8), page_size=8192)
+        assert ents[0].name == "moldy-0"
+        assert ents[0].page_size == 8192
