@@ -75,7 +75,7 @@ def main() -> None:
     print(profiler.report().render(float_fmt="{:.3f}"))
 
     top = top_shared_content(concord, eids, n=3)
-    print(f"\nmost replicated content: "
+    print("\nmost replicated content: "
           + ", ".join(f"0x{h:012x} x{c}" for h, c in top))
 
     # -- sharing-aware placement ------------------------------------------------

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
 
 from repro.core.command import ExecMode, ServiceCallbacks
 from repro.core.executor import CommandResult, ServiceCommandExecutor

@@ -16,7 +16,7 @@ Events are lightweight tuples; the tracer indexes them by kind.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 __all__ = ["EventKind", "TraceEvent", "CommandTracer"]

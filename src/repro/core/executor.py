@@ -38,12 +38,16 @@ from repro.core.command import (
     ServiceCallbacks,
 )
 from repro.core.events import CommandTracer, EventKind
-from repro.core.scope import EntityRole, ServiceScope
+from repro.core.scope import ServiceScope
 from repro.dht.engine import ContentTracingEngine
 from repro.sim.cluster import Cluster
 from repro.util.records import ENTITY_ID_BYTES, HASH_BYTES, UDP_HEADER_BYTES
 
 __all__ = ["ServiceCommandExecutor", "CommandResult", "CommandStats", "PhaseBreakdown"]
+
+_U64 = np.uint64
+_ONE = np.uint64(1)
+_M64 = (1 << 64) - 1
 
 _MSG_OVERHEAD = UDP_HEADER_BYTES + 16
 _INVOKE_BYTES = HASH_BYTES + ENTITY_ID_BYTES + 4
@@ -88,8 +92,18 @@ class CommandStats:
 
 @dataclass
 class PhaseBreakdown:
+    """Wall time of one phase plus the critical-path node's split.
+
+    ``cpu`` and ``comm`` are the CPU and communication components *of the
+    node that attains the phase's maximum cpu+comm* (the critical path), so
+    ``cpu + comm + barrier`` (+ shared/extra wall) reconstructs ``wall``.
+    ``max_node_cpu`` is the largest CPU component across all nodes, which
+    may belong to a different node than the critical-path one.
+    """
+
     wall: float = 0.0
     max_node_cpu: float = 0.0
+    cpu: float = 0.0
     comm: float = 0.0
     barrier: float = 0.0
 
@@ -152,21 +166,28 @@ class ServiceCommandExecutor:
         self._rx[(dst, self._phase)] += size
 
     def _phase_breakdown(self, phase: str, extra_wall: float = 0.0) -> PhaseBreakdown:
+        # The cpu/comm split must come from the *same* node — the one on
+        # the critical path (max cpu+comm).  Subtracting the global max-cpu
+        # from the global max-total mixes two different nodes and
+        # misattributes the split whenever a cpu-heavy node and a
+        # comm-heavy node coexist.
         cost = self.cost
         n = self.cluster.n_nodes
-        per_node = []
+        max_cpu = max_total = crit_cpu = crit_comm = 0.0
         for node in range(n):
             cpu = self._cpu.get((node, phase), 0.0)
             comm = (self._tx.get((node, phase), 0)
                     + self._rx.get((node, phase), 0)) / cost.link_bw
-            per_node.append((cpu, comm))
-        max_cpu = max((c for c, _ in per_node), default=0.0)
-        max_total = max((c + m for c, m in per_node), default=0.0)
+            if cpu > max_cpu:
+                max_cpu = cpu
+            if cpu + comm > max_total:
+                max_total = cpu + comm
+                crit_cpu, crit_comm = cpu, comm
         shared = self._shared.get(phase, 0.0)
         barrier = cost.barrier_time(n)
         return PhaseBreakdown(wall=max_total + shared + barrier + extra_wall,
-                              max_node_cpu=max_cpu,
-                              comm=max_total - max_cpu, barrier=barrier)
+                              max_node_cpu=max_cpu, cpu=crit_cpu,
+                              comm=crit_comm, barrier=barrier)
 
     # -- main entry point -------------------------------------------------------------
 
@@ -284,7 +305,7 @@ class ServiceCommandExecutor:
         by_node: dict[int, list[int]] = defaultdict(list)
         for eid in scope.all_entities():
             by_node[cluster.node_of(eid)].append(eid)
-        out: dict[int, list[int]] = defaultdict(list)
+        out: dict[int, np.ndarray] = {}
         for node, eids in by_node.items():
             shard = self.tracing.shards[node]
             node_mask = 0
@@ -292,15 +313,21 @@ class ServiceCommandExecutor:
                 node_mask |= 1 << eid
             self._charge(node, shard.n_hashes * self.cost.query_scan_per_entry
                          * self.n_represented)
-            for h, mask in shard.items():
-                hit = mask & node_mask
-                if not hit:
-                    continue
-                for eid in eids:
-                    if hit & (1 << eid) and len(out[eid]) < sample_cap:
-                        out[eid].append(h)
-        return {eid: np.asarray(sorted(hs), dtype=np.uint64)
-                for eid, hs in out.items()}
+            hashes, lo, wide = shard.se_scan(node_mask)
+            if not len(hashes):
+                continue
+            for eid in eids:
+                if eid < 64:
+                    # se_scan keeps low-64 bits in the mask column even for
+                    # wide rows, so one bit-test covers every row.
+                    hs = hashes[((lo >> _U64(eid)) & _ONE) != 0]
+                else:
+                    bit = 1 << eid
+                    hs = np.asarray(sorted(hh for hh, m in wide.items()
+                                           if m & bit), dtype=np.uint64)
+                if len(hs):
+                    out[eid] = hs[:sample_cap]
+        return out
 
     def _collective_phase(self, service: ServiceCallbacks, scope: ServiceScope,
                           contexts: dict[int, NodeContext],
@@ -315,20 +342,53 @@ class ServiceCommandExecutor:
         R = self.n_represented
         se_mask = scope.se_mask
         scope_mask = scope.scope_mask
+        scope_lo = _U64(scope_mask & _M64)
+        se_lo = _U64(se_mask & _M64)
         handled: dict[int, tuple[Any, int, frozenset]] = {}
         invoke_cost = (cost.cmd_invoke_overhead if mode is ExecMode.INTERACTIVE
                        else cost.cmd_invoke_overhead * 0.6 + cost.cmd_plan_append)
+        # SE-holder nodes as a uint64 node bitmask per row when the cluster
+        # fits in 64 bits; memoized mask -> frozenset either way, since the
+        # distinct holder sets are few even at millions of hashes.
+        small_nodes = cluster.n_nodes <= 64
+        se_small = [eid for eid in scope.service_entities if eid < 64]
+        node_memo: dict[int, frozenset] = {}
+        se_memo: dict[int, frozenset] = {}
 
         for shard in self.tracing.shards:
             shard_node = shard.node_id
             # The shard scans its slice for hashes believed in the SEs.
             self._charge(shard_node,
                          shard.n_hashes * cost.query_scan_per_entry * R)
-            for h, mask in shard.items():
-                if not (mask & se_mask):
-                    continue
+            hashes, lo, wide = shard.se_scan(se_mask)
+            nrow = len(hashes)
+            if nrow == 0:
+                continue
+            # Candidate discovery, SE-mask filtering, and SE-holder-node
+            # masks for every believed row in one shot.
+            cand_col = (lo & scope_lo).tolist()
+            se_col = (lo & se_lo).tolist()
+            if small_nodes:
+                sebits = lo & se_lo
+                node_arr = np.zeros(nrow, dtype=_U64)
+                for seid in se_small:
+                    nb = _U64(1 << cluster.node_of(seid))
+                    node_arr |= ((sebits >> _U64(seid)) & _ONE) * nb
+                node_col = node_arr.tolist()
+            else:
+                node_col = None
+            for i, h in enumerate(hashes.tolist()):
+                if wide and h in wide:
+                    full = wide[h]
+                    cand_mask = full & scope_mask
+                    se_part = full & se_mask
+                    node_key = None
+                else:
+                    cand_mask = cand_col[i]
+                    se_part = se_col[i]
+                    node_key = node_col[i] if node_col is not None else None
                 stats.believed_hashes += 1
-                candidates = self._mask_bits(mask & scope_mask)
+                candidates = self._mask_bits(cand_mask)
                 if not candidates:
                     continue
                 self._charge(shard_node, cost.cmd_select_overhead * R)
@@ -365,9 +425,19 @@ class ServiceCommandExecutor:
                     ok = True
                     break
                 if ok:
-                    se_holder_nodes = frozenset(
-                        cluster.node_of(e)
-                        for e in self._mask_bits(mask & se_mask))
+                    if node_key is not None:
+                        se_holder_nodes = node_memo.get(node_key)
+                        if se_holder_nodes is None:
+                            se_holder_nodes = frozenset(
+                                self._mask_bits(node_key))
+                            node_memo[node_key] = se_holder_nodes
+                    else:
+                        se_holder_nodes = se_memo.get(se_part)
+                        if se_holder_nodes is None:
+                            se_holder_nodes = frozenset(
+                                cluster.node_of(e)
+                                for e in self._mask_bits(se_part))
+                            se_memo[se_part] = se_holder_nodes
                     handled[h] = (private, shard_node, se_holder_nodes)
                     stats.handled += 1
                     self._emit(EventKind.HANDLED, h, eid)

@@ -9,7 +9,7 @@ developer a chance to refine or reorder it first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 __all__ = ["PlanOp", "ExecutionPlan"]

@@ -76,10 +76,8 @@ class ContentTracingEngine:
         """
         self.stats.updates_routed += len(inserts) + len(removes)
         if not self.use_network:
-            for h, eid in inserts:
-                self._shard_of(h).insert(h, eid)
-            for h, eid in removes:
-                self._shard_of(h).remove(h, eid)
+            self._apply_grouped(inserts, op="i")
+            self._apply_grouped(removes, op="r")
             self.stats.updates_applied += len(inserts) + len(removes)
             return
         batches = (self._make_batches(src_node, inserts, "i")
@@ -114,12 +112,42 @@ class ContentTracingEngine:
                     n_represented=self.n_represented))
         return out
 
+    def _apply_grouped(self, updates: list[tuple[int, int]], op: str) -> None:
+        """Apply (hash, entity) updates to their home shards via the bulk
+        APIs (synchronous, lossless path)."""
+        if not updates:
+            return
+        n = len(updates)
+        hashes = np.fromiter((u[0] for u in updates), dtype=np.uint64,
+                             count=n)
+        eids = np.fromiter((u[1] for u in updates), dtype=np.int64, count=n)
+        if self.partition.n_nodes == 1:
+            groups = {0: slice(None)}
+        else:
+            groups = self.partition.group_by_home(hashes)
+        for dst, idxs in groups.items():
+            shard = self.shards[dst]
+            if op == "i":
+                shard.bulk_insert(hashes[idxs], eids[idxs])
+            else:
+                shard.bulk_remove(hashes[idxs], eids[idxs])
+
     def _apply_batch(self, batch: UpdateBatch) -> None:
         shard = self.shards[batch.dst_node]
-        for h, eid in batch.inserts:
-            shard.insert(h, eid)
-        for h, eid in batch.removes:
-            shard.remove(h, eid)
+        if batch.inserts:
+            n = len(batch.inserts)
+            shard.bulk_insert(
+                np.fromiter((u[0] for u in batch.inserts), dtype=np.uint64,
+                            count=n),
+                np.fromiter((u[1] for u in batch.inserts), dtype=np.int64,
+                            count=n))
+        if batch.removes:
+            n = len(batch.removes)
+            shard.bulk_remove(
+                np.fromiter((u[0] for u in batch.removes), dtype=np.uint64,
+                            count=n),
+                np.fromiter((u[1] for u in batch.removes), dtype=np.int64,
+                            count=n))
         self.stats.updates_applied += len(batch.inserts) + len(batch.removes)
 
     # -- lookups ---------------------------------------------------------------------

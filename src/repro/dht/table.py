@@ -4,31 +4,137 @@
 it holds to a bitmap representation of the set of entities that currently
 have the corresponding content" (paper §3.3).
 
-Representation: the common case — a set of single-copy holders — is stored
-as an arbitrary-precision integer bitmask (bit *i* = entity *i*), which is
-compact and gives O(1) membership/popcount via ``int.bit_count``.  Entities
-holding *multiple* copies of the same block (the reason ``num_copies`` can
-exceed the entity count) are tracked in a sparse per-hash overflow table,
-mirroring :class:`repro.util.bitmap.EntityBitmap` semantics without paying
-an object per entry.
+Representation: a *columnar*, NumPy-native core.  The packed state is a
+sorted ``uint64`` hash array (``_ph``) plus a parallel ``uint64`` column
+holding each hash's entity bitmask for entities 0..63 (``_pm``).  Masks
+that need bits >= 64 spill their high part (``mask >> 64``, an arbitrary-
+precision Python int) into the sparse ``_pw`` dict — the common scope sizes
+stay pure array data, and wide scopes remain exactly as expressive as the
+old per-hash Python-int masks.  Point updates land in a small dict overlay
+(``_delta``: hash -> current *full* mask, 0 meaning deleted) that is merged
+into the packed columns once it grows past a fraction of the table —
+classic LSM-style amortization, so per-update cost stays O(1) amortized
+while every scan-shaped consumer gets contiguous arrays to vectorize over.
+
+Entities holding *multiple* copies of the same block (the reason
+``num_copies`` can exceed the entity count) are tracked in a sparse
+per-hash overflow table (``_extra``), mirroring
+:class:`repro.util.bitmap.EntityBitmap` semantics without paying an object
+per entry.
+
+Bulk APIs (:meth:`bulk_insert`, :meth:`bulk_remove`, :meth:`se_scan`,
+:meth:`items_arrays`, :meth:`bulk_masks`, :meth:`bulk_num_copies`) are
+observationally equivalent to looping the per-item operations; the
+property suite in ``tests/properties/test_props_columnar.py`` checks this
+for interleaved sequences including the wide-mask spill path.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
+
+import numpy as np
 
 __all__ = ["LocalDHT"]
 
+_U64 = np.uint64
+_M64 = (1 << 64) - 1
+_ONE = _U64(1)
+
+# Point updates buffer in the delta overlay until it reaches
+# max(_COMPACT_MIN, packed_size >> _COMPACT_SHIFT) entries; merging then
+# costs O(packed) but is amortized O(1) per update.
+_COMPACT_MIN = 4096
+_COMPACT_SHIFT = 3
+
+# Below this many updates the per-pair NumPy machinery costs more than the
+# scalar path; batches this small fall back to per-item insert/remove.
+_BULK_MIN = 8
+
 
 class LocalDHT:
-    """hash -> (entity bitmask, sparse extra-copy counts)."""
+    """hash -> (entity bitmask, sparse extra-copy counts), columnar."""
 
     def __init__(self, node_id: int = 0) -> None:
         self.node_id = node_id
-        self._map: dict[int, int] = {}
+        self._ph = np.empty(0, dtype=_U64)   # packed hashes, sorted
+        self._pm = np.empty(0, dtype=_U64)   # packed masks, bits 0..63
+        self._pw: dict[int, int] = {}        # hash -> mask >> 64 (wide spill)
+        self._delta: dict[int, int] = {}     # hash -> full mask (0 = deleted)
         # hash -> {entity_id: extra copies beyond the first}
         self._extra: dict[int, dict[int, int]] = {}
         self._total_copies = 0
+        self._n_hashes = 0
+
+    # -- internal: packed/overlay plumbing --------------------------------------------
+
+    def _mask_of(self, h: int) -> int:
+        """Current full entity mask of a hash (overlay wins over packed)."""
+        m = self._delta.get(h)
+        if m is not None:
+            return m
+        ph = self._ph
+        i = int(np.searchsorted(ph, _U64(h)))
+        if i < len(ph) and int(ph[i]) == h:
+            lo = int(self._pm[i])
+            hi = self._pw.get(h)
+            return lo if hi is None else lo | (hi << 64)
+        return 0
+
+    def _maybe_compact(self) -> None:
+        if len(self._delta) >= max(_COMPACT_MIN,
+                                   len(self._ph) >> _COMPACT_SHIFT):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge the delta overlay into the packed columns."""
+        delta = self._delta
+        if not delta:
+            return
+        n = len(delta)
+        dk = np.fromiter(delta.keys(), dtype=_U64, count=n)
+        dl = np.fromiter((v & _M64 for v in delta.values()), dtype=_U64,
+                         count=n)
+        dead = np.fromiter((v == 0 for v in delta.values()), dtype=bool,
+                           count=n)
+        order = np.argsort(dk, kind="stable")
+        dk, dl, dead = dk[order], dl[order], dead[order]
+        # Wide spill: delta values are full masks, so the high part can be
+        # refreshed (or dropped) wholesale.
+        for h, v in delta.items():
+            hi = v >> 64
+            if hi:
+                self._pw[h] = hi
+            elif self._pw:
+                self._pw.pop(h, None)
+        self._merge_sorted(dk, dl, dead)
+        delta.clear()
+
+    def _merge_sorted(self, keys: np.ndarray, lo: np.ndarray,
+                      dead: np.ndarray) -> None:
+        """Merge sorted (key, low-mask, deleted?) columns into the packed
+        arrays: update rows that exist, drop dead ones, insert the rest."""
+        ph, pm = self._ph, self._pm
+        pos = np.searchsorted(ph, keys)
+        in_range = pos < len(ph)
+        exists = np.zeros(len(keys), dtype=bool)
+        if in_range.any():
+            exists[in_range] = ph[pos[in_range]] == keys[in_range]
+        upd = exists & ~dead
+        if upd.any():
+            pm[pos[upd]] = lo[upd]
+        del_rows = pos[exists & dead]
+        if len(del_rows):
+            keep = np.ones(len(ph), dtype=bool)
+            keep[del_rows] = False
+            ph, pm = ph[keep], pm[keep]
+        new = ~exists & ~dead
+        if new.any():
+            nk, nv = keys[new], lo[new]
+            ins = np.searchsorted(ph, nk)
+            ph = np.insert(ph, ins, nk)
+            pm = np.insert(pm, ins, nv)
+        self._ph, self._pm = ph, pm
 
     # -- updates (paper Fig 3: insert/remove) ------------------------------------------
 
@@ -36,19 +142,22 @@ class LocalDHT:
         """Record one more copy of ``content_hash`` held by ``entity_id``."""
         h = int(content_hash)
         bit = 1 << entity_id
-        mask = self._map.get(h, 0)
+        mask = self._mask_of(h)
         if mask & bit:
             extra = self._extra.setdefault(h, {})
             extra[entity_id] = extra.get(entity_id, 0) + 1
         else:
-            self._map[h] = mask | bit
+            if mask == 0:
+                self._n_hashes += 1
+            self._delta[h] = mask | bit
+            self._maybe_compact()
         self._total_copies += 1
 
     def remove(self, content_hash: int, entity_id: int) -> bool:
         """Drop one copy; returns False if none was recorded (lost/stale)."""
         h = int(content_hash)
         bit = 1 << entity_id
-        mask = self._map.get(h, 0)
+        mask = self._mask_of(h)
         if not mask & bit:
             return False
         extra = self._extra.get(h)
@@ -61,46 +170,280 @@ class LocalDHT:
                 extra[entity_id] -= 1
         else:
             mask &= ~bit
-            if mask:
-                self._map[h] = mask
-            else:
-                del self._map[h]
+            self._delta[h] = mask
+            if mask == 0:
+                self._n_hashes -= 1
                 self._extra.pop(h, None)
+            self._maybe_compact()
         self._total_copies -= 1
         return True
 
+    # -- bulk updates ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_pairs(hashes, entity_ids) -> tuple[np.ndarray, np.ndarray]:
+        h = np.ascontiguousarray(hashes, dtype=_U64)
+        e = np.asarray(entity_ids, dtype=np.int64)
+        if e.ndim == 0:
+            e = np.full(len(h), int(e), dtype=np.int64)
+        if len(e) != len(h):
+            raise ValueError("hashes and entity_ids must have equal length")
+        return h, e
+
+    def _group_pairs(self, h: np.ndarray, e: np.ndarray):
+        """Sort (hash, eid) pairs, dedupe, and group by hash.
+
+        Returns (pair_hash, pair_eid, pair_count, hash_starts, uniq_hash,
+        cur_lo, cur_hi) where cur_lo/cur_hi are the *current* masks of each
+        unique hash (delta overlay and wide spill already folded in; cur_hi
+        maps unique-hash index -> high part, sparse).
+        """
+        order = np.lexsort((e, h))
+        hs, es = h[order], e[order]
+        n = len(hs)
+        newpair = np.empty(n, dtype=bool)
+        newpair[0] = True
+        newpair[1:] = (hs[1:] != hs[:-1]) | (es[1:] != es[:-1])
+        starts = np.flatnonzero(newpair)
+        counts = np.diff(np.append(starts, n))
+        ph, pe = hs[starts], es[starts]
+        newhash = np.empty(len(ph), dtype=bool)
+        newhash[0] = True
+        newhash[1:] = ph[1:] != ph[:-1]
+        hstarts = np.flatnonzero(newhash)
+        uh = ph[hstarts]
+        pos = np.searchsorted(self._ph, uh)
+        in_range = pos < len(self._ph)
+        found = np.zeros(len(uh), dtype=bool)
+        if in_range.any():
+            found[in_range] = self._ph[pos[in_range]] == uh[in_range]
+        cur_lo = np.zeros(len(uh), dtype=_U64)
+        if found.any():
+            cur_lo[found] = self._pm[pos[found]]
+        cur_hi: dict[int, int] = {}
+        delta, pw = self._delta, self._pw
+        if delta or pw:
+            for i, hh in enumerate(uh.tolist()):
+                m = delta.get(hh)
+                if m is not None:
+                    cur_lo[i] = m & _M64
+                    hi = m >> 64
+                    if hi:
+                        cur_hi[i] = hi
+                elif pw:
+                    hi = pw.get(hh)
+                    if hi is not None:
+                        cur_hi[i] = hi
+        return ph, pe, counts, hstarts, uh, cur_lo, cur_hi
+
+    def bulk_insert(self, hashes, entity_ids) -> None:
+        """Vectorized equivalent of ``insert`` looped over parallel arrays.
+
+        ``entity_ids`` may be a scalar (broadcast over all hashes).  Large
+        batches bypass the delta overlay and merge straight into the packed
+        columns.
+        """
+        h, e = self._as_pairs(hashes, entity_ids)
+        n = len(h)
+        if n == 0:
+            return
+        wide = e >= 64
+        if wide.any():
+            for hh, ee in zip(h[wide].tolist(), e[wide].tolist()):
+                self.insert(hh, ee)
+            h, e = h[~wide], e[~wide]
+            n = len(h)
+            if n == 0:
+                return
+        if n < _BULK_MIN:
+            for hh, ee in zip(h.tolist(), e.tolist()):
+                self.insert(hh, ee)
+            return
+        ph, pe, counts, hstarts, uh, cur_lo, cur_hi = self._group_pairs(h, e)
+        bits = _ONE << pe.astype(_U64)
+        # pair -> unique-hash index
+        gid = np.zeros(len(ph), dtype=np.int64)
+        gid[hstarts] = 1
+        gid = np.cumsum(gid) - 1
+        held = ((cur_lo[gid] >> pe.astype(_U64)) & _ONE).astype(bool)
+        # Extra-copy accounting: a pair seen c times contributes c copies,
+        # of which (c - 1 + already_held) land in the overflow table.
+        extra_add = counts - 1 + held
+        for j in np.flatnonzero(extra_add > 0).tolist():
+            hh, ee = int(ph[j]), int(pe[j])
+            ex = self._extra.setdefault(hh, {})
+            ex[ee] = ex.get(ee, 0) + int(extra_add[j])
+        or_mask = np.bitwise_or.reduceat(bits, hstarts)
+        was_zero = cur_lo == 0
+        if cur_hi:
+            for i in cur_hi:
+                was_zero[i] = False
+        new_lo = cur_lo | or_mask
+        self._n_hashes += int(was_zero.sum())
+        self._total_copies += n
+        self._write_back(uh, new_lo, cur_hi)
+
+    def bulk_remove(self, hashes, entity_ids) -> int:
+        """Vectorized equivalent of ``remove`` looped over parallel arrays.
+
+        Returns the number of removals actually applied (stale/unknown
+        (hash, entity) pairs are skipped, exactly as ``remove`` returns
+        False for them).
+        """
+        h, e = self._as_pairs(hashes, entity_ids)
+        n = len(h)
+        if n == 0:
+            return 0
+        applied = 0
+        wide = e >= 64
+        if wide.any():
+            for hh, ee in zip(h[wide].tolist(), e[wide].tolist()):
+                applied += bool(self.remove(hh, ee))
+            h, e = h[~wide], e[~wide]
+            n = len(h)
+            if n == 0:
+                return applied
+        if n < _BULK_MIN:
+            for hh, ee in zip(h.tolist(), e.tolist()):
+                applied += bool(self.remove(hh, ee))
+            return applied
+        ph, pe, counts, hstarts, uh, cur_lo, cur_hi = self._group_pairs(h, e)
+        gid = np.zeros(len(ph), dtype=np.int64)
+        gid[hstarts] = 1
+        gid = np.cumsum(gid) - 1
+        held = ((cur_lo[gid] >> pe.astype(_U64)) & _ONE).astype(bool)
+        clear = held.copy()
+        applied_arr = held.astype(np.int64)
+        if self._extra:
+            ex_tab = self._extra
+            for j in np.flatnonzero(held).tolist():
+                hh = int(ph[j])
+                ex = ex_tab.get(hh)
+                if ex is None:
+                    continue
+                ee = int(pe[j])
+                have = ex.get(ee)
+                if have is None:
+                    continue
+                c = int(counts[j])
+                peel = min(c, have)
+                if have > peel:
+                    ex[ee] = have - peel
+                else:
+                    del ex[ee]
+                    if not ex:
+                        del ex_tab[hh]
+                if c > peel:
+                    applied_arr[j] = peel + 1        # extras, then the bit
+                else:
+                    applied_arr[j] = peel
+                    clear[j] = False                 # bit survives
+        bits = _ONE << pe.astype(_U64)
+        clear_mask = np.bitwise_or.reduceat(
+            np.where(clear, bits, _U64(0)), hstarts)
+        new_lo = cur_lo & ~clear_mask
+        died = (new_lo == 0) & (cur_lo != 0)
+        if cur_hi:
+            for i in cur_hi:
+                died[i] = False
+        n_died = int(died.sum())
+        if n_died and self._extra:
+            for i in np.flatnonzero(died).tolist():
+                self._extra.pop(int(uh[i]), None)
+        self._n_hashes -= n_died
+        batch_applied = int(applied_arr.sum())
+        self._total_copies -= batch_applied
+        self._write_back(uh, new_lo, cur_hi)
+        return applied + batch_applied
+
+    def _write_back(self, uh: np.ndarray, new_lo: np.ndarray,
+                    cur_hi: dict[int, int]) -> None:
+        """Store updated masks: straight into the packed columns when the
+        overlay is empty and the batch is large, else via the overlay."""
+        if not self._delta and len(uh) >= max(_COMPACT_MIN,
+                                              len(self._ph)
+                                              >> _COMPACT_SHIFT):
+            # uh is sorted (grouped output); high parts are untouched by
+            # the <64 bulk paths, so _pw needs no update here.
+            dead = new_lo == 0
+            if cur_hi:
+                for i in cur_hi:
+                    dead[i] = False
+            self._merge_sorted(uh, new_lo, dead)
+            return
+        delta = self._delta
+        if cur_hi:
+            lo_list = new_lo.tolist()
+            for i, hh in enumerate(uh.tolist()):
+                delta[hh] = lo_list[i] | (cur_hi.get(i, 0) << 64)
+        else:
+            for hh, m in zip(uh.tolist(), new_lo.tolist()):
+                delta[hh] = m
+        self._maybe_compact()
+
     def remove_entity(self, entity_id: int) -> int:
         """Purge every record of an entity (it left the system)."""
-        bit = 1 << entity_id
+        self._compact()
         removed = 0
-        dead = []
-        for h, mask in self._map.items():
-            if mask & bit:
-                copies = 1 + self._extra.get(h, {}).pop(entity_id, 0)
-                removed += copies
-                mask &= ~bit
-                if mask:
-                    self._map[h] = mask
-                else:
-                    dead.append(h)
-        for h in dead:
-            del self._map[h]
-            self._extra.pop(h, None)
+        if entity_id < 64:
+            bit = _ONE << _U64(entity_id)
+            # For entity_id < 64 the bit lives in the packed low column
+            # even for wide rows, so sel is complete.
+            sel = (self._pm & bit) != 0
+            n_sel = int(sel.sum())
+            if n_sel == 0:
+                return 0
+            removed = n_sel
+            if self._extra:
+                for h in [h for h, ex in self._extra.items()
+                          if entity_id in ex]:
+                    if self._mask_of(h) & (1 << entity_id):
+                        ex = self._extra[h]
+                        removed += ex.pop(entity_id)
+                        if not ex:
+                            del self._extra[h]
+            new_pm = self._pm & ~bit
+            dead = sel & (new_pm == 0)
+            if self._pw:
+                for h in self._pw:
+                    i = int(np.searchsorted(self._ph, _U64(h)))
+                    dead[i] = False
+            self._pm = new_pm
+            if dead.any():
+                for h in self._ph[dead].tolist():
+                    self._extra.pop(h, None)
+                self._n_hashes -= int(dead.sum())
+                keep = ~dead
+                self._ph, self._pm = self._ph[keep], self._pm[keep]
+        else:
+            hi_bit = 1 << (entity_id - 64)
+            affected = [h for h, hi in self._pw.items() if hi & hi_bit]
+            for h in affected:
+                removed += 1
+                removed += self._extra.get(h, {}).pop(entity_id, 0)
+                if not self._extra.get(h, True):
+                    del self._extra[h]
+                mask = self._mask_of(h) & ~(1 << entity_id)
+                self._delta[h] = mask
+                if mask == 0:
+                    self._n_hashes -= 1
+                    self._extra.pop(h, None)
+            self._compact()
         self._total_copies -= removed
         return removed
 
     # -- lookups -----------------------------------------------------------------------
 
     def __contains__(self, content_hash: int) -> bool:
-        return int(content_hash) in self._map
+        return self._mask_of(int(content_hash)) != 0
 
     def entities_mask(self, content_hash: int) -> int:
         """Bitmask of distinct entities believed to hold the hash."""
-        return self._map.get(int(content_hash), 0)
+        return self._mask_of(int(content_hash))
 
     def entity_ids(self, content_hash: int) -> list[int]:
         """Distinct holder entity IDs, ascending."""
-        mask = self._map.get(int(content_hash), 0)
+        mask = self._mask_of(int(content_hash))
         out = []
         while mask:
             low = mask & -mask
@@ -109,12 +452,12 @@ class LocalDHT:
         return out
 
     def num_entities(self, content_hash: int) -> int:
-        return self._map.get(int(content_hash), 0).bit_count()
+        return self._mask_of(int(content_hash)).bit_count()
 
     def num_copies(self, content_hash: int) -> int:
         """Total copies across entities (the node-wise num_copies query)."""
         h = int(content_hash)
-        base = self._map.get(h, 0).bit_count()
+        base = self._mask_of(h).bit_count()
         if base and h in self._extra:
             base += sum(self._extra[h].values())
         return base
@@ -123,24 +466,119 @@ class LocalDHT:
         """Sparse {entity: copies beyond the first} overflow for a hash."""
         return self._extra.get(int(content_hash), {})
 
+    def extra_items(self) -> Iterable[tuple[int, dict[int, int]]]:
+        """All (hash, overflow dict) entries; sparse, usually tiny."""
+        return self._extra.items()
+
     def copies_of(self, content_hash: int, entity_id: int) -> int:
         h = int(content_hash)
-        if not self._map.get(h, 0) & (1 << entity_id):
+        if not self._mask_of(h) & (1 << entity_id):
             return 0
         return 1 + self._extra.get(h, {}).get(entity_id, 0)
+
+    # -- columnar views / vectorized scans ---------------------------------------------
+
+    def items_arrays(self) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
+        """Columnar view: (sorted hashes, low-64 masks, wide spill).
+
+        The arrays are the live packed columns — treat them as read-only.
+        ``wide`` maps hash -> ``full_mask >> 64`` for the (rare) entries
+        with holders beyond entity 63; a row's full mask is
+        ``int(masks[i]) | (wide.get(int(hashes[i]), 0) << 64)``.
+        """
+        self._compact()
+        return self._ph, self._pm, self._pw
+
+    def se_scan(self, se_mask: int) \
+            -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
+        """Vectorized shard scan: entries intersecting an entity-set mask.
+
+        Returns ``(hashes, masks_lo, wide)``: the sorted believed hashes
+        whose holder set intersects ``se_mask``, their low-64 holder masks,
+        and — for returned rows with holders >= entity 64 — a dict
+        hash -> *full* mask.  This is the one-shot candidate-discovery
+        primitive behind the executor's collective phase and the collective
+        queries.
+        """
+        self._compact()
+        lo = _U64(se_mask & _M64)
+        sel = (self._pm & lo) != _U64(0)
+        wide_out: dict[int, int] = {}
+        if self._pw:
+            hi_mask = se_mask >> 64
+            for h, hi in self._pw.items():
+                i = int(np.searchsorted(self._ph, _U64(h)))
+                if hi_mask and (hi & hi_mask):
+                    sel[i] = True
+                if sel[i]:
+                    wide_out[h] = int(self._pm[i]) | (hi << 64)
+        # flatnonzero + take is several times faster than boolean fancy
+        # indexing here, and this is the hottest line in the scan paths.
+        idx = np.flatnonzero(sel)
+        return self._ph.take(idx), self._pm.take(idx), wide_out
+
+    def bulk_masks(self, hashes) -> tuple[np.ndarray, dict[int, int]]:
+        """Vectorized point lookup: low-64 masks for an array of hashes
+        (0 for unknown hashes) plus the full-mask dict for wide rows."""
+        self._compact()
+        q = np.ascontiguousarray(hashes, dtype=_U64)
+        pos = np.searchsorted(self._ph, q)
+        in_range = pos < len(self._ph)
+        out = np.zeros(len(q), dtype=_U64)
+        if in_range.any():
+            hit = np.zeros(len(q), dtype=bool)
+            hit[in_range] = self._ph[pos[in_range]] == q[in_range]
+            out[hit] = self._pm[pos[hit]]
+        wide_out: dict[int, int] = {}
+        if self._pw:
+            for i, hh in enumerate(q.tolist()):
+                hi = self._pw.get(hh)
+                if hi is not None:
+                    wide_out[hh] = int(out[i]) | (hi << 64)
+        return out, wide_out
+
+    def bulk_num_copies(self, hashes) -> np.ndarray:
+        """Vectorized ``num_copies`` over an array of hashes."""
+        masks, wide = self.bulk_masks(hashes)
+        counts = np.bitwise_count(masks).astype(np.int64)
+        q = np.asarray(hashes, dtype=_U64)
+        if wide:
+            for i, hh in enumerate(q.tolist()):
+                if hh in wide:
+                    counts[i] = wide[hh].bit_count()
+        if self._extra:
+            qset = {}
+            for i, hh in enumerate(q.tolist()):
+                qset.setdefault(hh, []).append(i)
+            for h, ex in self._extra.items():
+                rows = qset.get(h)
+                if rows:
+                    add = sum(ex.values())
+                    for i in rows:
+                        if counts[i]:
+                            counts[i] += add
+        return counts
 
     # -- iteration / stats -----------------------------------------------------------
 
     def items(self) -> Iterator[tuple[int, int]]:
-        """(hash, entity mask) pairs in this shard."""
-        return iter(self._map.items())
+        """(hash, entity mask) pairs in this shard, in sorted hash order."""
+        self._compact()
+        pw = self._pw
+        if pw:
+            for h, lo in zip(self._ph.tolist(), self._pm.tolist()):
+                hi = pw.get(h)
+                yield (h, lo) if hi is None else (h, lo | (hi << 64))
+        else:
+            yield from zip(self._ph.tolist(), self._pm.tolist())
 
     def hashes(self) -> Iterator[int]:
-        return iter(self._map.keys())
+        self._compact()
+        return iter(self._ph.tolist())
 
     @property
     def n_hashes(self) -> int:
-        return len(self._map)
+        return self._n_hashes
 
     @property
     def n_copies(self) -> int:
@@ -151,6 +589,10 @@ class LocalDHT:
         return len(self._extra)
 
     def clear(self) -> None:
-        self._map.clear()
+        self._ph = np.empty(0, dtype=_U64)
+        self._pm = np.empty(0, dtype=_U64)
+        self._pw.clear()
+        self._delta.clear()
         self._extra.clear()
         self._total_copies = 0
+        self._n_hashes = 0

@@ -22,7 +22,6 @@ Every runner returns a Table whose series names match the figure legend.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,7 +30,6 @@ from repro.core.concord import ConCORD
 from repro.core.scope import ServiceScope
 from repro.dht.allocator import malloc_model_bytes, slab_model_bytes
 from repro.dht.table import LocalDHT
-from repro.memory.monitor import MonitorMode
 from repro.services.checkpoint import (
     CheckpointStore,
     CollectiveCheckpoint,
@@ -109,8 +107,7 @@ def run_fig05(sizes=(100_000, 400_000, 1_600_000, 4_000_000),
     for size in sizes:
         dht = LocalDHT()
         keys = rng.integers(0, 2**63, size=size, dtype=np.uint64)
-        for k in keys.tolist():
-            dht.insert(k, 0)
+        dht.bulk_insert(keys, 0)
         probe = rng.integers(2**63, 2**64 - 1, size=reps * 3,
                              dtype=np.uint64).tolist()
         it = iter(probe)
@@ -216,8 +213,7 @@ def run_fig08(sizes=(250_000, 1_000_000, 4_000_000),
     for size in sizes:
         dht = LocalDHT()
         keys = rng.integers(0, 2**63, size=size, dtype=np.uint64)
-        for k in keys.tolist():
-            dht.insert(k, 0)
+        dht.bulk_insert(keys, 0)
         probes = rng.choice(keys, size=reps * 3).tolist()
         it = iter(probes)
         c_copies = _time_op(lambda: dht.num_copies(next(it)), reps) * 1e9

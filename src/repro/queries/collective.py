@@ -31,13 +31,18 @@ for distributing the DHT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dht.engine import ContentTracingEngine
 from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
 
 __all__ = ["CollectiveAnswer", "CollectiveQueryEngine", "SharingBreakdown"]
+
+_U64 = np.uint64
+_M64 = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -87,35 +92,57 @@ class CollectiveQueryEngine:
             node_masks[node] = node_masks.get(node, 0) | bit
         return s_mask, node_masks
 
-    def _shard_copies(self, shard, h: int, mask_in_s: int) -> int:
-        copies = mask_in_s.bit_count()
-        extra = shard.extra_copies(h)
-        if extra:
-            for eid, extra_copies in extra.items():
-                if mask_in_s & (1 << eid):
-                    copies += extra_copies
-        return copies
+    def _shard_in_s_copies(self, shard, s_mask: int) \
+            -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+        """Columnar scan of one shard against an entity-set mask.
+
+        Returns ``(hashes, in_s_lo, copies, wide)``: the believed hashes
+        intersecting S, their low-64 in-S holder bits, the exact per-hash
+        copy count inside S (extras and wide holders folded in), and the
+        full-mask dict for wide rows.
+        """
+        hashes, lo, wide = shard.se_scan(s_mask)
+        n = len(hashes)
+        if n == 0:
+            return hashes, lo, np.empty(0, dtype=np.int64), wide
+        in_s_lo = lo & _U64(s_mask & _M64)
+        copies = np.bitwise_count(in_s_lo).astype(np.int64)
+        if wide:
+            for h, full in wide.items():
+                i = int(np.searchsorted(hashes, _U64(h)))
+                copies[i] = (full & s_mask).bit_count()
+        for h, ex in shard.extra_items():
+            i = int(np.searchsorted(hashes, _U64(h)))
+            if i >= n or int(hashes[i]) != h:
+                continue
+            in_s = (wide[h] if h in wide else int(in_s_lo[i])) & s_mask
+            copies[i] += sum(c for eid, c in ex.items()
+                             if in_s & (1 << eid))
+        return hashes, in_s_lo, copies, wide
 
     def _shard_breakdown(self, shard, s_mask: int,
                          node_masks: dict[int, int]) -> SharingBreakdown:
         out = SharingBreakdown()
-        for h, mask in shard.items():
-            in_s = mask & s_mask
-            if not in_s:
-                continue
-            copies = self._shard_copies(shard, h, in_s)
-            out.total_copies += copies
-            out.distinct += 1
-            nodes_holding = 0
-            intra = 0
-            for node, nmask in node_masks.items():
-                node_bits = in_s & nmask
-                if node_bits:
-                    nodes_holding += 1
-                    node_copies = self._shard_copies(shard, h, node_bits)
-                    intra += node_copies - 1
-            out.intra_dup += intra
-            out.inter_dup += nodes_holding - 1
+        hashes, in_s_lo, copies, wide = self._shard_in_s_copies(shard, s_mask)
+        n = len(hashes)
+        if n == 0:
+            return out
+        # Each copy inside S belongs to exactly one node, so per hash
+        # intra = copies - nodes_holding and inter = nodes_holding - 1 —
+        # the same split the per-node loop used to compute entry by entry.
+        nodes_holding = np.zeros(n, dtype=np.int64)
+        for _node, nmask in node_masks.items():
+            nodes_holding += (in_s_lo & _U64(nmask & _M64)) != 0
+        if wide:
+            for h, full in wide.items():
+                i = int(np.searchsorted(hashes, _U64(h)))
+                in_s = full & s_mask
+                nodes_holding[i] = sum(1 for _node, nmask in node_masks.items()
+                                       if in_s & nmask)
+        out.total_copies = int(copies.sum())
+        out.distinct = n
+        out.intra_dup = int(copies.sum()) - int(nodes_holding.sum())
+        out.inter_dup = int(nodes_holding.sum()) - n
         return out
 
     # -- latency model -------------------------------------------------------------
@@ -188,10 +215,8 @@ class CollectiveQueryEngine:
         s_mask, _ = self._entity_masks(entity_ids)
         count = 0
         for shard in self.engine.shards:
-            for h, mask in shard.items():
-                in_s = mask & s_mask
-                if in_s and self._shard_copies(shard, h, in_s) >= k:
-                    count += 1
+            _hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
+            count += int((copies >= k).sum())
         return self._answer(count * self.n_represented, exec_mode)
 
     def shared_content(self, entity_ids: list[int], k: int,
@@ -201,9 +226,8 @@ class CollectiveQueryEngine:
         s_mask, _ = self._entity_masks(entity_ids)
         hashes: set[int] = set()
         for shard in self.engine.shards:
-            for h, mask in shard.items():
-                in_s = mask & s_mask
-                if in_s and self._shard_copies(shard, h, in_s) >= k:
-                    hashes.add(h)
+            hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
+            if len(hs):
+                hashes.update(hs[copies >= k].tolist())
         return self._answer(hashes, exec_mode,
                             result_bytes=8 * len(hashes) * self.n_represented)

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dht.engine import ContentTracingEngine
 from repro.sim.costmodel import CostModel
 
-__all__ = ["num_copies", "entities", "NodewiseAnswer"]
+__all__ = ["num_copies", "entities", "num_copies_batch", "entities_batch",
+           "NodewiseAnswer"]
 
 
 @dataclass(frozen=True)
@@ -55,3 +58,58 @@ def entities(engine: ContentTracingEngine, cost: CostModel,
     return NodewiseAnswer(set(ids),
                           _latency(cost, compute, issuing_node, home, resp_bytes),
                           compute)
+
+
+def num_copies_batch(engine: ContentTracingEngine, cost: CostModel,
+                     content_hashes, issuing_node: int = 0) -> NodewiseAnswer:
+    """Vectorized ``num_copies`` over an array of hashes.
+
+    One request per home shard, answered via the shard's columnar
+    ``bulk_num_copies``; per-shard requests travel in parallel, so the
+    modelled latency is the slowest shard's round trip.  ``value`` is an
+    ``int64`` array aligned with the input order.
+    """
+    q = np.ascontiguousarray(content_hashes, dtype=np.uint64)
+    values = np.zeros(len(q), dtype=np.int64)
+    latency = 0.0
+    total_compute = 0.0
+    for home, idx in engine.partition.group_by_home(q).items():
+        shard = engine.shards[home]
+        values[idx] = shard.bulk_num_copies(q[idx])
+        compute = cost.query_compute_base \
+            + cost.query_scan_per_entry * (len(idx) - 1)
+        total_compute += compute
+        latency = max(latency, _latency(cost, compute, issuing_node, home,
+                                        8 * len(idx)))
+    return NodewiseAnswer(values, latency, total_compute)
+
+
+def entities_batch(engine: ContentTracingEngine, cost: CostModel,
+                   content_hashes, issuing_node: int = 0) -> NodewiseAnswer:
+    """Vectorized ``entities`` over an array of hashes.
+
+    ``value`` is a list of holder-ID sets aligned with the input order,
+    derived from each home shard's columnar ``bulk_masks`` lookup.
+    """
+    q = np.ascontiguousarray(content_hashes, dtype=np.uint64)
+    values: list[set[int]] = [set() for _ in range(len(q))]
+    latency = 0.0
+    total_compute = 0.0
+    for home, idx in engine.partition.group_by_home(q).items():
+        shard = engine.shards[home]
+        masks_lo, wide = shard.bulk_masks(q[idx])
+        n_ids = 0
+        for row, (j, hh) in enumerate(zip(idx.tolist(), q[idx].tolist())):
+            mask = wide.get(hh, int(masks_lo[row]))
+            ids = values[j]
+            while mask:
+                low = mask & -mask
+                ids.add(low.bit_length() - 1)
+                mask ^= low
+            n_ids += len(ids)
+        compute = cost.query_compute_base * 1.6 \
+            + cost.query_scan_per_entry * (len(idx) - 1)
+        total_compute += compute
+        latency = max(latency, _latency(cost, compute, issuing_node, home,
+                                        4 * n_ids + 8))
+    return NodewiseAnswer(values, latency, total_compute)

@@ -11,7 +11,7 @@ the final step — both modes are implemented so Figs 10-12 can compare them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

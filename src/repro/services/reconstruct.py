@@ -23,14 +23,13 @@ from cheap live memory instead of storage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.core.command import NodeContext, ServiceCallbacks
 from repro.core.concord import ConCORD
-from repro.core.scope import EntityRole
 from repro.memory.entity import Entity
 from repro.memory.nsm import BlockRef
 from repro.services.checkpoint import CheckpointStore, restore_entity

@@ -20,7 +20,7 @@ redundancy and are replicated defensively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

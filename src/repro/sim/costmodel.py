@@ -26,7 +26,7 @@ emerges from how often each cost is charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "CostModel",

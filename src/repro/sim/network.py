@@ -213,7 +213,18 @@ class Network:
     def per_node_rx_bytes(self) -> list[int]:
         return [n.rx_bytes for n in self.nodes]
 
-    def reset_stats(self) -> None:
+    def reset_stats(self, drain: bool = True) -> None:
+        """Zero the counters for a fresh measurement window.
+
+        ``drain`` (default) also clears each node's tx/rx NIC backlog so
+        the next window does not inherit queueing — and hence loss and
+        latency — from the traffic of the previous one.  Pass
+        ``drain=False`` to reset counters mid-flight while keeping the
+        physical queue state.
+        """
         self.stats = NetworkStats()
         for n in self.nodes:
             n.tx_bytes = n.rx_bytes = n.tx_msgs = n.rx_msgs = n.drops = 0
+            if drain:
+                n.tx.reset()
+                n.rx.reset()

@@ -21,7 +21,7 @@ node-local part via ``ctx.charge`` and the shared part via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["StorageError", "IOCosts", "AppendLog", "RamDisk",
@@ -152,7 +152,7 @@ class RamDisk:
 
     @property
     def total_bytes(self) -> int:
-        return sum(l.total_bytes for l in self._logs.values())
+        return sum(log.total_bytes for log in self._logs.values())
 
     def logs(self) -> list[AppendLog]:
         return list(self._logs.values())
@@ -187,7 +187,7 @@ class ParallelFileSystem:
 
     @property
     def total_bytes(self) -> int:
-        return sum(l.total_bytes for l in self._logs.values())
+        return sum(log.total_bytes for log in self._logs.values())
 
     def logs(self) -> list[AppendLog]:
         return list(self._logs.values())

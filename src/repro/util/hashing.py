@@ -137,17 +137,22 @@ def superfasthash32(data: bytes, seed: int | None = None) -> int:
                 h = u32(h + (h >> u32(11)))
         rem = length & 3
         tail = data[n4 * 4 :]
+        # Hsieh's C casts the odd tail byte through (signed char), so bytes
+        # >= 0x80 sign-extend before widening to 32 bits (cases 3 and 1);
+        # the 2-byte case goes through get16bits and stays unsigned.
         if rem == 3:
             h = u32(h + int.from_bytes(tail[:2], "little"))
             h = u32(h ^ u32(h << u32(16)))
-            h = u32(h ^ u32(u32(tail[2]) << u32(18)))
+            signed = tail[2] - 256 if tail[2] >= 128 else tail[2]
+            h = u32(h ^ np.uint32((signed << 18) & 0xFFFFFFFF))
             h = u32(h + (h >> u32(11)))
         elif rem == 2:
             h = u32(h + int.from_bytes(tail, "little"))
             h = u32(h ^ u32(h << u32(11)))
             h = u32(h + (h >> u32(17)))
         elif rem == 1:
-            h = u32(h + tail[0])
+            signed = tail[0] - 256 if tail[0] >= 128 else tail[0]
+            h = u32(h + np.uint32(signed & 0xFFFFFFFF))
             h = u32(h ^ u32(h << u32(10)))
             h = u32(h + (h >> u32(1)))
         # Final avalanche.

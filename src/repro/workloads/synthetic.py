@@ -67,7 +67,7 @@ class WorkloadSpec:
         if self.n_entities < 1 or self.n_entities > _MAX_ENTITIES:
             raise ValueError(f"n_entities out of range: {self.n_entities}")
         if self.pages_per_entity < 1 or self.pages_per_entity > _MAX_PAGES:
-            raise ValueError(f"pages_per_entity out of range")
+            raise ValueError("pages_per_entity out of range")
         if not 0 <= self.common_frac <= 1 or not 0 <= self.intra_frac <= 1:
             raise ValueError("fractions must be in [0, 1]")
         if self.common_frac + self.intra_frac > 1:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Cluster, ConCORD, workloads
+from repro import workloads
 from repro.analysis import (
     RedundancyProfiler,
     copy_distribution,

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import Cluster, ConCORD, Entity, workloads
+from repro import Cluster, ConCORD, workloads
 
 
 @pytest.fixture

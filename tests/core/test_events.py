@@ -1,7 +1,6 @@
 """Unit tests for command tracing: protocol invariants on real runs."""
 
 import numpy as np
-import pytest
 
 from repro.core.events import CommandTracer, EventKind, TraceEvent
 from repro.core.scope import ServiceScope

@@ -279,3 +279,52 @@ class TestModesAndAccounting:
         r2 = run_probe(seed=5)[4]
         assert r1.wall_time == r2.wall_time
         assert r1.stats.handled == r2.stats.handled
+
+
+class TestPhaseBreakdownSplit:
+    """The cpu/comm split must come from the critical-path node, not mix
+    the max-cpu of one node with the max-total of another."""
+
+    def _executor(self, n_nodes=2):
+        from repro.core.executor import ServiceCommandExecutor
+
+        cluster, _ents, concord = make_system(n_nodes=n_nodes)
+        ex = ServiceCommandExecutor(cluster, concord.tracing)
+        ex._reset_accounting()
+        return cluster, ex
+
+    def test_cpu_heavy_and_comm_heavy_nodes(self):
+        cluster, ex = self._executor(n_nodes=2)
+        bw = cluster.cost.link_bw
+        # Node 0: pure CPU, 10 s.  Node 1: tiny CPU, 20 s of comm.
+        ex._cpu[(0, "collective")] = 10.0
+        ex._cpu[(1, "collective")] = 1.0
+        ex._rx[(1, "collective")] = int(20.0 * bw)
+        b = ex._phase_breakdown("collective")
+        barrier = cluster.cost.barrier_time(2)
+        # Critical path is node 1 (1 + 20 = 21 > 10): its split must be
+        # reported, while max_node_cpu still reflects node 0.
+        assert b.wall == pytest.approx(21.0 + barrier)
+        assert b.cpu == pytest.approx(1.0)
+        assert b.comm == pytest.approx(20.0)
+        assert b.max_node_cpu == pytest.approx(10.0)
+        # The seed computed comm = max_total - max_cpu = 11 s, attributing
+        # node 0's CPU to node 1's wire time.
+        assert b.comm != pytest.approx(21.0 - 10.0)
+        assert b.cpu + b.comm + b.barrier == pytest.approx(b.wall)
+
+    def test_cpu_dominated_critical_path(self):
+        cluster, ex = self._executor(n_nodes=2)
+        bw = cluster.cost.link_bw
+        ex._cpu[(0, "collective")] = 30.0
+        ex._cpu[(1, "collective")] = 1.0
+        ex._tx[(1, "collective")] = int(5.0 * bw)
+        b = ex._phase_breakdown("collective")
+        assert b.cpu == pytest.approx(30.0)
+        assert b.comm == pytest.approx(0.0)
+        assert b.max_node_cpu == pytest.approx(30.0)
+
+    def test_idle_phase_zero(self):
+        _cluster, ex = self._executor(n_nodes=2)
+        b = ex._phase_breakdown("local")
+        assert b.cpu == 0.0 and b.comm == 0.0 and b.max_node_cpu == 0.0

@@ -1,7 +1,5 @@
 """Unit tests for the distributed content tracing engine."""
 
-import numpy as np
-import pytest
 
 from repro.dht.engine import ContentTracingEngine
 from repro.sim.cluster import Cluster

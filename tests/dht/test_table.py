@@ -1,6 +1,5 @@
 """Unit tests for the local DHT shard."""
 
-import pytest
 
 from repro.dht.table import LocalDHT
 

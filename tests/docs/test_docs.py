@@ -8,7 +8,6 @@ and the public API must be documented.
 import pathlib
 import re
 
-import pytest
 
 import repro
 from repro.harness import ALL_EXPERIMENTS

@@ -14,9 +14,6 @@ from repro import (
     CollectiveCheckpoint,
     CollectiveMigration,
     ConCORD,
-    Entity,
-    EntityKind,
-    ExecMode,
     NullService,
     RawCheckpoint,
     ServiceScope,

@@ -19,7 +19,7 @@ from repro import (
     restore_entity,
     workloads,
 )
-from repro.sim.network import DeliveryError, Network
+from repro.sim.network import DeliveryError
 from repro.util.records import ControlMessage, MsgKind, UpdateBatch
 
 

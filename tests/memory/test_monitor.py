@@ -1,7 +1,6 @@
 """Unit tests for memory update monitors."""
 
 import numpy as np
-import pytest
 
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor, MonitorMode, multiset_diff

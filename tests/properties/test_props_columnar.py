@@ -1,0 +1,115 @@
+"""Property tests: the columnar LocalDHT bulk/scan APIs are observationally
+equivalent to the per-item insert/remove/items() semantics, including the
+>64-entity wide-mask spill path and interleaved insert/remove sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.table import LocalDHT
+
+# A tiny hash universe forces heavy collisions (multicopy + extras paths);
+# entity ids beyond 63 exercise the wide-mask spill.
+hashes = st.integers(min_value=0, max_value=40)
+eids = st.integers(min_value=0, max_value=130)
+pairs = st.lists(st.tuples(hashes, eids), min_size=0, max_size=50)
+batches = st.lists(st.tuples(st.booleans(), pairs), min_size=1, max_size=8)
+
+
+def _as_arrays(ps):
+    h = np.fromiter((p[0] for p in ps), dtype=np.uint64, count=len(ps))
+    e = np.fromiter((p[1] for p in ps), dtype=np.int64, count=len(ps))
+    return h, e
+
+
+def _observe(dht):
+    return (list(dht.items()), dht.n_hashes, dht.n_copies,
+            {h: dict(ex) for h, ex in dht.extra_items() if ex})
+
+
+class TestBulkEquivalence:
+    @given(batches)
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_bulk_matches_per_item(self, seq):
+        ref, col = LocalDHT(), LocalDHT()
+        for is_insert, ps in seq:
+            h, e = _as_arrays(ps)
+            if is_insert:
+                for hh, ee in ps:
+                    ref.insert(hh, ee)
+                col.bulk_insert(h, e)
+            else:
+                want_applied = sum(bool(ref.remove(hh, ee)) for hh, ee in ps)
+                assert col.bulk_remove(h, e) == want_applied
+        assert _observe(col) == _observe(ref)
+
+    @given(pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_insert_matches_per_item(self, ps):
+        ref, col = LocalDHT(), LocalDHT()
+        for hh, ee in ps:
+            ref.insert(hh, ee)
+        h, e = _as_arrays(ps)
+        col.bulk_insert(h, e)
+        assert _observe(col) == _observe(ref)
+        for hh, ee in ps:
+            assert col.copies_of(hh, ee) == ref.copies_of(hh, ee)
+            assert col.entities_mask(hh) == ref.entities_mask(hh)
+            assert col.num_copies(hh) == ref.num_copies(hh)
+
+
+class TestScanEquivalence:
+    @given(batches, st.sets(eids, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_se_scan_matches_items_filter(self, seq, scan_eids):
+        dht = LocalDHT()
+        for is_insert, ps in seq:
+            h, e = _as_arrays(ps)
+            if is_insert:
+                dht.bulk_insert(h, e)
+            else:
+                dht.bulk_remove(h, e)
+        mask = 0
+        for ee in scan_eids:
+            mask |= 1 << ee
+        want = {hh: m for hh, m in dht.items() if m & mask}
+        got_h, got_lo, wide = dht.se_scan(mask)
+        got = {}
+        for i, hh in enumerate(got_h.tolist()):
+            got[hh] = wide[hh] if hh in wide else int(got_lo[i])
+        assert got == want
+        assert sorted(got) == got_h.tolist()  # sorted hash order
+
+    @given(batches)
+    @settings(max_examples=60, deadline=None)
+    def test_items_arrays_reconstructs_items(self, seq):
+        dht = LocalDHT()
+        for is_insert, ps in seq:
+            h, e = _as_arrays(ps)
+            if is_insert:
+                dht.bulk_insert(h, e)
+            else:
+                dht.bulk_remove(h, e)
+        ph, pm, pw = dht.items_arrays()
+        rebuilt = [(hh, int(pm[i]) | (pw.get(hh, 0) << 64))
+                   for i, hh in enumerate(ph.tolist())]
+        assert rebuilt == list(dht.items())
+        assert len(ph) == dht.n_hashes
+
+    @given(batches, st.lists(hashes, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_point_lookups_match_scalar(self, seq, queries):
+        dht = LocalDHT()
+        for is_insert, ps in seq:
+            h, e = _as_arrays(ps)
+            if is_insert:
+                dht.bulk_insert(h, e)
+            else:
+                dht.bulk_remove(h, e)
+        q = np.asarray(queries, dtype=np.uint64)
+        masks_lo, wide = dht.bulk_masks(q)
+        counts = dht.bulk_num_copies(q)
+        for i, hh in enumerate(queries):
+            full = wide[hh] if hh in wide else int(masks_lo[i])
+            assert full == dht.entities_mask(hh)
+            assert int(counts[i]) == dht.num_copies(hh)

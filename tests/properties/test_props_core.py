@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for core data structures."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.dht.partition import Partition

@@ -8,12 +8,10 @@ truth exactly (when no datagrams are lost).
 from collections import Counter
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster, ConCORD, Entity, MonitorMode
-from repro.queries.reference import ReferenceModel
 
 SLOW = settings(max_examples=20, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow])

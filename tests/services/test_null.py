@@ -1,7 +1,5 @@
 """Unit tests for the null service command (Figs 10-12 baseline)."""
 
-import pytest
-
 from repro.core.command import ExecMode
 from repro.core.scope import ServiceScope
 from repro.services.null import NullService

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.costmodel import NEW_CLUSTER
 from repro.sim.engine import SimEngine
-from repro.sim.network import DeliveryError, Network
+from repro.sim.network import Network
 from repro.util.records import ControlMessage, Message, MsgKind, UpdateBatch
 
 
@@ -135,3 +135,59 @@ class TestStats:
         _eng, net = make_net()
         assert net.stats.loss_rate == 0.0
         assert net.stats.update_loss_rate == 0.0
+
+
+class TestMeasurementWindows:
+    """reset_stats() must also drain NIC backlogs (the default), so
+    back-to-back measurement windows on a loaded network are independent."""
+
+    @staticmethod
+    def _flood(net, n_per_src=400):
+        for src in (0, 1, 2):
+            for _ in range(n_per_src):
+                net.send(UpdateBatch(MsgKind.UPDATE, src, 3,
+                                     inserts=[(1, 0)] * 64))
+
+    def test_reset_drains_backlogs(self):
+        eng, net = make_net(4)
+        for n in net.nodes:
+            n.rx.submit(eng.now, 0.0025)
+            n.tx.submit(eng.now, 0.0025)
+        net.reset_stats()
+        assert all(n.rx.backlog(eng.now) == 0.0 and n.tx.backlog(eng.now) == 0.0
+                   for n in net.nodes)
+
+    def test_windows_independent(self):
+        # Reference: the flood on a completely fresh network.
+        eng0, net0 = make_net(4)
+        self._flood(net0)
+        eng0.run()
+        ref_drops = net0.stats.msgs_dropped
+        assert ref_drops > 0
+
+        # Same flood measured right after a window that left the target's
+        # receive queue nearly full.  After reset_stats() the measurement
+        # must match the fresh network exactly.
+        eng, net = make_net(4)
+        net.nodes[3].rx.submit(eng.now, 0.0025)
+        net.reset_stats()
+        self._flood(net)
+        eng.run()
+        assert net.stats.msgs_dropped == ref_drops
+        assert net.stats.msgs_delivered == net0.stats.msgs_delivered
+
+    def test_drain_false_keeps_backlog(self):
+        # Opting out preserves the old mid-flight counter-only semantics:
+        # the inherited backlog inflates the second window's loss.
+        eng0, net0 = make_net(4)
+        self._flood(net0)
+        eng0.run()
+        ref_drops = net0.stats.msgs_dropped
+
+        eng, net = make_net(4)
+        net.nodes[3].rx.submit(eng.now, 0.0025)
+        net.reset_stats(drain=False)
+        assert net.nodes[3].rx.backlog(eng.now) > 0
+        self._flood(net)
+        eng.run()
+        assert net.stats.msgs_dropped > ref_drops

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.costmodel import BIG_CLUSTER, NEW_CLUSTER
+from repro.sim.costmodel import NEW_CLUSTER
 from repro.sim.engine import SimEngine
 from repro.sim.network import Network
 from repro.util.records import Message, MsgKind, UpdateBatch

@@ -1,6 +1,5 @@
 """Unit tests for EntityBitmap (refcounted entity sets)."""
 
-import numpy as np
 import pytest
 
 from repro.util.bitmap import EntityBitmap

@@ -143,3 +143,101 @@ class TestHashBytes:
     def test_bad_algo(self):
         with pytest.raises(ValueError):
             hash_bytes(b"", "nope")  # type: ignore[arg-type]
+
+
+def _sfh_c_reference(data: bytes, seed: int | None = None) -> int:
+    """Direct transcription of Hsieh's published SuperFastHash C code.
+
+    Pure-Python/uint32 arithmetic, independent of the NumPy implementation
+    under test.  The odd tail byte goes through ``(signed char)`` in the C
+    (cases 3 and 1), so bytes >= 0x80 sign-extend; the 2-byte tail uses
+    get16bits and stays unsigned.
+    """
+    M = 0xFFFFFFFF
+    h = (len(data) if seed is None else seed) & M
+    n4, rem = divmod(len(data), 4)
+    for i in range(n4):
+        lo = data[4 * i] | (data[4 * i + 1] << 8)
+        hi = data[4 * i + 2] | (data[4 * i + 3] << 8)
+        h = (h + lo) & M
+        tmp = ((hi << 11) & M) ^ h
+        h = ((h << 16) & M) ^ tmp
+        h = (h + (h >> 11)) & M
+    t = data[n4 * 4:]
+    if rem == 3:
+        h = (h + (t[0] | (t[1] << 8))) & M
+        h ^= (h << 16) & M
+        sc = t[2] - 256 if t[2] >= 128 else t[2]
+        h ^= (sc << 18) & M
+        h = (h + (h >> 11)) & M
+    elif rem == 2:
+        h = (h + (t[0] | (t[1] << 8))) & M
+        h ^= (h << 11) & M
+        h = (h + (h >> 17)) & M
+    elif rem == 1:
+        sc = t[0] - 256 if t[0] >= 128 else t[0]
+        h = (h + sc) & M
+        h ^= (h << 10) & M
+        h = (h + (h >> 1)) & M
+    h ^= (h << 3) & M
+    h = (h + (h >> 5)) & M
+    h ^= (h << 4) & M
+    h = (h + (h >> 17)) & M
+    h ^= (h << 25) & M
+    h = (h + (h >> 6)) & M
+    return h
+
+
+class TestSFHReferenceVectors:
+    """superfasthash32 must match Hsieh's C for every tail length,
+    including tail bytes >= 0x80 where (signed char) sign-extends."""
+
+    VECTORS = {
+        b"": 0x00000000,
+        b"a": 0x115EA782,
+        b"ab": 0x516B8B44,
+        b"abc": 0xD2BE198A,
+        b"abcd": 0xDAD8B8DB,
+        b"hello world": 0xA68C6882,
+        # high-bit bytes in each tail position
+        b"\x80": 0xF30533C4,
+        b"\xff": 0x00000000,          # len=1, +(-1) cancels hash=len=1
+        b"\x00\xff": 0x59780F22,
+        b"ab\xff": 0xC25F0954,        # rem==3, (signed char)<<18
+        b"ab\x80": 0x81AA4BD5,
+        b"\xff\xff\xff": 0xCD1CA2A0,
+        b"abcd\xff": 0xBC3C1B4D,      # rem==1 after a full word
+        b"abcd\xfe\xff": 0xCB9EFF66,  # rem==2 stays unsigned
+        b"abcd\xff\xff\xff": 0x41C18F78,
+        bytes(range(240, 256)) + b"\x81\x92\xa3": 0x2AE68E1A,
+    }
+
+    def test_frozen_vectors(self):
+        for data, want in self.VECTORS.items():
+            assert superfasthash32(data) == want, data
+
+    def test_reference_agrees_with_frozen_vectors(self):
+        for data, want in self.VECTORS.items():
+            assert _sfh_c_reference(data) == want, data
+
+    def test_all_tail_lengths_all_byte_values(self):
+        """Sweep every tail length with every possible final byte."""
+        for prefix in (b"", b"wxyz"):
+            for tail_len in (1, 2, 3):
+                for b in (0x00, 0x01, 0x7F, 0x80, 0x81, 0xFE, 0xFF):
+                    data = prefix + bytes([0x42] * (tail_len - 1)) + bytes([b])
+                    assert superfasthash32(data) == _sfh_c_reference(data), \
+                        (prefix, tail_len, b)
+
+    def test_seeded_variant_matches_reference(self):
+        for seed in (0, 1, 7, 0x5BD1E995):
+            for data in (b"ab\x80", b"\xff", b"abcde\xff\xfe"):
+                assert superfasthash32(data, seed=seed) == \
+                    _sfh_c_reference(data, seed=seed)
+
+    def test_batch_matches_fixed_scalar(self):
+        rng = np.random.default_rng(3)
+        pages = rng.integers(0, 256, size=(8, 32), dtype=np.uint8)
+        batch = superfasthash32_batch(pages)
+        for i in range(8):
+            assert int(batch[i]) == _sfh_c_reference(pages[i].tobytes())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.util.stats import Series, Table, check_monotone, fmt_bytes, fmt_time_s
+from repro.util.stats import Table, check_monotone, fmt_bytes, fmt_time_s
 
 
 class TestTable:
