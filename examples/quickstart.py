@@ -49,7 +49,7 @@ def main() -> None:
           f"(latency {fmt_time_s(sharing.latency)})")
     print(f"intra_sharing              = {concord.intra_sharing(eids).value:.3f}")
     print(f"inter_sharing              = {concord.inter_sharing(eids).value:.3f}")
-    print(f"degree of sharing (DoS)    = {concord.degree_of_sharing(eids):.3f}")
+    print(f"degree of sharing (DoS)    = {concord.degree_of_sharing(eids).value:.3f}")
     k = 4
     print(f"num_shared_content(k={k})    = "
           f"{concord.num_shared_content(eids, k).value} hashes with >= {k} copies")

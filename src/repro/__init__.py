@@ -33,11 +33,13 @@ from repro.core import (
     CommandFailed,
     CommandResult,
     ConCORD,
+    ConCORDConfig,
     EntityRole,
     ExecMode,
     ServiceCallbacks,
     ServiceScope,
 )
+from repro.dht.engine import RepairReport
 from repro.memory import (Entity, EntityKind, MonitorMode,
                           VirtualMachine)
 from repro.services import (
@@ -53,7 +55,8 @@ from repro.services import (
     restore_entity,
     restore_incremental_entity,
 )
-from repro.sim import BIG_CLUSTER, NEW_CLUSTER, OLD_CLUSTER, Cluster, CostModel
+from repro.sim import (BIG_CLUSTER, NEW_CLUSTER, OLD_CLUSTER, Cluster,
+                       CostModel, FaultPlan)
 from repro.storage import ParallelFileSystem, RamDisk
 
 __version__ = "1.0.0"
@@ -68,6 +71,9 @@ __all__ = [
     "EntityKind",
     "MonitorMode",
     "ConCORD",
+    "ConCORDConfig",
+    "FaultPlan",
+    "RepairReport",
     "ServiceCallbacks",
     "ServiceScope",
     "EntityRole",

@@ -35,7 +35,7 @@ def _pairwise_shared(concord: ConCORD,
     for eid in entity_ids:
         mask |= 1 << eid
     shared: dict[tuple[int, int], int] = defaultdict(int)
-    for shard in concord.tracing.shards:
+    for shard in concord.tracing.live_shards():
         for _h, holders in shard.items():
             in_s = holders & mask
             if in_s.bit_count() < 2:

@@ -67,7 +67,7 @@ class RedundancyProfiler:
             sharing=self.concord.sharing(self.entity_ids).value,
             intra_sharing=self.concord.intra_sharing(self.entity_ids).value,
             inter_sharing=self.concord.inter_sharing(self.entity_ids).value,
-            dos=self.concord.degree_of_sharing(self.entity_ids),
+            dos=self.concord.degree_of_sharing(self.entity_ids).value,
             tracked_hashes=self.concord.total_tracked_hashes,
         )
         self.history.append(snap)
@@ -110,7 +110,7 @@ def copy_distribution(concord: ConCORD, entity_ids: list[int]) -> Counter:
     for eid in entity_ids:
         mask |= 1 << eid
     dist: Counter = Counter()
-    for shard in concord.tracing.shards:
+    for shard in concord.tracing.live_shards():
         for h, holders in shard.items():
             in_s = holders & mask
             if not in_s:
@@ -131,7 +131,7 @@ def top_shared_content(concord: ConCORD, entity_ids: list[int],
     for eid in entity_ids:
         mask |= 1 << eid
     best: list[tuple[int, int]] = []
-    for shard in concord.tracing.shards:
+    for shard in concord.tracing.live_shards():
         for h, holders in shard.items():
             in_s = holders & mask
             if not in_s:

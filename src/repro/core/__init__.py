@@ -18,12 +18,14 @@ from repro.core.command import (
     ExecMode,
     NodeContext,
 )
+from repro.core.config import ConCORDConfig
 from repro.core.events import CommandTracer, EventKind, TraceEvent
 from repro.core.plan import ExecutionPlan, PlanOp
 from repro.core.executor import ServiceCommandExecutor, CommandResult, CommandStats
 from repro.core.concord import ConCORD
 
 __all__ = [
+    "ConCORDConfig",
     "ServiceScope",
     "EntityRole",
     "ServiceCallbacks",

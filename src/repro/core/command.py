@@ -28,6 +28,7 @@ the real system's C callbacks live under.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -46,11 +47,45 @@ __all__ = ["ServiceCallbacks", "CommandFailed", "ExecMode", "NodeContext"]
 
 
 class ExecMode(enum.Enum):
-    """Paper §4.2: interactive applies transformations immediately; batch
-    builds an execution plan the service runs as a whole."""
+    """Execution modes, end to end.
+
+    For *service commands* (paper §4.2): ``INTERACTIVE`` applies
+    transformations immediately; ``BATCH`` builds an execution plan the
+    service runs as a whole.  For *collective queries* (paper §5.3):
+    ``DISTRIBUTED`` scans every shard in parallel with a tree reduction;
+    ``SINGLE`` ships every entry to one node and scans there.  The two
+    pairs share one enum so every ``exec_mode`` parameter in the public
+    API speaks the same type; each call site validates the pair it
+    accepts.
+    """
 
     INTERACTIVE = "interactive"
     BATCH = "batch"
+    DISTRIBUTED = "distributed"
+    SINGLE = "single"
+
+    @classmethod
+    def coerce(cls, value: ExecMode | str,
+               param: str = "exec_mode") -> ExecMode:
+        """Normalize an ``ExecMode`` or legacy mode string to the enum.
+
+        Strings are accepted for one release with a
+        :class:`DeprecationWarning`; unknown strings raise ``ValueError``
+        and other types ``TypeError``.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                member = cls(value)
+            except ValueError:
+                raise ValueError(f"unknown {param} {value!r}") from None
+            warnings.warn(
+                f"passing {param}={value!r} as a string is deprecated; "
+                f"use ExecMode.{member.name}",
+                DeprecationWarning, stacklevel=3)
+            return member
+        raise TypeError(f"{param} must be an ExecMode, not {type(value).__name__}")
 
 
 @dataclass(frozen=True)
@@ -67,7 +102,7 @@ class CommandFailed:
 class NodeContext:
     """Per-node execution environment handed to every callback."""
 
-    def __init__(self, node_id: int, cluster: "Cluster",
+    def __init__(self, node_id: int, cluster: Cluster,
                  nsm: NodeSpecificModule, mode: ExecMode,
                  rng: np.random.Generator) -> None:
         self.node_id = node_id
@@ -75,7 +110,7 @@ class NodeContext:
         self.nsm = nsm
         self.mode = mode
         self.rng = rng
-        self.cost: "CostModel" = cluster.cost
+        self.cost: CostModel = cluster.cost
         self.state: Any = None          # the service's private state
         self.plan = ExecutionPlan()     # used in batch mode
         self.n_represented = 1

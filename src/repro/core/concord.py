@@ -4,62 +4,79 @@ Brings the per-node components up on a cluster (NSMs, memory update
 monitors, DHT shards, the tracing engine), wires monitors to the engine,
 and exposes the three interfaces of Fig 1: the memory update interface
 (scan/sync), the content-sharing query interface (Fig 3), and the
-content-aware collective command controller (§4).
+content-aware collective command controller (§4) — plus the fault
+interface (fail/restart/detect/repair, docs/FAULTS.md).
+
+Configuration lives in one :class:`~repro.core.config.ConCORDConfig`
+value; the legacy keyword arguments are accepted for one release with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Any
-
+import dataclasses
+import warnings
+from typing import TYPE_CHECKING, Any
 
 from repro.core.command import ExecMode, ServiceCallbacks
+from repro.core.config import ConCORDConfig
 from repro.core.executor import CommandResult, ServiceCommandExecutor
 from repro.core.scope import ServiceScope
-from repro.dht.engine import ContentTracingEngine
+from repro.dht.engine import ContentTracingEngine, RepairReport
 from repro.memory.entity import Entity
-from repro.memory.monitor import MemoryUpdateMonitor, MonitorMode
+from repro.memory.monitor import MemoryUpdateMonitor
 from repro.memory.nsm import NodeSpecificModule
 from repro.queries.interface import QueryInterface, QueryResult
 from repro.sim.cluster import Cluster
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultInjector, FaultPlan
+
 __all__ = ["ConCORD"]
+
+# Legacy ConCORD(...) keyword arguments, each mapping to the identically
+# named ConCORDConfig field (docs/ARCHITECTURE.md has the full table).
+_LEGACY_KWARGS = frozenset(f.name for f in dataclasses.fields(ConCORDConfig))
 
 
 class ConCORD:
     """The memory content-tracking platform service, brought up on a cluster.
 
-    Parameters
-    ----------
-    cluster:
-        The (simulated) parallel machine to run on.
-    use_network:
-        If True, DHT updates travel as best-effort datagrams through the
-        simulated network (and can be lost under load); if False they apply
-        synchronously and losslessly — the right setting for unit tests and
-        for experiments that inject staleness deliberately.
-    monitor_mode / hash_algo / throttle_updates_per_s:
-        Memory update monitor configuration (paper §3.1).
-    n_represented:
-        Coarse-graining factor: each simulated block stands for this many
-        real 4 KB blocks.  Costs, wire sizes, and reported counts scale by
-        it; content *structure* (redundancy) is unaffected.  See DESIGN.md.
+    Build it from a config value::
+
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True))
+
+    or equivalently ``ConCORD.from_config(cluster, cfg)``.  The old
+    per-knob keyword arguments (``use_network=...``, ``hash_algo=...``,
+    ...) still work but warn; they fold into the config via
+    :func:`dataclasses.replace`.
     """
 
-    def __init__(self, cluster: Cluster, use_network: bool = False,
-                 monitor_mode: MonitorMode = MonitorMode.PERIODIC_SCAN,
-                 hash_algo: str = "sfh",
-                 throttle_updates_per_s: float | None = None,
-                 n_represented: int = 1,
-                 update_batch_size: int | None = None,
-                 update_transport: str = "udp") -> None:
+    def __init__(self, cluster: Cluster,
+                 config: ConCORDConfig | None = None, **legacy: Any) -> None:
+        if legacy:
+            unknown = set(legacy) - _LEGACY_KWARGS
+            if unknown:
+                raise TypeError(
+                    f"unknown ConCORD argument(s) {sorted(unknown)}; "
+                    f"valid ConCORDConfig fields: {sorted(_LEGACY_KWARGS)}")
+            warnings.warn(
+                "passing ConCORD configuration as keyword arguments "
+                f"({', '.join(sorted(legacy))}) is deprecated; build a "
+                "ConCORDConfig and pass it as `config`",
+                DeprecationWarning, stacklevel=2)
+            config = dataclasses.replace(config or ConCORDConfig(), **legacy)
+        self.config = config or ConCORDConfig()
+        cfg = self.config
         self.cluster = cluster
-        self.n_represented = n_represented
+        self.n_represented = cfg.n_represented
         engine_kw = {}
-        if update_batch_size is not None:
-            engine_kw["batch_size"] = update_batch_size
-        self.tracing = ContentTracingEngine(cluster, use_network=use_network,
-                                            n_represented=n_represented,
-                                            transport=update_transport,
+        if cfg.update_batch_size is not None:
+            engine_kw["batch_size"] = cfg.update_batch_size
+        self.tracing = ContentTracingEngine(cluster,
+                                            use_network=cfg.use_network,
+                                            n_represented=cfg.n_represented,
+                                            transport=cfg.update_transport,
                                             **engine_kw)
         self.nsms: list[NodeSpecificModule] = []
         self.monitors: list[MemoryUpdateMonitor] = []
@@ -69,14 +86,19 @@ class ConCORD:
             self.nsms.append(nsm)
             self.monitors.append(MemoryUpdateMonitor(
                 nsm, self.tracing.route_updates, cluster.cost,
-                mode=monitor_mode, hash_algo=hash_algo,
-                throttle_updates_per_s=throttle_updates_per_s,
-                n_represented=n_represented))
-        self.queries = QueryInterface(cluster, self.tracing, n_represented)
+                mode=cfg.monitor_mode, hash_algo=cfg.hash_algo,
+                throttle_updates_per_s=cfg.throttle_updates_per_s,
+                n_represented=cfg.n_represented))
+        self.queries = QueryInterface(cluster, self.tracing, cfg.n_represented)
         self.executor = ServiceCommandExecutor(cluster, self.tracing,
-                                               n_represented)
+                                               cfg.n_represented)
         for entity in cluster.entities.values():
             self.attach_entity(entity)
+
+    @classmethod
+    def from_config(cls, cluster: Cluster, config: ConCORDConfig) -> ConCORD:
+        """Explicit constructor taking only a config value."""
+        return cls(cluster, config)
 
     # -- entity lifecycle ------------------------------------------------------------
 
@@ -93,10 +115,15 @@ class ConCORD:
 
     # -- memory update interface ---------------------------------------------------------
 
+    def _node_up(self, node_id: int) -> bool:
+        return bool(self.cluster.network.node_up[node_id])
+
     def initial_scan(self, run_network: bool = True) -> int:
-        """First full monitor pass on every node; returns updates produced."""
+        """First full monitor pass on every *up* node; returns updates produced."""
         total = 0
-        for mon in self.monitors:
+        for node_id, mon in enumerate(self.monitors):
+            if not self._node_up(node_id):
+                continue
             total += mon.initial_scan()
             mon.flush()
         if run_network:
@@ -104,15 +131,56 @@ class ConCORD:
         return total
 
     def sync(self, run_network: bool = True) -> int:
-        """One monitoring pass + flush everywhere (brings the DHT view up
-        to date modulo datagram loss and throttling)."""
+        """One monitoring pass + flush on every up node (brings the DHT view
+        up to date modulo datagram loss, throttling, and dead nodes)."""
         total = 0
-        for mon in self.monitors:
+        for node_id, mon in enumerate(self.monitors):
+            if not self._node_up(node_id):
+                continue
             total += mon.scan()
             mon.flush()
         if run_network:
             self.cluster.engine.run()
         return total
+
+    # -- fault interface (docs/FAULTS.md) ----------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Crash-stop ``node`` now: NIC blackholed, DHT shard RAM lost,
+        monitor stopped — and let the tracing engine fail it over."""
+        self.cluster.network.set_node_up(node, False)
+        self.tracing.shards[node].clear()
+        self.tracing.node_failed(node)
+
+    def restart_node(self, node: int) -> None:
+        """Bring ``node`` back up with an empty shard; its primary ranges
+        route back to it (holed until :meth:`repair`)."""
+        self.cluster.network.set_node_up(node, True)
+        self.tracing.node_restarted(node)
+
+    def detect_failures(self, issuing_node: int = 0) -> list[int]:
+        """Probe believed-alive peers; fail over any that are down."""
+        return self.tracing.detect_failures(issuing_node)
+
+    def repair(self, full: bool = False) -> RepairReport:
+        """Anti-entropy repair: re-populate holed hash ranges from the
+        monitors' ground truth (``full=True`` rebuilds every range, also
+        healing datagram-loss holes)."""
+        return self.tracing.repair(full=full)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the hash space served by intact shards."""
+        return self.tracing.coverage
+
+    def inject_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a :class:`~repro.sim.faults.FaultPlan` on this instance's
+        cluster; events fire as simulation time advances.  Kills lose the
+        node's shard RAM; restarts rejoin the node empty."""
+        return plan.schedule(
+            self.cluster.network, self.cluster.engine,
+            on_kill=lambda n: self.tracing.shards[n].clear(),
+            on_restart=self.tracing.node_restarted)
 
     # -- query interface (Fig 3) ------------------------------------------------------------
 
@@ -137,13 +205,13 @@ class ConCORD:
     def shared_content(self, entity_ids: list[int], k: int, **kw) -> QueryResult:
         return self.queries.shared_content(entity_ids, k, **kw)
 
-    def degree_of_sharing(self, entity_ids: list[int]) -> float:
-        return self.queries.degree_of_sharing(entity_ids)
+    def degree_of_sharing(self, entity_ids: list[int], **kw) -> QueryResult:
+        return self.queries.degree_of_sharing(entity_ids, **kw)
 
     # -- command controller (Fig 1) ------------------------------------------------------------
 
     def execute_command(self, service: ServiceCallbacks, scope: ServiceScope,
-                        mode: ExecMode = ExecMode.INTERACTIVE,
+                        mode: ExecMode | str = ExecMode.INTERACTIVE,
                         config: Any = None, seed: int = 0,
                         tracer=None) -> CommandResult:
         """Run a content-aware service command to completion.

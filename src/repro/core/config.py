@@ -1,0 +1,58 @@
+"""Platform configuration: one frozen dataclass instead of kwarg plumbing.
+
+:class:`ConCORDConfig` collects every knob the :class:`~repro.core.concord.
+ConCORD` facade used to take as ad-hoc keyword arguments (and silently
+re-plumb into the tracing engine).  A config value is immutable, hashable,
+and comparable, so experiments can sweep variations with
+:func:`dataclasses.replace` and log the exact configuration they ran.
+
+The legacy keyword arguments map one-to-one onto fields (see
+docs/ARCHITECTURE.md for the table); ``ConCORD(cluster, **legacy)`` still
+accepts them for one release with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.memory.monitor import MonitorMode
+
+__all__ = ["ConCORDConfig"]
+
+
+@dataclass(frozen=True)
+class ConCORDConfig:
+    """Everything configurable about a ConCORD instance.
+
+    Fields
+    ------
+    use_network:
+        If True, DHT updates travel as best-effort datagrams through the
+        simulated network (and can be lost under load or injected faults);
+        if False they apply synchronously and losslessly — the right
+        setting for unit tests and for experiments that inject staleness
+        deliberately.
+    monitor_mode / hash_algo / throttle_updates_per_s:
+        Memory update monitor configuration (paper §3.1).
+    n_represented:
+        Coarse-graining factor: each simulated block stands for this many
+        real 4 KB blocks.  Costs, wire sizes, and reported counts scale by
+        it; content *structure* (redundancy) is unaffected.  See DESIGN.md.
+    update_batch_size:
+        Hash updates per wire message (None = engine default).
+    update_transport:
+        ``"udp"`` (best-effort, paper default) or ``"reliable"``.
+    """
+
+    use_network: bool = False
+    monitor_mode: MonitorMode = MonitorMode.PERIODIC_SCAN
+    hash_algo: str = "sfh"
+    throttle_updates_per_s: float | None = None
+    n_represented: int = 1
+    update_batch_size: int | None = None
+    update_transport: str = "udp"
+
+    def replace(self, **changes) -> ConCORDConfig:
+        """Functional update (`dataclasses.replace` as a method)."""
+        return dataclasses.replace(self, **changes)

@@ -192,9 +192,14 @@ class ServiceCommandExecutor:
     # -- main entry point -------------------------------------------------------------
 
     def execute(self, service: ServiceCallbacks, scope: ServiceScope,
-                mode: ExecMode = ExecMode.INTERACTIVE, config: Any = None,
+                mode: ExecMode | str = ExecMode.INTERACTIVE, config: Any = None,
                 seed: int = 0, sample_cap: int = 1024,
                 tracer: CommandTracer | None = None) -> CommandResult:
+        mode = ExecMode.coerce(mode, param="mode")
+        if mode not in (ExecMode.INTERACTIVE, ExecMode.BATCH):
+            raise ValueError(
+                f"mode {mode} is a query mode, not a command mode "
+                "(use ExecMode.INTERACTIVE or ExecMode.BATCH)")
         cluster = self.cluster
         cost = self.cost
         R = self.n_represented
@@ -206,8 +211,19 @@ class ServiceCommandExecutor:
         for eid in scope.all_entities():
             if eid not in cluster.entities:
                 raise KeyError(f"unknown entity {eid} in scope")
+        # The local phase walks every SE's blocks on its host node; a dead
+        # host means those blocks are gone and the command cannot be
+        # correct, so refuse up front.  Dead *PE* hosts are fine — their
+        # replicas just fail over in the collective phase.
+        node_up = cluster.network.node_up
+        for eid in scope.service_entities:
+            if not node_up[cluster.node_of(eid)]:
+                raise RuntimeError(
+                    f"service entity {eid} lives on failed node "
+                    f"{cluster.node_of(eid)}; restart it before commanding")
 
         scope_nodes = sorted(cluster.nodes_hosting(scope.all_entities()))
+        scope_nodes = [n for n in scope_nodes if node_up[n]]
         contexts: dict[int, NodeContext] = {}
         for node in range(cluster.n_nodes):
             nsm = cluster.nodes[node].nsm
@@ -354,8 +370,12 @@ class ServiceCommandExecutor:
         se_small = [eid for eid in scope.service_entities if eid < 64]
         node_memo: dict[int, frozenset] = {}
         se_memo: dict[int, frozenset] = {}
+        node_up = cluster.network.node_up
 
-        for shard in self.tracing.shards:
+        # Only the live shards can answer: holed ranges contribute nothing
+        # here, and the local phase covers whatever this misses (§4.3's
+        # staleness argument extends unchanged to failure-induced holes).
+        for shard in self.tracing.live_shards():
             shard_node = shard.node_id
             # The shard scans its slice for hashes believed in the SEs.
             self._charge(shard_node,
@@ -399,6 +419,13 @@ class ServiceCommandExecutor:
                 ok = False
                 for eid in order:
                     target = cluster.node_of(eid)
+                    if not node_up[target]:
+                        # Dead replica host (a PE node): fail over to the
+                        # next candidate, same as vanished content.
+                        stats.retries += 1
+                        self._emit(EventKind.INVOKE_FAILED, h, eid,
+                                   "node-down")
+                        continue
                     stats.invokes += 1
                     self._emit(EventKind.INVOKE, h, eid, target)
                     self._msg(shard_node, target, _INVOKE_BYTES * R)

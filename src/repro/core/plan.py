@@ -10,7 +10,8 @@ developer a chance to refine or reorder it first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 __all__ = ["PlanOp", "ExecutionPlan"]
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import Cluster
@@ -48,12 +49,12 @@ class ServiceScope:
 
     @classmethod
     def of(cls, service_entities: Iterable[int],
-           participating_entities: Iterable[int] = ()) -> "ServiceScope":
+           participating_entities: Iterable[int] = ()) -> ServiceScope:
         return cls(tuple(service_entities), tuple(participating_entities))
 
     @classmethod
-    def with_all_participants(cls, cluster: "Cluster",
-                              service_entities: Iterable[int]) -> "ServiceScope":
+    def with_all_participants(cls, cluster: Cluster,
+                              service_entities: Iterable[int]) -> ServiceScope:
         """SEs as given; every other tracked entity becomes a PE."""
         ses = tuple(service_entities)
         pes = tuple(e for e in cluster.all_entity_ids() if e not in set(ses))

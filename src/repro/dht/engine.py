@@ -10,6 +10,17 @@ service commands) must and do tolerate.
 
 ``use_network=False`` applies updates synchronously with no loss — the
 configuration unit tests use to compare against reference models.
+
+Fault tolerance (docs/FAULTS.md): the engine maintains the shared alive
+view inside its :class:`~repro.dht.partition.Partition` and a per-primary-
+range *intact* flag.  A dead home shard is detected by timeout — reliable
+probes in :meth:`detect_failures`, or the cheap inline equivalent on the
+query paths — after which its hash ranges re-home to ring successors and
+are marked non-intact until :meth:`repair` re-populates them from the
+per-node monitors' ground truth (``se_scan``/``bulk_insert`` make this
+cheap), mirroring the paper's claim that the DHT can always be rebuilt
+from node-local content.  ``coverage`` reports the intact fraction of the
+hash space; degraded queries annotate their answers with it.
 """
 
 from __future__ import annotations
@@ -21,9 +32,10 @@ import numpy as np
 from repro.dht.partition import Partition
 from repro.dht.table import LocalDHT
 from repro.sim.cluster import Cluster
-from repro.util.records import MsgKind, UpdateBatch
+from repro.sim.network import DeliveryError
+from repro.util.records import ControlMessage, MsgKind, UpdateBatch
 
-__all__ = ["ContentTracingEngine", "TracingStats"]
+__all__ = ["ContentTracingEngine", "TracingStats", "RepairReport"]
 
 # Updates per datagram: 64 updates x 13 B + headers fits one MTU.
 DEFAULT_UPDATE_BATCH = 64
@@ -34,6 +46,19 @@ class TracingStats:
     updates_routed: int = 0
     updates_applied: int = 0
     batches_sent: int = 0
+    failovers: int = 0          # nodes processed as failed (ranges re-homed)
+    rejoins: int = 0            # nodes re-admitted after restart
+    repairs: int = 0            # anti-entropy repair passes
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one anti-entropy repair pass rebuilt."""
+
+    ranges_repaired: int
+    hashes_restored: int
+    copies_restored: int
+    nodes_scanned: int
 
 
 class ContentTracingEngine:
@@ -58,6 +83,9 @@ class ContentTracingEngine:
         self.n_represented = n_represented
         self.transport = transport
         self.stats = TracingStats()
+        # Per-primary-range data availability: range r (hashes whose
+        # primary node is r) is intact while a live shard holds its data.
+        self._intact = np.ones(cluster.n_nodes, dtype=bool)
         for node, shard in zip(cluster.nodes, self.shards):
             node.dht = shard
 
@@ -150,13 +178,185 @@ class ContentTracingEngine:
                             count=n))
         self.stats.updates_applied += len(batch.inserts) + len(batch.removes)
 
+    # -- failure detection / failover (docs/FAULTS.md) ---------------------------------
+
+    def node_failed(self, node: int) -> None:
+        """Process a detected node failure: re-home its hash ranges.
+
+        Every primary range currently homed on ``node`` (its own range plus
+        any ranges that failed over to it earlier) loses its data and is
+        marked non-intact; the shared alive view drops the node, so the
+        zero-hop successor walk now routes those ranges to the next alive
+        node.  The re-homed shards start empty until :meth:`repair`.
+        """
+        if not self.partition.is_alive(node):
+            return
+        lost = self.partition.range_homes() == node
+        self._intact[lost] = False
+        self.shards[node].clear()
+        self.partition.set_alive(node, False)
+        self.stats.failovers += 1
+
+    def node_restarted(self, node: int) -> None:
+        """Re-admit a restarted node (it rejoins empty).
+
+        Ranges whose home moves back to ``node`` are purged from their
+        failover owners and marked non-intact until repaired — the
+        restarted node's RAM-resident shard did not survive the crash.
+        """
+        if self.partition.is_alive(node):
+            return
+        old_homes = self.partition.range_homes()
+        self.partition.set_alive(node, True)
+        moved = old_homes != self.partition.range_homes()
+        moved_ranges = set(np.flatnonzero(moved).tolist())
+        for owner in np.unique(old_homes[moved]).tolist():
+            self._purge_ranges_at(int(owner), moved_ranges)
+        self._intact[moved] = False
+        self.shards[node].clear()
+        self.stats.rejoins += 1
+
+    def refresh_failed(self) -> list[int]:
+        """Inline failure detection: the cheap equivalent of the timeout a
+        routed update/query would hit.  Returns newly detected nodes."""
+        net = self.cluster.network
+        detected = []
+        for node in range(self.cluster.n_nodes):
+            if self.partition.is_alive(node) and not net.node_up[node]:
+                self.node_failed(node)
+                detected.append(node)
+        return detected
+
+    def detect_failures(self, issuing_node: int = 0) -> list[int]:
+        """Probe every believed-alive peer over the reliable channel.
+
+        A dead peer blackholes all ``MAX_RELIABLE_ATTEMPTS`` probe
+        retransmissions, so the probe times out with
+        :class:`~repro.sim.network.DeliveryError` — the timeout *is* the
+        failure signal, exactly like a routed query that goes unanswered.
+        Falls back to the inline check when the engine runs networkless.
+        """
+        if not self.use_network:
+            return self.refresh_failed()
+        detected = []
+        for node in range(self.cluster.n_nodes):
+            if node == issuing_node or not self.partition.is_alive(node):
+                continue
+            acked: list[bool] = []
+            self.cluster.network.send_reliable(
+                ControlMessage(MsgKind.CONTROL, issuing_node, node,
+                               op="ping"),
+                on_deliver=lambda _m: acked.append(True))
+            try:
+                self.cluster.engine.run()
+            except DeliveryError:
+                pass
+            if not acked:
+                self.node_failed(node)
+                detected.append(node)
+        return detected
+
+    # -- anti-entropy repair ------------------------------------------------------------
+
+    def _purge_ranges_at(self, owner: int, ranges: set[int]) -> int:
+        """Evict all hashes of the given primary ranges from one shard."""
+        shard = self.shards[owner]
+        hashes, _masks, _wide = shard.items_arrays()
+        if not len(hashes) or not ranges:
+            return 0
+        prim = self.partition.primary_nodes(hashes)
+        keep = ~np.isin(prim, np.fromiter(ranges, dtype=np.int64,
+                                          count=len(ranges)))
+        return shard.retain(keep)
+
+    def repair(self, full: bool = False) -> RepairReport:
+        """Rebuild non-intact ranges from the monitors' ground truth.
+
+        Each alive node re-routes its NSM's last-scanned view — restricted
+        to the ranges under repair — to the ranges' current homes; the
+        paper's observation that "the DHT can always be rebuilt from the
+        node-local content" made operational.  ``full=True`` rebuilds every
+        range (a complete anti-entropy pass), which also heals holes left
+        by lost update datagrams, not just failover damage.
+
+        Entities hosted on dead nodes contribute nothing (their memory is
+        gone), so their entries do not reappear in repaired ranges.
+        """
+        self.refresh_failed()
+        n = self.cluster.n_nodes
+        targets = (np.arange(n, dtype=np.int64) if full
+                   else np.flatnonzero(~self._intact).astype(np.int64))
+        if not len(targets):
+            return RepairReport(0, 0, 0, 0)
+        target_set = set(targets.tolist())
+        for owner in self.partition.alive_nodes().tolist():
+            self._purge_ranges_at(int(owner), target_set)
+        before_hashes = self.total_hashes
+        copies = 0
+        nodes_scanned = 0
+        net = self.cluster.network
+        for node in range(n):
+            if not net.node_up[node]:
+                continue
+            nsm = self.cluster.nodes[node].nsm
+            if nsm is None:
+                continue
+            nodes_scanned += 1
+            for entity in nsm.entities():
+                hashes = nsm.scanned_hashes_of(entity.entity_id)
+                if hashes is None or not len(hashes):
+                    continue
+                sel = np.isin(self.partition.primary_nodes(hashes), targets)
+                if not sel.any():
+                    continue
+                hs = hashes[sel]
+                for dst, idxs in self.partition.group_by_home(hs).items():
+                    self.shards[dst].bulk_insert(hs[idxs], entity.entity_id)
+                    copies += len(idxs)
+        self._intact[targets] = True
+        self.stats.repairs += 1
+        return RepairReport(ranges_repaired=len(targets),
+                            hashes_restored=self.total_hashes - before_hashes,
+                            copies_restored=copies,
+                            nodes_scanned=nodes_scanned)
+
+    # -- degraded-mode introspection ---------------------------------------------------
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the hash space whose data is intact (served by a
+        live shard that was never holed by failover)."""
+        return float(self._intact.mean())
+
+    def range_intact(self, content_hash: int) -> bool:
+        return bool(self._intact[self.partition.primary_node(content_hash)])
+
+    def hashes_intact(self, content_hashes) -> np.ndarray:
+        """Vectorized :meth:`range_intact` over an array of hashes."""
+        return self._intact[self.partition.primary_nodes(content_hashes)]
+
+    def live_shards(self, detect: bool = True) -> list[LocalDHT]:
+        """Shards of believed-alive nodes; by default an unreachable node
+        discovered along the way is processed as failed (lazy detection)."""
+        if detect:
+            self.refresh_failed()
+        return [self.shards[i]
+                for i in self.partition.alive_nodes().tolist()]
+
     # -- lookups ---------------------------------------------------------------------
 
     def _shard_of(self, content_hash: int) -> LocalDHT:
-        return self.shards[self.partition.home_node(content_hash)]
+        return self.shards[self.home_node(content_hash)]
 
     def home_node(self, content_hash: int) -> int:
-        return self.partition.home_node(content_hash)
+        """Current home of a hash; an unreachable home is detected as
+        failed (the query timeout path) and routing retried."""
+        home = self.partition.home_node(content_hash)
+        net = self.cluster.network
+        while not net.node_up[home]:
+            self.node_failed(home)
+            home = self.partition.home_node(content_hash)
+        return home
 
     def lookup_mask(self, content_hash: int) -> int:
         """Entity bitmask for a hash (whichever shard owns it)."""

@@ -1,4 +1,4 @@
-"""Zero-hop key partitioning.
+"""Zero-hop key partitioning with successor failover.
 
 "A hash over the key determines the node and service daemon to which the
 update is routed" (paper §3.3).  Every node evaluates the same pure function
@@ -6,6 +6,14 @@ locally, so routing needs no lookup hops and no coordination — the property
 the paper calls *zero-hop*.  The update originator can therefore, in
 principle, compute not just the node but the exact bucket an update will
 touch (the paper's motivation for eventually using one-sided RDMA).
+
+Failover keeps routing zero-hop: the partition carries a shared *alive
+view* (the set of nodes currently believed up, maintained by the tracing
+engine's failure detector), and a hash whose *primary* node is believed
+dead walks clockwise to the next alive node ID — a deterministic successor
+walk every node computes identically from the same view, so re-homed
+routing still needs no lookups.  The primary map itself never changes;
+when a node rejoins, its ranges route back to it.
 """
 
 from __future__ import annotations
@@ -23,21 +31,89 @@ _ROUTE_SALT = np.uint64(0xC2B2AE3D27D4EB4F)
 
 
 class Partition:
-    """Maps content hashes to home nodes for a fixed node count."""
+    """Maps content hashes to home nodes for a fixed node count.
+
+    The *primary* node of a hash is the failure-oblivious map; the *home*
+    node is the primary unless it is marked dead in the alive view, in
+    which case routing walks to the next alive successor on the node ring.
+    With every node alive (the default) home == primary.
+    """
 
     def __init__(self, n_nodes: int) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.n_nodes = n_nodes
+        self._alive = np.ones(n_nodes, dtype=bool)
+
+    # -- alive view -----------------------------------------------------------------
+
+    def set_alive(self, node: int, alive: bool = True) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range (n={self.n_nodes})")
+        self._alive[node] = alive
+        if not self._alive.any():
+            self._alive[node] = True
+            raise ValueError("cannot mark the last alive node dead")
+
+    def is_alive(self, node: int) -> bool:
+        return bool(self._alive[node])
+
+    @property
+    def n_alive(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def all_alive(self) -> bool:
+        return self.n_alive == self.n_nodes
+
+    def alive_nodes(self) -> np.ndarray:
+        return np.flatnonzero(self._alive)
+
+    # -- primary map (failure-oblivious) ----------------------------------------------
+
+    def primary_node(self, content_hash: int) -> int:
+        """Primary home of one content hash, ignoring failures."""
+        return int(mix64(np.uint64(content_hash) ^ _ROUTE_SALT)) % self.n_nodes
+
+    def primary_nodes(self, content_hashes: np.ndarray) -> np.ndarray:
+        """Vectorized primary-node computation."""
+        h = np.asarray(content_hashes, dtype=np.uint64)
+        return (mix64(h ^ _ROUTE_SALT) % np.uint64(self.n_nodes)).astype(np.int64)
+
+    # -- home map (alive-view aware) --------------------------------------------------
+
+    def _walk(self, primaries: np.ndarray) -> np.ndarray:
+        """Successor-walk an array of primaries to their alive homes."""
+        homes = primaries.copy()
+        for _ in range(self.n_nodes):
+            dead = ~self._alive[homes]
+            if not dead.any():
+                return homes
+            homes[dead] = (homes[dead] + 1) % self.n_nodes
+        raise RuntimeError("no alive node to home hashes on")
 
     def home_node(self, content_hash: int) -> int:
-        """Home node of one content hash."""
-        return int(mix64(np.uint64(content_hash) ^ _ROUTE_SALT)) % self.n_nodes
+        """Home node of one content hash under the current alive view."""
+        home = self.primary_node(content_hash)
+        if self._alive[home]:
+            return home
+        for _ in range(self.n_nodes):
+            home = (home + 1) % self.n_nodes
+            if self._alive[home]:
+                return home
+        raise RuntimeError("no alive node to home hashes on")
 
     def home_nodes(self, content_hashes: np.ndarray) -> np.ndarray:
         """Vectorized home-node computation."""
-        h = np.asarray(content_hashes, dtype=np.uint64)
-        return (mix64(h ^ _ROUTE_SALT) % np.uint64(self.n_nodes)).astype(np.int64)
+        primaries = self.primary_nodes(content_hashes)
+        if self.all_alive:
+            return primaries
+        return self._walk(primaries)
+
+    def range_homes(self) -> np.ndarray:
+        """Current home of each primary range (range r = hashes whose
+        primary is node r); identity when everyone is alive."""
+        return self._walk(np.arange(self.n_nodes, dtype=np.int64))
 
     def group_by_home(self, content_hashes: np.ndarray) -> dict[int, np.ndarray]:
         """Indices of ``content_hashes`` grouped by destination node."""
@@ -49,4 +125,5 @@ class Partition:
         return {int(homes[g[0]]): g for g in groups if len(g)}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Partition(n_nodes={self.n_nodes})"
+        return (f"Partition(n_nodes={self.n_nodes}, "
+                f"n_alive={self.n_alive})")

@@ -31,7 +31,7 @@ for interleaved sequences including the wide-mask spill path.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -380,6 +380,35 @@ class LocalDHT:
             for hh, m in zip(uh.tolist(), new_lo.tolist()):
                 delta[hh] = m
         self._maybe_compact()
+
+    def retain(self, keep: np.ndarray) -> int:
+        """Drop all rows where ``keep`` is False; returns #hashes dropped.
+
+        ``keep`` is a boolean column aligned with the compacted packed
+        hashes (the first array of :meth:`items_arrays`).  Used by shard
+        failover/repair to evict whole hash ranges while keeping the
+        copy/hash counters and the overflow and wide-spill tables exact.
+        """
+        self._compact()
+        keep = np.asarray(keep, dtype=bool)
+        if len(keep) != len(self._ph):
+            raise ValueError("keep mask must align with the packed hashes")
+        drop_idx = np.flatnonzero(~keep)
+        if not len(drop_idx):
+            return 0
+        copies = int(np.bitwise_count(self._pm[drop_idx]).sum())
+        for h in self._ph[drop_idx].tolist():
+            hi = self._pw.pop(h, None)
+            if hi is not None:
+                copies += hi.bit_count()
+            ex = self._extra.pop(h, None)
+            if ex:
+                copies += sum(ex.values())
+        self._ph = self._ph[keep]
+        self._pm = self._pm[keep]
+        self._n_hashes -= len(drop_idx)
+        self._total_copies -= copies
+        return len(drop_idx)
 
     def remove_entity(self, entity_id: int) -> int:
         """Purge every record of an entity (it left the system)."""

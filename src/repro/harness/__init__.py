@@ -26,6 +26,7 @@ from repro.harness.experiments import (
     run_ablation_throttle,
     run_ablation_rdma,
     run_ablation_incremental,
+    run_faults,
     ALL_EXPERIMENTS,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "run_ablation_throttle",
     "run_ablation_rdma",
     "run_ablation_incremental",
+    "run_faults",
     "ALL_EXPERIMENTS",
 ]

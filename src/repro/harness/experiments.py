@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.command import ExecMode
 from repro.core.concord import ConCORD
+from repro.core.config import ConCORDConfig
 from repro.core.scope import ServiceScope
 from repro.dht.allocator import malloc_model_bytes, slab_model_bytes
 from repro.dht.table import LocalDHT
@@ -36,6 +37,7 @@ from repro.services.checkpoint import (
     RawCheckpoint,
     restore_entity,
 )
+from repro.queries.reference import ReferenceModel
 from repro.services.null import NullService
 from repro.sim.cluster import Cluster
 from repro.sim.costmodel import BIG_CLUSTER, MB, NEW_CLUSTER, OLD_CLUSTER
@@ -48,7 +50,7 @@ __all__ = [
     "run_fig16", "run_fig17", "run_monitor_overhead", "run_ablation_modes",
     "run_ablation_redundancy", "run_ablation_staleness",
     "run_ablation_throttle", "run_ablation_rdma",
-    "run_ablation_incremental", "ALL_EXPERIMENTS",
+    "run_ablation_incremental", "run_faults", "ALL_EXPERIMENTS",
 ]
 
 GB = 1024**3
@@ -59,8 +61,8 @@ def _build(n_nodes: int, testbed, spec, n_represented: int = 1, seed: int = 0,
            use_network: bool = False):
     cluster = Cluster(n_nodes, cost=testbed, seed=seed)
     entities = workloads.instantiate(cluster, spec)
-    concord = ConCORD(cluster, use_network=use_network,
-                      n_represented=n_represented)
+    concord = ConCORD(cluster, ConCORDConfig(use_network=use_network,
+                                             n_represented=n_represented))
     concord.initial_scan()
     eids = [e.entity_id for e in entities]
     return cluster, entities, concord, eids
@@ -180,8 +182,9 @@ def run_fig07(node_counts=(1, 2, 4, 8, 16, 32, 64, 128),
     for n in node_counts:
         cluster = Cluster(n, cost=BIG_CLUSTER, seed=1)
         workloads.instantiate(cluster, workloads.nasty(n, sim_pages, seed=1))
-        concord = ConCORD(cluster, use_network=True, n_represented=R,
-                          update_batch_size=1)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True,
+                                                 n_represented=R,
+                                                 update_batch_size=1))
         concord.initial_scan()
         st = cluster.network.stats
         t.x_values.append(n)
@@ -253,14 +256,14 @@ def run_fig09(hash_millions=(2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40),
         cluster, _e, concord, eids = _build(n_nodes, OLD_CLUSTER, spec,
                                             n_represented=R)
         t.x_values.append(total_m)
-        s_sh_d.append(concord.sharing(eids, exec_mode="distributed")
+        s_sh_d.append(concord.sharing(eids, exec_mode=ExecMode.DISTRIBUTED)
                       .latency * 1e3)
         s_ns_d.append(concord.num_shared_content(eids, 2,
-                                                 exec_mode="distributed")
+                                                 exec_mode=ExecMode.DISTRIBUTED)
                       .latency * 1e3)
-        s_sh_s.append(concord.sharing(eids, exec_mode="single")
+        s_sh_s.append(concord.sharing(eids, exec_mode=ExecMode.SINGLE)
                       .latency * 1e3)
-        s_ns_s.append(concord.num_shared_content(eids, 2, exec_mode="single")
+        s_ns_s.append(concord.num_shared_content(eids, 2, exec_mode=ExecMode.SINGLE)
                       .latency * 1e3)
     t.note("distributed keeps ~2 M hashes/node as nodes grow; paper: "
            "crossover at 2-4 M hashes, distributed stable ~300 ms")
@@ -368,7 +371,7 @@ def run_fig14(node_counts=(1, 2, 4, 6, 8, 12, 16), sim_pages: int = 2048,
         s_rgz.append(raw_gz / raw * 100)
         s_cc.append(store.concord_size_bytes / raw * 100)
         s_cgz.append(cc_gz / raw * 100)
-        s_dos.append(concord.degree_of_sharing(eids) * 100)
+        s_dos.append(concord.degree_of_sharing(eids).value * 100)
     t.note("paper 14a: ConCORD tracks DoS, falling well below gzip; "
            "14b: ConCORD within ~1% of raw when no redundancy exists")
     return t
@@ -471,7 +474,7 @@ def run_monitor_overhead(periods=(2.0, 5.0), mem_mb: int = 64) -> Table:
             cluster = Cluster(2, cost=OLD_CLUSTER, seed=9)
             workloads.instantiate(cluster, workloads.moldy(2, sim_pages,
                                                            seed=9))
-            concord = ConCORD(cluster, hash_algo=algo)
+            concord = ConCORD(cluster, ConCORDConfig(hash_algo=algo))
             concord.initial_scan()
             mon = concord.monitors[0]
             base = mon.stats.cpu_time
@@ -588,7 +591,7 @@ def run_ablation_throttle(rates=(None, 1_000, 500, 100),
         cluster = Cluster(2, cost=NEW_CLUSTER, seed=15)
         ents = workloads.instantiate(cluster,
                                      workloads.nasty(2, sim_pages, seed=15))
-        concord = ConCORD(cluster, throttle_updates_per_s=rate)
+        concord = ConCORD(cluster, ConCORDConfig(throttle_updates_per_s=rate))
         for mon in concord.monitors:
             mon.initial_scan()
             mon.flush(interval=1.0)
@@ -618,9 +621,9 @@ def run_ablation_rdma(node_counts=(8, 32, 128), gb_per_entity: float = 4.0,
             cluster = Cluster(n, cost=BIG_CLUSTER, seed=1)
             workloads.instantiate(cluster,
                                   workloads.nasty(n, sim_pages, seed=1))
-            concord = ConCORD(cluster, use_network=True, n_represented=R,
-                              update_batch_size=1,
-                              update_transport=transport)
+            concord = ConCORD(cluster, ConCORDConfig(
+                use_network=True, n_represented=R, update_batch_size=1,
+                update_transport=transport))
             concord.initial_scan()
             series.append(cluster.network.stats.update_loss_rate * 100)
         t.x_values.append(n)
@@ -679,7 +682,64 @@ def run_ablation_incremental(mutate=(0.0, 0.05, 0.1, 0.2, 0.4, 0.8),
     return t
 
 
+def run_faults(n_nodes: int = 8, pages_per_entity: int = 512,
+               loss: float = 0.2) -> Table:
+    """Fault tolerance: coverage and query accuracy through a scheduled
+    kill / detect / repair / rejoin cycle under datagram loss.
+
+    A :class:`~repro.sim.faults.FaultPlan` injects ``loss`` i.i.d. message
+    loss and kills two DHT home nodes mid-run; the table tracks the hash
+    space coverage, the collective sharing answer, and its error against
+    the fault-free exact value at each stage (docs/FAULTS.md).
+    """
+    from repro.sim.faults import FaultPlan
+
+    cluster = Cluster(n_nodes, cost=NEW_CLUSTER, seed=21)
+    ents = workloads.instantiate(
+        cluster, workloads.moldy(n_nodes, pages_per_entity, seed=21))
+    eids = [e.entity_id for e in ents]
+    concord = ConCORD(cluster, ConCORDConfig(use_network=True))
+    victims = (n_nodes - 2, n_nodes - 1)
+
+    plan = FaultPlan().set_loss(0.0, loss).kill(0.05, *victims)
+    concord.inject_faults(plan)
+    concord.initial_scan(run_network=False)
+    cluster.engine.run()
+
+    exact = ReferenceModel(cluster).sharing(eids)
+    t = Table(f"Fault injection: kill 2/{n_nodes} home nodes at "
+              f"{loss:.0%} loss (New-cluster)", "stage")
+    s_cov = t.add_series("coverage_pct")
+    s_sh = t.add_series("sharing")
+    s_err = t.add_series("abs_error")
+
+    def stage(label: str) -> None:
+        ans = concord.sharing(eids)
+        t.x_values.append(label)
+        s_cov.append(ans.coverage * 100)
+        s_sh.append(ans.value)
+        s_err.append(abs(ans.value - exact))
+
+    concord.detect_failures()
+    stage("killed+lossy")
+    concord.repair()
+    stage("failover-repaired")
+    # Lift the loss, rejoin the victims (empty — their primary ranges
+    # route back holed), and full-repair: rebuilds those ranges *and*
+    # heals every datagram-loss hole, so the answer becomes exact.
+    cluster.network.set_loss(0.0)
+    for node in victims:
+        concord.restart_node(node)
+    stage("rejoined")
+    concord.repair(full=True)
+    stage("full-repair")
+    t.note(f"exact (fault-free) sharing = {exact:.4f}; after full repair "
+           "the collective answer must match it at coverage 100%")
+    return t
+
+
 ALL_EXPERIMENTS = {
+    "faults": run_faults,
     "fig05": run_fig05,
     "fig06": run_fig06,
     "fig07": run_fig07,

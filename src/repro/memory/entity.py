@@ -66,9 +66,9 @@ class Entity:
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def create(cls, cluster: "Cluster", node_id: int, pages: np.ndarray,
+    def create(cls, cluster: Cluster, node_id: int, pages: np.ndarray,
                kind: EntityKind = EntityKind.PROCESS, name: str = "",
-               page_size: int = 4096) -> "Entity":
+               page_size: int = 4096) -> Entity:
         """Create and register an entity on a cluster."""
         e = cls(node_id, pages, kind=kind, name=name, page_size=page_size)
         cluster.register_entity(e)

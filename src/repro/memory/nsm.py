@@ -47,7 +47,7 @@ class BlockRef:
 class NodeSpecificModule:
     """Per-node entity handling: local hash->block map and memory access."""
 
-    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+    def __init__(self, cluster: Cluster, node_id: int) -> None:
         self.cluster = cluster
         self.node_id = node_id
         self.entity_ids: list[int] = []

@@ -72,7 +72,7 @@ class MemoryRegion:
 class VirtualMachine:
     """A VM: guest-physical layout over a tracked RAM entity."""
 
-    def __init__(self, cluster: "Cluster", node_id: int,
+    def __init__(self, cluster: Cluster, node_id: int,
                  ram_pages: np.ndarray, name: str = "",
                  device_pages: int = 0, rom_pages: np.ndarray | None = None,
                  page_size: int = 4096, seed: int = 0) -> None:

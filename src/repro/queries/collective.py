@@ -21,12 +21,17 @@ plotted in Fig 14 is ``distinct / tot = 1 - sharing``.
 * ``num_shared_content(S, k)`` / ``shared_content(S, k)`` — the "at least k
   copies" queries: how much / which content is replicated >= k times.
 
-Execution: ``distributed`` scans every shard in parallel and combines the
-partial sums over a binomial reduction tree (latency = slowest shard scan +
-tree latency — constant as nodes and memory scale together).  ``single``
-executes the same scan over all entries at one node (latency linear in
-total entries).  The Fig 9 crossover between the two is the design argument
-for distributing the DHT.
+Execution: ``ExecMode.DISTRIBUTED`` scans every shard in parallel and
+combines the partial sums over a binomial reduction tree (latency = slowest
+shard scan + tree latency — constant as nodes and memory scale together).
+``ExecMode.SINGLE`` executes the same scan over all entries at one node
+(latency linear in total entries).  The Fig 9 crossover between the two is
+the design argument for distributing the DHT.
+
+Degraded mode: scans cover only the *live* shards.  Hash ranges holed by a
+node failure (not yet repaired) contribute nothing, so every answer is
+annotated with ``coverage`` — the intact fraction of the hash space — and
+``degraded`` when that is below 1 (docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.command import ExecMode
 from repro.dht.engine import ContentTracingEngine
 from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
@@ -51,6 +57,8 @@ class CollectiveAnswer:
     latency: float
     max_shard_compute: float
     total_compute: float
+    coverage: float = 1.0
+    degraded: bool = False
 
 
 @dataclass
@@ -62,7 +70,7 @@ class SharingBreakdown:
     intra_dup: int = 0
     inter_dup: int = 0
 
-    def merge(self, other: "SharingBreakdown") -> None:
+    def merge(self, other: SharingBreakdown) -> None:
         self.total_copies += other.total_copies
         self.distinct += other.distinct
         self.intra_dup += other.intra_dup
@@ -147,20 +155,22 @@ class CollectiveQueryEngine:
 
     # -- latency model -------------------------------------------------------------
 
-    def _scan_latency(self, exec_mode: str, result_bytes: int = 16) -> float:
+    def _scan_latency(self, mode: ExecMode, result_bytes: int = 16) -> float:
         cost = self.cost
         per_entry = cost.query_scan_per_entry * self.n_represented
         sizes = self.engine.shard_sizes()
-        if exec_mode == "distributed":
+        if mode is ExecMode.DISTRIBUTED:
             max_scan = max(sizes) * per_entry if sizes else 0.0
             depth = cost.tree_depth(self.cluster.n_nodes)
             reduce_t = depth * (cost.udp_latency + cost.query_reduce_per_node
                                 + cost.tx_time(result_bytes + 74))
             return cost.rtt() + max_scan + reduce_t + cost.query_compute_base
-        if exec_mode == "single":
+        if mode is ExecMode.SINGLE:
             total_scan = sum(sizes) * per_entry
             return cost.rtt() + total_scan + cost.query_compute_base
-        raise ValueError(f"unknown exec_mode {exec_mode!r}")
+        raise ValueError(
+            f"exec_mode {mode} is a command mode, not a query mode "
+            "(use ExecMode.DISTRIBUTED or ExecMode.SINGLE)")
 
     def _compute_times(self) -> tuple[float, float]:
         per_entry = self.cost.query_scan_per_entry * self.n_represented
@@ -168,64 +178,83 @@ class CollectiveQueryEngine:
         max_c = max(sizes) * per_entry if sizes else 0.0
         return max_c, sum(sizes) * per_entry
 
-    def _answer(self, value: object, exec_mode: str,
+    def _answer(self, value: object, exec_mode: ExecMode | str,
                 result_bytes: int = 16) -> CollectiveAnswer:
+        mode = ExecMode.coerce(exec_mode)
         max_c, total_c = self._compute_times()
-        return CollectiveAnswer(value, self._scan_latency(exec_mode, result_bytes),
-                                max_c, total_c)
+        coverage = self.engine.coverage
+        return CollectiveAnswer(value, self._scan_latency(mode, result_bytes),
+                                max_c, total_c, coverage=coverage,
+                                degraded=coverage < 1.0)
 
     # -- the five collective queries -----------------------------------------------
 
     def breakdown(self, entity_ids: list[int]) -> SharingBreakdown:
-        """Full sharing breakdown (shared work for the first three queries)."""
+        """Full sharing breakdown (shared work for the first three queries).
+
+        Scans the live shards only; under unrepaired failures the holed
+        ranges contribute nothing (the callers annotate coverage).
+        """
         s_mask, node_masks = self._entity_masks(entity_ids)
         out = SharingBreakdown()
-        for shard in self.engine.shards:
+        for shard in self.engine.live_shards():
             out.merge(self._shard_breakdown(shard, s_mask, node_masks))
         return out
 
     def sharing(self, entity_ids: list[int],
-                exec_mode: str = "distributed") -> CollectiveAnswer:
+                exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                ) -> CollectiveAnswer:
         b = self.breakdown(entity_ids)
         val = 0.0 if b.total_copies == 0 else (
             (b.total_copies - b.distinct) / b.total_copies)
         return self._answer(val, exec_mode)
 
     def intra_sharing(self, entity_ids: list[int],
-                      exec_mode: str = "distributed") -> CollectiveAnswer:
+                      exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                      ) -> CollectiveAnswer:
         b = self.breakdown(entity_ids)
         val = 0.0 if b.total_copies == 0 else b.intra_dup / b.total_copies
         return self._answer(val, exec_mode)
 
     def inter_sharing(self, entity_ids: list[int],
-                      exec_mode: str = "distributed") -> CollectiveAnswer:
+                      exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                      ) -> CollectiveAnswer:
         b = self.breakdown(entity_ids)
         val = 0.0 if b.total_copies == 0 else b.inter_dup / b.total_copies
         return self._answer(val, exec_mode)
 
-    def degree_of_sharing(self, entity_ids: list[int]) -> float:
-        """distinct/total — the DoS line plotted in Fig 14 (1 - sharing)."""
+    def degree_of_sharing(self, entity_ids: list[int],
+                          exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                          ) -> CollectiveAnswer:
+        """distinct/total — the DoS line plotted in Fig 14 (1 - sharing).
+
+        A full collective query like the others: it runs the same shard
+        scans, so it carries the same modelled latency and coverage.
+        """
         b = self.breakdown(entity_ids)
-        return 1.0 if b.total_copies == 0 else b.distinct / b.total_copies
+        val = 1.0 if b.total_copies == 0 else b.distinct / b.total_copies
+        return self._answer(val, exec_mode)
 
     def num_shared_content(self, entity_ids: list[int], k: int,
-                           exec_mode: str = "distributed") -> CollectiveAnswer:
+                           exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                           ) -> CollectiveAnswer:
         if k < 1:
             raise ValueError("k must be >= 1")
         s_mask, _ = self._entity_masks(entity_ids)
         count = 0
-        for shard in self.engine.shards:
+        for shard in self.engine.live_shards():
             _hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
             count += int((copies >= k).sum())
         return self._answer(count * self.n_represented, exec_mode)
 
     def shared_content(self, entity_ids: list[int], k: int,
-                       exec_mode: str = "distributed") -> CollectiveAnswer:
+                       exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                       ) -> CollectiveAnswer:
         if k < 1:
             raise ValueError("k must be >= 1")
         s_mask, _ = self._entity_masks(entity_ids)
         hashes: set[int] = set()
-        for shard in self.engine.shards:
+        for shard in self.engine.live_shards():
             hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
             if len(hs):
                 hashes.update(hs[copies >= k].tolist())

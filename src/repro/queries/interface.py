@@ -3,14 +3,18 @@
 Application services and tools issue queries through this class.  Node-wise
 queries go to a hash's home shard; collective queries run through the
 :class:`repro.queries.collective.CollectiveQueryEngine` in either execution
-mode.  Every answer carries its modelled latency so experiments can report
-Fig 8/9-style series while tests assert on the values.
+mode.  Every answer is a :class:`QueryResult` carrying its modelled latency
+(so experiments can report Fig 8/9-style series while tests assert on the
+values) plus the fault-tolerance annotations: ``coverage`` — the fraction
+of the hash space served by intact shards — and ``degraded``, set when the
+answer may undercount because of unrepaired failures (docs/FAULTS.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.command import ExecMode
 from repro.dht.engine import ContentTracingEngine
 from repro.queries import collective as _collective
 from repro.queries import nodewise as _nodewise
@@ -21,11 +25,13 @@ __all__ = ["QueryInterface", "QueryResult"]
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Uniform (value, latency, compute time) answer."""
+    """Uniform answer: value, modelled cost, and degradation status."""
 
     value: object
     latency: float
     compute_time: float
+    coverage: float = 1.0   # intact fraction of the hash space
+    degraded: bool = False  # True when the answer may undercount
 
 
 class QueryInterface:
@@ -43,42 +49,50 @@ class QueryInterface:
     def num_copies(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
         a = _nodewise.num_copies(self.engine, self.cluster.cost,
                                  content_hash, issuing_node)
-        return QueryResult(a.value, a.latency, a.compute_time)
+        return QueryResult(a.value, a.latency, a.compute_time,
+                           a.coverage, a.degraded)
 
     def entities(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
         a = _nodewise.entities(self.engine, self.cluster.cost,
                                content_hash, issuing_node)
-        return QueryResult(a.value, a.latency, a.compute_time)
+        return QueryResult(a.value, a.latency, a.compute_time,
+                           a.coverage, a.degraded)
 
     # -- collective (paper Fig 3, middle) --------------------------------------------
 
     def _wrap(self, a: _collective.CollectiveAnswer) -> QueryResult:
-        return QueryResult(a.value, a.latency, a.max_shard_compute)
+        return QueryResult(a.value, a.latency, a.max_shard_compute,
+                           a.coverage, a.degraded)
 
     def sharing(self, entity_ids: list[int],
-                exec_mode: str = "distributed") -> QueryResult:
+                exec_mode: ExecMode | str = ExecMode.DISTRIBUTED) -> QueryResult:
         return self._wrap(self._collective.sharing(entity_ids, exec_mode))
 
     def intra_sharing(self, entity_ids: list[int],
-                      exec_mode: str = "distributed") -> QueryResult:
+                      exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                      ) -> QueryResult:
         return self._wrap(self._collective.intra_sharing(entity_ids, exec_mode))
 
     def inter_sharing(self, entity_ids: list[int],
-                      exec_mode: str = "distributed") -> QueryResult:
+                      exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                      ) -> QueryResult:
         return self._wrap(self._collective.inter_sharing(entity_ids, exec_mode))
 
     def num_shared_content(self, entity_ids: list[int], k: int,
-                           exec_mode: str = "distributed") -> QueryResult:
+                           exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                           ) -> QueryResult:
         return self._wrap(
             self._collective.num_shared_content(entity_ids, k, exec_mode))
 
     def shared_content(self, entity_ids: list[int], k: int,
-                       exec_mode: str = "distributed") -> QueryResult:
+                       exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                       ) -> QueryResult:
         return self._wrap(
             self._collective.shared_content(entity_ids, k, exec_mode))
 
-    # -- convenience ---------------------------------------------------------------------
-
-    def degree_of_sharing(self, entity_ids: list[int]) -> float:
+    def degree_of_sharing(self, entity_ids: list[int],
+                          exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
+                          ) -> QueryResult:
         """distinct/total blocks — the DoS series of Fig 14."""
-        return self._collective.degree_of_sharing(entity_ids)
+        return self._wrap(
+            self._collective.degree_of_sharing(entity_ids, exec_mode))

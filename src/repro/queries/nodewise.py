@@ -4,6 +4,11 @@ Because content information lives on the home node of its hash, a node-wise
 query is one request/response to that node plus a local hash-table lookup;
 its latency "is dominated by the communication, which is essentially a ping
 time" (paper §5.3, Fig 8), independent of how many hashes the shard holds.
+
+Degraded mode: when a hash's primary range was holed by a node failure and
+has not been repaired yet, the (re-homed) shard simply has no entry — the
+query still answers, but the answer is marked ``degraded`` so callers know
+it may undercount (docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ class NodewiseAnswer:
     value: object
     latency: float       # total: communication + compute
     compute_time: float  # at the answering node only
+    coverage: float = 1.0   # intact fraction of the hash space
+    degraded: bool = False  # True when the answer may undercount
 
 
 def _latency(cost: CostModel, compute: float, issuing_node: int,
@@ -43,7 +50,8 @@ def num_copies(engine: ContentTracingEngine, cost: CostModel,
     value = shard.num_copies(content_hash)
     compute = cost.query_compute_base
     return NodewiseAnswer(value, _latency(cost, compute, issuing_node, home, 8),
-                          compute)
+                          compute, coverage=engine.coverage,
+                          degraded=not engine.range_intact(content_hash))
 
 
 def entities(engine: ContentTracingEngine, cost: CostModel,
@@ -57,7 +65,8 @@ def entities(engine: ContentTracingEngine, cost: CostModel,
     resp_bytes = 4 * len(ids) + 8
     return NodewiseAnswer(set(ids),
                           _latency(cost, compute, issuing_node, home, resp_bytes),
-                          compute)
+                          compute, coverage=engine.coverage,
+                          degraded=not engine.range_intact(content_hash))
 
 
 def num_copies_batch(engine: ContentTracingEngine, cost: CostModel,
@@ -70,6 +79,7 @@ def num_copies_batch(engine: ContentTracingEngine, cost: CostModel,
     ``int64`` array aligned with the input order.
     """
     q = np.ascontiguousarray(content_hashes, dtype=np.uint64)
+    engine.refresh_failed()
     values = np.zeros(len(q), dtype=np.int64)
     latency = 0.0
     total_compute = 0.0
@@ -81,7 +91,9 @@ def num_copies_batch(engine: ContentTracingEngine, cost: CostModel,
         total_compute += compute
         latency = max(latency, _latency(cost, compute, issuing_node, home,
                                         8 * len(idx)))
-    return NodewiseAnswer(values, latency, total_compute)
+    return NodewiseAnswer(values, latency, total_compute,
+                          coverage=engine.coverage,
+                          degraded=bool((~engine.hashes_intact(q)).any()))
 
 
 def entities_batch(engine: ContentTracingEngine, cost: CostModel,
@@ -92,6 +104,7 @@ def entities_batch(engine: ContentTracingEngine, cost: CostModel,
     derived from each home shard's columnar ``bulk_masks`` lookup.
     """
     q = np.ascontiguousarray(content_hashes, dtype=np.uint64)
+    engine.refresh_failed()
     values: list[set[int]] = [set() for _ in range(len(q))]
     latency = 0.0
     total_compute = 0.0
@@ -112,4 +125,6 @@ def entities_batch(engine: ContentTracingEngine, cost: CostModel,
         total_compute += compute
         latency = max(latency, _latency(cost, compute, issuing_node, home,
                                         4 * n_ids + 8))
-    return NodewiseAnswer(values, latency, total_compute)
+    return NodewiseAnswer(values, latency, total_compute,
+                          coverage=engine.coverage,
+                          degraded=bool((~engine.hashes_intact(q)).any()))

@@ -208,10 +208,63 @@ class CheckpointStore:
     _SHARED_MAGIC = b"CCSH"
     _SE_MAGIC = b"CCSE"
 
-    def write_to_dir(self, path: str | Path) -> None:
-        """Materialize real bytes and write the checkpoint to a directory."""
+    def _record_cid(self, kind: str, payload: int) -> int:
+        if kind == "ptr":
+            return self.shared.read(payload)
+        if kind == "data":
+            return int(payload)
+        raise ValueError(
+            f"record kind {kind!r} (incremental checkpoints"
+            " serialize with their chain, not standalone)")
+
+    def _canonical_blocks(self) -> list[tuple[int, int]]:
+        """(hash, content id) of every block any record references, sorted
+        by hash.  Blocks appended collectively but never referenced by a
+        record (stale handled hashes) are garbage-collected."""
+        by_hash: dict[int, int] = {}
+        for f in self.se_files.values():
+            for kind, _idx, h, payload in f.records:
+                if h not in by_hash:
+                    by_hash[h] = self._record_cid(kind, payload)
+        return sorted(by_hash.items())
+
+    def write_to_dir(self, path: str | Path, canonical: bool = False) -> None:
+        """Materialize real bytes and write the checkpoint to a directory.
+
+        With ``canonical=True`` the bytes depend only on the *logical*
+        checkpoint — each SE's page contents — not on how it was produced:
+        the shared file holds every referenced distinct block exactly once
+        in hash order, and every SE record becomes a pointer into it,
+        ordered by page index.  Two runs of the same workload therefore
+        serialize byte-identically even if one ran degraded (dead shards,
+        datagram loss) and covered fewer blocks collectively — the
+        fault-tolerance guarantee the integration tests pin down.  The
+        default mode writes records as produced (pointers and literal
+        data blocks), which round-trips the store exactly.
+        """
         d = Path(path)
         d.mkdir(parents=True, exist_ok=True)
+        if canonical:
+            blocks = self._canonical_blocks()
+            offset_of = {h: i for i, (h, _cid) in enumerate(blocks)}
+            with open(d / "shared.bin", "wb") as fh:
+                fh.write(self._SHARED_MAGIC)
+                fh.write(struct.pack("<IQ", self.page_size, len(blocks)))
+                for _h, cid in blocks:
+                    fh.write(materialize_page(cid, self.page_size,
+                                              self.compress_fraction))
+            for eid in sorted(self.se_files):
+                f = self.se_files[eid]
+                with open(d / f"entity_{eid}.ckpt", "wb") as fh:
+                    fh.write(self._SE_MAGIC)
+                    fh.write(struct.pack("<IIQ", eid, self.page_size,
+                                         len(f.records)))
+                    for kind, idx, h, payload in sorted(
+                            f.records, key=lambda r: r[1]):
+                        self._record_cid(kind, payload)  # validate kind
+                        fh.write(struct.pack("<BIQQ", 0, idx, h,
+                                             offset_of[h]))
+            return
         with open(d / "shared.bin", "wb") as fh:
             fh.write(self._SHARED_MAGIC)
             fh.write(struct.pack("<IQ", self.page_size, self.shared.n_blocks))
@@ -238,7 +291,7 @@ class CheckpointStore:
 
     @classmethod
     def load_from_dir(cls, path: str | Path,
-                      compress_fraction: float = 0.5) -> "CheckpointStore":
+                      compress_fraction: float = 0.5) -> CheckpointStore:
         """Read a checkpoint back (content IDs recovered from page headers)."""
         d = Path(path)
         with open(d / "shared.bin", "rb") as fh:

@@ -57,7 +57,7 @@ class ImageDescriptor:
 
     @classmethod
     def from_checkpoint(cls, store: CheckpointStore,
-                        entity_id: int) -> "ImageDescriptor":
+                        entity_id: int) -> ImageDescriptor:
         pages = restore_entity(store, entity_id)
         return cls(entity_id=entity_id, hashes=page_hashes(pages),
                    page_size=store.page_size)

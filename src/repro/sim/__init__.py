@@ -11,10 +11,15 @@ the node/cluster assembly (:mod:`repro.sim.cluster`).
 
 from repro.sim.engine import SimEngine, Resource
 from repro.sim.costmodel import CostModel, OLD_CLUSTER, NEW_CLUSTER, BIG_CLUSTER, TESTBEDS
+from repro.sim.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.sim.network import Network, NetworkStats
 from repro.sim.cluster import Cluster, Node
 
 __all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "SimEngine",
     "Resource",
     "CostModel",

@@ -15,7 +15,8 @@ bitmaps rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -58,7 +59,11 @@ class Cluster:
         self.cost = cost
         self.n_nodes = n_nodes
         self.engine = SimEngine()
-        self.network = Network(self.engine, cost, n_nodes)
+        # The network draws injected-loss coin flips from its own stream so
+        # fault experiments stay reproducible regardless of how much of the
+        # cluster rng other components consume.
+        self.network = Network(self.engine, cost, n_nodes,
+                               rng=np.random.default_rng(seed + 0x10ad))
         self.nodes = [Node(i) for i in range(n_nodes)]
         self.entities: dict[int, "Entity"] = {}
         self.rng = np.random.default_rng(seed)
@@ -67,7 +72,7 @@ class Cluster:
 
     # -- entity management ---------------------------------------------------------
 
-    def register_entity(self, entity: "Entity") -> int:
+    def register_entity(self, entity: Entity) -> int:
         """Assign an ID and record placement; returns the entity ID."""
         if not (0 <= entity.node_id < self.n_nodes):
             raise ValueError(f"entity placed on invalid node {entity.node_id}")
@@ -77,7 +82,7 @@ class Cluster:
         self.entities[eid] = entity
         return eid
 
-    def entity(self, entity_id: int) -> "Entity":
+    def entity(self, entity_id: int) -> Entity:
         return self.entities[entity_id]
 
     def node_of(self, entity_id: int) -> int:

@@ -120,7 +120,7 @@ class CostModel:
                 + n_nodes * self.control_bcast_per_node
                 + self.rtt())  # final ack round
 
-    def scaled(self, **overrides) -> "CostModel":
+    def scaled(self, **overrides) -> CostModel:
         """A copy with some constants overridden (for ablations)."""
         return replace(self, **overrides)
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["SimEngine", "Resource", "CancelledError"]
 
@@ -33,7 +34,7 @@ class _Event:
         self.args = args
         self.cancelled = False
 
-    def __lt__(self, other: "_Event") -> bool:
+    def __lt__(self, other: _Event) -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 

@@ -18,6 +18,14 @@ The model here reproduces both on the discrete-event engine:
 * The reliable channel retransmits dropped messages after ``ack_timeout``
   until delivery (bounded attempts), counting retransmissions.
 
+Fault injection (``repro.sim.faults``) adds three further loss sources on
+top of the emergent one: *dead nodes* (crash-stop; traffic to or from a
+down node is blackholed), *blocked links* (partitions), and *injected
+i.i.d. datagram loss*.  All three count as drops — and blackholed
+messages additionally in ``msgs_blackholed`` — and trigger a sender's
+``on_drop`` callback, which is how the reliable channel's retransmission
+timeout doubles as the platform's failure detector.
+
 All payloads are :class:`repro.util.records.Message` objects so wire sizes
 are realistic.
 """
@@ -25,7 +33,9 @@ are realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
+
+import numpy as np
 
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Resource, SimEngine
@@ -45,6 +55,7 @@ class NetworkStats:
     msgs_sent: int = 0
     msgs_delivered: int = 0
     msgs_dropped: int = 0
+    msgs_blackholed: int = 0    # subset of msgs_dropped: dead node / cut link
     retransmissions: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
@@ -85,12 +96,62 @@ class Network:
 
     MAX_RELIABLE_ATTEMPTS = 12
 
-    def __init__(self, engine: SimEngine, cost: CostModel, n_nodes: int) -> None:
+    def __init__(self, engine: SimEngine, cost: CostModel, n_nodes: int,
+                 rng: np.random.Generator | None = None) -> None:
         self.engine = engine
         self.cost = cost
         self.n_nodes = n_nodes
         self.nodes = [_NodeNet() for _ in range(n_nodes)]
         self.stats = NetworkStats()
+        # Fault-injection state (see repro.sim.faults / docs/FAULTS.md).
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.node_up = [True] * n_nodes
+        self.loss_prob = 0.0
+        self.latency_scale = 1.0
+        self._blocked: set[tuple[int, int]] = set()  # directed (src, dst)
+
+    # -- fault injection --------------------------------------------------------
+
+    def set_node_up(self, node: int, up: bool) -> None:
+        """Crash-stop (``up=False``) or restart a node's NIC."""
+        self._check(node)
+        self.node_up[node] = bool(up)
+
+    def set_loss(self, prob: float) -> None:
+        """Inject i.i.d. datagram loss on top of the emergent queue loss."""
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        self.loss_prob = prob
+
+    def set_latency_scale(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self.latency_scale = factor
+
+    def block_link(self, a: int, b: int) -> None:
+        """Blackhole datagrams between ``a`` and ``b`` (both directions)."""
+        self._check(a)
+        self._check(b)
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def partition(self, *groups) -> None:
+        """Blackhole every link between nodes of different groups."""
+        groups = [tuple(g) for g in groups]
+        for node in (n for g in groups for n in g):
+            self._check(node)
+        for i, ga in enumerate(groups):
+            for gb in groups[i + 1:]:
+                for a in ga:
+                    for b in gb:
+                        self.block_link(a, b)
+
+    def heal(self) -> None:
+        """Remove every link block."""
+        self._blocked.clear()
+
+    def link_ok(self, src: int, dst: int) -> bool:
+        return (src, dst) not in self._blocked
 
     # -- internal ---------------------------------------------------------------
 
@@ -137,28 +198,49 @@ class Network:
         if callable(n_updates):
             self.stats.updates_sent += n_updates()
 
+        if not self.node_up[msg.src_node]:
+            # A dead node sends nothing; events queued before the crash
+            # (e.g. paced update batches) vanish at its NIC.
+            self.engine.after(0.0, self._drop, msg, on_drop, True)
+            return
+
         if msg.src_node == msg.dst_node:
             # Loopback: no NIC, no loss.
             self.engine.after(0.0, self._deliver, msg, size, on_deliver)
             return
 
         depart = self._transmit(msg.src_node, size)
-        arrive = depart + self.cost.udp_latency
+        arrive = depart + self.cost.udp_latency * self.latency_scale
         self.engine.at(arrive, self._arrive, msg, size, on_deliver, on_drop)
+
+    def _drop(self, msg: Message, on_drop: Callable | None,
+              blackholed: bool = False) -> None:
+        """Account one lost datagram and fire the sender's drop callback."""
+        self.stats.msgs_dropped += 1
+        if blackholed:
+            self.stats.msgs_blackholed += 1
+        self.nodes[msg.dst_node].drops += 1
+        n_updates = getattr(msg, "n_updates", None)
+        if callable(n_updates):
+            self.stats.updates_lost += n_updates()
+        if on_drop is not None:
+            on_drop(msg)
 
     def _arrive(self, msg: Message, size: int,
                 on_deliver: Callable | None, on_drop: Callable | None) -> None:
         now = self.engine.now
         dst = msg.dst_node
+        if not self.node_up[dst] or not self.link_ok(msg.src_node, dst):
+            # Dead receiver or cut link: the datagram vanishes.
+            self._drop(msg, on_drop, blackholed=True)
+            return
+        if self.loss_prob > 0.0 and self.rng.random() < self.loss_prob:
+            # Injected i.i.d. loss (fault plans; see docs/FAULTS.md).
+            self._drop(msg, on_drop)
+            return
         service = self._rx_service(msg, size)
         if self.nodes[dst].rx.backlog(now) + service > self.cost.rx_queue_delay:
-            self.stats.msgs_dropped += 1
-            self.nodes[dst].drops += 1
-            n_updates = getattr(msg, "n_updates", None)
-            if callable(n_updates):
-                self.stats.updates_lost += n_updates()
-            if on_drop is not None:
-                on_drop(msg)
+            self._drop(msg, on_drop)
             return
         done = self.nodes[dst].rx.submit(now, service)
         self.engine.at(done, self._deliver, msg, size, on_deliver)

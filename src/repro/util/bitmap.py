@@ -14,7 +14,7 @@ holding multiple replicas of one block.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -113,7 +113,7 @@ class EntityBitmap:
 
     # -- bulk/set algebra -----------------------------------------------------
 
-    def _aligned(self, other: "EntityBitmap") -> tuple[np.ndarray, np.ndarray]:
+    def _aligned(self, other: EntityBitmap) -> tuple[np.ndarray, np.ndarray]:
         n = max(len(self._words), len(other._words))
         a = np.zeros(n, dtype=np.uint64)
         b = np.zeros(n, dtype=np.uint64)
@@ -121,16 +121,16 @@ class EntityBitmap:
         b[: len(other._words)] = other._words
         return a, b
 
-    def intersection_count(self, other: "EntityBitmap") -> int:
+    def intersection_count(self, other: EntityBitmap) -> int:
         """|self ∩ other| over distinct entities (vectorized popcount)."""
         a, b = self._aligned(other)
         return int(np.bitwise_count(a & b).sum())
 
-    def union_count(self, other: "EntityBitmap") -> int:
+    def union_count(self, other: EntityBitmap) -> int:
         a, b = self._aligned(other)
         return int(np.bitwise_count(a | b).sum())
 
-    def intersects(self, other: "EntityBitmap") -> bool:
+    def intersects(self, other: EntityBitmap) -> bool:
         a, b = self._aligned(other)
         return bool(np.any(a & b))
 

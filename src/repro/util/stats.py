@@ -8,7 +8,7 @@ output can be compared line-by-line with the figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["Series", "Table", "fmt_bytes", "fmt_time_s"]
 

@@ -75,10 +75,10 @@ class WorkloadSpec:
         if self.pool_frac <= 0:
             raise ValueError("pool_frac must be positive")
 
-    def with_entities(self, n_entities: int) -> "WorkloadSpec":
+    def with_entities(self, n_entities: int) -> WorkloadSpec:
         return replace(self, n_entities=n_entities)
 
-    def with_pages(self, pages_per_entity: int) -> "WorkloadSpec":
+    def with_pages(self, pages_per_entity: int) -> WorkloadSpec:
         return replace(self, pages_per_entity=pages_per_entity)
 
 
@@ -123,7 +123,7 @@ def generate_pages(spec: WorkloadSpec) -> list[np.ndarray]:
     return out
 
 
-def instantiate(cluster: "Cluster", spec: WorkloadSpec,
+def instantiate(cluster: Cluster, spec: WorkloadSpec,
                 kind: EntityKind = EntityKind.PROCESS,
                 placement: str = "round_robin",
                 page_size: int = 4096) -> list[Entity]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Cluster, ConCORD, workloads
+from repro import Cluster, ConCORD, ConCORDConfig, workloads
 
 
 @pytest.fixture
@@ -21,17 +21,18 @@ def moldy4(cluster4):
 @pytest.fixture
 def concord4(cluster4, moldy4) -> ConCORD:
     """ConCORD brought up and fully synced (lossless updates)."""
-    c = ConCORD(cluster4, use_network=False)
+    c = ConCORD(cluster4, ConCORDConfig(use_network=False))
     c.initial_scan()
     return c
 
 
-def make_system(n_nodes=4, spec=None, seed=0, use_network=False, **concord_kw):
+def make_system(n_nodes=4, spec=None, seed=0, use_network=False, **config_kw):
     """(cluster, entities, concord) helper for tests wanting custom shapes."""
     cluster = Cluster(n_nodes=n_nodes, cost="new-cluster", seed=seed)
     if spec is None:
         spec = workloads.moldy(n_nodes, 256, seed=seed)
     entities = workloads.instantiate(cluster, spec)
-    concord = ConCORD(cluster, use_network=use_network, **concord_kw)
+    concord = ConCORD(cluster, ConCORDConfig(use_network=use_network,
+                                             **config_kw))
     concord.initial_scan()
     return cluster, entities, concord

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Cluster, ConCORD, Entity, MonitorMode, workloads
+from repro import (Cluster, ConCORD, ConCORDConfig, Entity, MonitorMode,
+                   workloads)
 from repro.queries.reference import ReferenceModel
 from tests.conftest import make_system
 
@@ -95,7 +96,7 @@ class TestConfigurations:
     def test_networked_mode_end_to_end(self):
         cluster = Cluster(4, seed=9)
         ents = workloads.instantiate(cluster, workloads.moldy(4, 64, seed=9))
-        concord = ConCORD(cluster, use_network=True)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True))
         concord.initial_scan()
         # Light load: nothing dropped; view matches reference.
         ref = ReferenceModel(cluster)
@@ -105,13 +106,14 @@ class TestConfigurations:
     def test_monitor_mode_configurable(self):
         cluster = Cluster(2)
         workloads.instantiate(cluster, workloads.nasty(2, 16))
-        concord = ConCORD(cluster, monitor_mode=MonitorMode.DIRTY_BIT)
+        concord = ConCORD(cluster,
+                          ConCORDConfig(monitor_mode=MonitorMode.DIRTY_BIT))
         assert all(m.mode is MonitorMode.DIRTY_BIT for m in concord.monitors)
 
     def test_throttle_configurable(self):
         cluster = Cluster(2)
         workloads.instantiate(cluster, workloads.nasty(2, 64))
-        concord = ConCORD(cluster, throttle_updates_per_s=5.0)
+        concord = ConCORD(cluster, ConCORDConfig(throttle_updates_per_s=5.0))
         concord.monitors[0].scan()
         assert concord.monitors[0].flush(interval=1.0) == 5
 

@@ -1,0 +1,84 @@
+"""Tests for the ConCORDConfig value and the facade's legacy-kwarg shim."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ConCORD, ConCORDConfig, Entity, MonitorMode
+
+
+def small_cluster():
+    cluster = Cluster(2, seed=0)
+    Entity.create(cluster, 0, np.arange(16, dtype=np.uint64))
+    return cluster
+
+
+class TestConfigValue:
+    def test_defaults(self):
+        cfg = ConCORDConfig()
+        assert cfg.use_network is False
+        assert cfg.monitor_mode is MonitorMode.PERIODIC_SCAN
+        assert cfg.hash_algo == "sfh"
+        assert cfg.throttle_updates_per_s is None
+        assert cfg.n_represented == 1
+        assert cfg.update_batch_size is None
+        assert cfg.update_transport == "udp"
+
+    def test_frozen(self):
+        cfg = ConCORDConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.use_network = True
+
+    def test_replace_returns_new_value(self):
+        cfg = ConCORDConfig()
+        cfg2 = cfg.replace(use_network=True, n_represented=4)
+        assert cfg2.use_network is True and cfg2.n_represented == 4
+        assert cfg.use_network is False            # original untouched
+        assert cfg2.hash_algo == cfg.hash_algo
+
+    def test_hashable_and_comparable(self):
+        assert ConCORDConfig() == ConCORDConfig()
+        assert len({ConCORDConfig(), ConCORDConfig()}) == 1
+        assert ConCORDConfig(use_network=True) != ConCORDConfig()
+
+
+class TestFacadeConstruction:
+    def test_config_is_stored(self):
+        cfg = ConCORDConfig(use_network=True, update_batch_size=16)
+        concord = ConCORD(small_cluster(), cfg)
+        assert concord.config is cfg
+        assert concord.tracing.use_network is True
+        assert concord.tracing.batch_size == 16
+
+    def test_from_config_equivalent(self):
+        cfg = ConCORDConfig(n_represented=3)
+        concord = ConCORD.from_config(small_cluster(), cfg)
+        assert concord.config == cfg
+        assert concord.n_represented == 3
+
+    def test_default_config_when_omitted(self):
+        concord = ConCORD(small_cluster())
+        assert concord.config == ConCORDConfig()
+
+    def test_legacy_kwargs_warn_and_fold_into_config(self):
+        with pytest.warns(DeprecationWarning, match="use_network"):
+            concord = ConCORD(small_cluster(), use_network=True)
+        assert concord.config.use_network is True
+        assert concord.config == ConCORDConfig(use_network=True)
+
+    def test_legacy_kwargs_overlay_explicit_config(self):
+        base = ConCORDConfig(n_represented=2)
+        with pytest.warns(DeprecationWarning):
+            concord = ConCORD(small_cluster(), base, hash_algo="blake2b")
+        assert concord.config.n_represented == 2     # kept from base
+        assert concord.config.hash_algo == "blake2b"  # folded on top
+
+    def test_unknown_kwarg_raises_type_error(self):
+        with pytest.raises(TypeError, match="use_netwrk"):
+            ConCORD(small_cluster(), use_netwrk=True)
+
+    def test_no_warning_for_plain_config(self, recwarn):
+        ConCORD(small_cluster(), ConCORDConfig(use_network=True))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]

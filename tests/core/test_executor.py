@@ -173,13 +173,13 @@ class TestSelection:
     @staticmethod
     def make_twins():
         """Two entities with byte-identical memory on different nodes."""
-        from repro import Cluster, ConCORD, Entity
+        from repro import Cluster, ConCORD, ConCORDConfig, Entity
 
         cluster = Cluster(n_nodes=2, cost="new-cluster", seed=0)
         pages = np.arange(100, 108, dtype=np.uint64)
         a = Entity.create(cluster, 0, pages)
         b = Entity.create(cluster, 1, pages.copy())
-        concord = ConCORD(cluster, use_network=False)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=False))
         concord.initial_scan()
         return cluster, (a, b), concord
 

@@ -18,8 +18,14 @@ ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
 class TestFilesExist:
     def test_top_level_docs(self):
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                     "docs/ARCHITECTURE.md", "docs/CALIBRATION.md"):
+                     "docs/ARCHITECTURE.md", "docs/CALIBRATION.md",
+                     "docs/FAULTS.md"):
             assert (ROOT / name).is_file(), name
+
+    def test_faults_doc_is_linked(self):
+        """docs/FAULTS.md is reachable from README and DESIGN."""
+        for name in ("README.md", "DESIGN.md"):
+            assert "docs/FAULTS.md" in (ROOT / name).read_text(), name
 
     def test_readme_example_table_matches_directory(self):
         readme = (ROOT / "README.md").read_text()

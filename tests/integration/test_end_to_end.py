@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro import (
+    ConCORDConfig,
     CheckpointStore,
     Cluster,
     CollectiveCheckpoint,
@@ -61,7 +62,7 @@ class TestFullLifecycle:
         cluster = Cluster(8, cost="new-cluster", seed=13)
         ents = workloads.instantiate(cluster,
                                      workloads.moldy(8, 2048, seed=13))
-        concord = ConCORD(cluster, use_network=True)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True))
         concord.initial_scan()
         dropped = cluster.network.stats.updates_lost
         store = CheckpointStore()

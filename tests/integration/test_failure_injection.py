@@ -9,11 +9,13 @@ import numpy as np
 import pytest
 
 from repro import (
+    ConCORDConfig,
     CheckpointStore,
     Cluster,
     CollectiveCheckpoint,
     ConCORD,
     Entity,
+    FaultPlan,
     NullService,
     ServiceScope,
     restore_entity,
@@ -33,6 +35,51 @@ class TestReliableChannelExhaustion:
         net.send_reliable(msg)
         with pytest.raises(DeliveryError):
             cluster.engine.run()
+
+    def test_retries_counted_once_and_no_delivery_on_exhaustion(self):
+        """Exhaustion makes exactly MAX_RELIABLE_ATTEMPTS sends: the first
+        transmission plus MAX-1 retransmissions, each counted once, and
+        on_deliver never fires."""
+        cluster = Cluster(2, cost=cluster_cost_with_zero_queue(), seed=0)
+        net = cluster.network
+        delivered = []
+        net.send_reliable(ControlMessage(MsgKind.CONTROL, 0, 1, op="start"),
+                          on_deliver=delivered.append)
+        with pytest.raises(DeliveryError):
+            cluster.engine.run()
+        assert delivered == []
+        assert net.stats.retransmissions == net.MAX_RELIABLE_ATTEMPTS - 1
+        assert net.stats.msgs_sent == net.MAX_RELIABLE_ATTEMPTS
+        assert net.stats.msgs_dropped == net.MAX_RELIABLE_ATTEMPTS
+        assert net.stats.msgs_delivered == 0
+
+    def test_lossy_reliable_delivers_exactly_once(self):
+        """Under heavy (but not total) loss the reliable channel retries
+        until it lands the message — and lands it exactly once."""
+        cluster = Cluster(2, cost="new-cluster", seed=3)
+        net = cluster.network
+        net.set_loss(0.8)
+        delivered = []
+        net.send_reliable(ControlMessage(MsgKind.CONTROL, 0, 1, op="start"),
+                          on_deliver=delivered.append)
+        cluster.engine.run()
+        assert len(delivered) == 1
+        assert net.stats.msgs_delivered == 1
+        # Every failed attempt was retransmitted once; the ledger balances.
+        assert net.stats.retransmissions == net.stats.msgs_dropped
+        assert net.stats.msgs_sent == net.stats.msgs_dropped + 1
+
+    def test_dead_destination_blackholes_until_delivery_error(self):
+        """A crashed node blackholes every retransmission: the resulting
+        DeliveryError is the failure-detection signal (docs/FAULTS.md)."""
+        cluster = Cluster(2, cost="new-cluster", seed=0)
+        net = cluster.network
+        net.set_node_up(1, False)
+        net.send_reliable(ControlMessage(MsgKind.CONTROL, 0, 1, op="ping"))
+        with pytest.raises(DeliveryError):
+            cluster.engine.run()
+        assert net.stats.msgs_blackholed == net.MAX_RELIABLE_ATTEMPTS
+        assert net.stats.msgs_dropped == net.MAX_RELIABLE_ATTEMPTS
 
     def test_unreliable_flood_never_raises(self):
         cluster = Cluster(2, cost=cluster_cost_with_zero_queue(), seed=0)
@@ -62,7 +109,8 @@ class TestLossyTracking:
         cluster = Cluster(4, cost=slow_rx, seed=1)
         ents = workloads.instantiate(cluster,
                                      workloads.nasty(4, 4096, seed=1))
-        concord = ConCORD(cluster, use_network=True, update_batch_size=1)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True,
+                                                 update_batch_size=1))
         concord.initial_scan()
         lost = cluster.network.stats.updates_lost
         tracked = concord.total_tracked_hashes
@@ -175,3 +223,80 @@ class TestDegenerateEntities:
         assert store.shared.n_blocks == 32  # 128 logical -> 32 stored
         for e in ents:
             assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+
+def read_dir_bytes(path):
+    return {p.name: p.read_bytes() for p in path.iterdir()}
+
+
+class TestDegradedRunMatchesFaultFree:
+    """The ISSUE acceptance scenario: >=20% datagram loss plus two of
+    eight DHT home nodes crashed mid-run must not change what a collective
+    checkpoint *saves* — only how much of it the collective phase covers —
+    and after repair the content view converges back to the fault-free one.
+    """
+
+    N_NODES = 8
+    VICTIMS = (6, 7)      # entity-free nodes: their death costs DHT state only
+    PAGES = 256
+
+    def _run(self, faulty: bool):
+        cluster = Cluster(self.N_NODES, cost="new-cluster", seed=11)
+        ents = workloads.instantiate(
+            cluster, workloads.moldy(4, self.PAGES, seed=11))
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True))
+        if faulty:
+            plan = (FaultPlan()
+                    .set_loss(0.0, 0.25)
+                    .kill(0.05, *self.VICTIMS))
+            concord.inject_faults(plan)
+        concord.initial_scan(run_network=False)
+        cluster.engine.run()
+        return cluster, ents, concord
+
+    def test_degraded_checkpoint_bytes_identical_and_repair_converges(self, tmp_path):
+        eids = lambda ents: [e.entity_id for e in ents]  # noqa: E731
+
+        # Fault-free, lossless reference run.
+        _c0, ents0, ref = self._run(faulty=False)
+        ref_store = CheckpointStore()
+        assert ref.execute_command(CollectiveCheckpoint(ref_store),
+                                   ServiceScope.of(eids(ents0))).success
+        ref_answer = ref.sharing(eids(ents0))
+        assert ref_answer.coverage == 1.0 and not ref_answer.degraded
+
+        # Hostile run: 25% loss the whole way, two home shards die mid-scan.
+        cluster, ents, concord = self._run(faulty=True)
+        assert concord.detect_failures() == list(self.VICTIMS)
+        assert concord.coverage == pytest.approx(
+            (self.N_NODES - len(self.VICTIMS)) / self.N_NODES)
+
+        degraded = concord.sharing(eids(ents))
+        assert degraded.degraded
+        assert degraded.coverage < 1.0
+
+        store = CheckpointStore()
+        r = concord.execute_command(CollectiveCheckpoint(store),
+                                    ServiceScope.of(eids(ents)))
+        assert r.success
+        assert r.stats.coverage < 1.0        # the collective phase saw holes
+        for e in ents:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+
+        # Canonical serialization: byte-for-byte equal to the fault-free run.
+        ref_store.write_to_dir(tmp_path / "ref", canonical=True)
+        store.write_to_dir(tmp_path / "faulty", canonical=True)
+        assert (read_dir_bytes(tmp_path / "faulty")
+                == read_dir_bytes(tmp_path / "ref"))
+
+        # Repair: restart the victims, heal the loss, rebuild every range.
+        cluster.network.set_loss(0.0)
+        for node in self.VICTIMS:
+            concord.restart_node(node)
+        report = concord.repair(full=True)
+        assert report.ranges_repaired == self.N_NODES
+        assert concord.coverage == 1.0
+
+        healed = concord.sharing(eids(ents))
+        assert healed.coverage == 1.0 and not healed.degraded
+        assert healed.value == pytest.approx(ref_answer.value)

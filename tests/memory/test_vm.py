@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Cluster, ConCORD, EntityKind, ServiceScope, workloads
+from repro import (Cluster, ConCORD, ConCORDConfig, EntityKind,
+                   ServiceScope, workloads)
 from repro.memory.monitor import MonitorMode
 from repro.memory.vm import MemoryRegion, MemoryRegionKind, VirtualMachine
 
@@ -111,7 +112,7 @@ class TestWriteFaultMonitoring:
     def make_cow_system(self):
         cluster = Cluster(1, seed=3)
         ents = workloads.instantiate(cluster, workloads.nasty(1, 32, seed=3))
-        concord = ConCORD(cluster, monitor_mode=MonitorMode.COW)
+        concord = ConCORD(cluster, ConCORDConfig(monitor_mode=MonitorMode.COW))
         concord.initial_scan()
         mon = concord.monitors[0]
         mon.enable_write_faults()
@@ -149,7 +150,8 @@ class TestWriteFaultMonitoring:
     def test_requires_cow_mode(self):
         cluster = Cluster(1)
         workloads.instantiate(cluster, workloads.nasty(1, 8))
-        concord = ConCORD(cluster, monitor_mode=MonitorMode.PERIODIC_SCAN)
+        concord = ConCORD(cluster,
+                          ConCORDConfig(monitor_mode=MonitorMode.PERIODIC_SCAN))
         with pytest.raises(ValueError):
             concord.monitors[0].enable_write_faults()
 
@@ -168,7 +170,7 @@ class TestWriteFaultMonitoring:
         cluster = Cluster(2, seed=5)
         ram = np.arange(64, dtype=np.uint64) + 5_000
         vm = VirtualMachine(cluster, 0, ram, device_pages=4, seed=5)
-        concord = ConCORD(cluster, monitor_mode=MonitorMode.COW)
+        concord = ConCORD(cluster, ConCORDConfig(monitor_mode=MonitorMode.COW))
         concord.initial_scan()
         concord.monitors[0].enable_write_faults()
         for i in range(10):

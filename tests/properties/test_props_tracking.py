@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Cluster, ConCORD, Entity, MonitorMode
+from repro import Cluster, ConCORD, ConCORDConfig, Entity, MonitorMode
 
 SLOW = settings(max_examples=20, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow])
@@ -52,7 +52,7 @@ class TestConvergence:
         ents = [Entity.create(cluster, i % 3,
                               np.arange(16, dtype=np.uint64) + 100 * i)
                 for i in range(3)]
-        concord = ConCORD(cluster, monitor_mode=mode)
+        concord = ConCORD(cluster, ConCORDConfig(monitor_mode=mode))
         concord.initial_scan()
         for ent_i, page_i, val, scan_after in ops:
             ents[ent_i].write_page(page_i, val)
@@ -70,7 +70,7 @@ class TestConvergence:
         ents = [Entity.create(cluster, i % 2,
                               np.arange(16, dtype=np.uint64) + 100 * i)
                 for i in range(3)]
-        concord = ConCORD(cluster, monitor_mode=MonitorMode.COW)
+        concord = ConCORD(cluster, ConCORDConfig(monitor_mode=MonitorMode.COW))
         concord.initial_scan()
         for mon in concord.monitors:
             mon.enable_write_faults()
@@ -89,7 +89,8 @@ class TestConvergence:
         ents = [Entity.create(cluster, i % 2,
                               np.arange(8, dtype=np.uint64) + 100 * i)
                 for i in range(2)]
-        concord = ConCORD(cluster, throttle_updates_per_s=float(rate))
+        concord = ConCORD(cluster,
+                          ConCORDConfig(throttle_updates_per_s=float(rate)))
         for mon in concord.monitors:
             mon.initial_scan()
         for ent_i, page_i, val, _ in ops:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import workloads
+from repro import ExecMode, workloads
 from repro.queries.reference import ReferenceModel
 from tests.conftest import make_system
 
@@ -34,7 +34,7 @@ class TestSharingValues:
         _c, ents, concord = make_system(n_nodes=4, spec=workloads.nasty(4, 128))
         eids = [e.entity_id for e in ents]
         assert concord.sharing(eids).value == 0.0
-        assert concord.degree_of_sharing(eids) == 1.0
+        assert concord.degree_of_sharing(eids).value == 1.0
 
     def test_full_redundancy_single_page_pool(self):
         spec = workloads.WorkloadSpec(name="all-same", n_entities=4,
@@ -55,8 +55,9 @@ class TestSharingValues:
 
     def test_dos_is_complement_of_sharing(self, concord4, cluster4):
         eids = cluster4.all_entity_ids()
-        assert concord4.degree_of_sharing(eids) == pytest.approx(
-            1.0 - concord4.sharing(eids).value)
+        dos = concord4.degree_of_sharing(eids)
+        assert dos.value == pytest.approx(1.0 - concord4.sharing(eids).value)
+        assert dos.coverage == 1.0 and not dos.degraded
 
 
 class TestKCopyQueries:
@@ -95,8 +96,8 @@ class TestKCopyQueries:
 class TestExecutionModes:
     def test_single_and_distributed_agree_on_value(self, concord4, cluster4):
         eids = cluster4.all_entity_ids()
-        d = concord4.sharing(eids, exec_mode="distributed")
-        s = concord4.sharing(eids, exec_mode="single")
+        d = concord4.sharing(eids, exec_mode=ExecMode.DISTRIBUTED)
+        s = concord4.sharing(eids, exec_mode=ExecMode.SINGLE)
         assert d.value == s.value
 
     def test_single_latency_grows_with_total(self):
@@ -106,7 +107,7 @@ class TestExecutionModes:
             _c, ents, concord = make_system(n_nodes=4,
                                             spec=workloads.nasty(4, pages))
             lats.append(concord.sharing(
-                [e.entity_id for e in ents], exec_mode="single").latency)
+                [e.entity_id for e in ents], exec_mode=ExecMode.SINGLE).latency)
         assert lats[1] > 2.5 * lats[0]
 
     def test_distributed_flat_when_per_node_constant(self):
@@ -116,19 +117,31 @@ class TestExecutionModes:
             _c, ents, concord = make_system(
                 n_nodes=n_nodes, spec=workloads.nasty(n_nodes, 512))
             lats.append(concord.sharing(
-                [e.entity_id for e in ents], exec_mode="distributed").latency)
+                [e.entity_id for e in ents], exec_mode=ExecMode.DISTRIBUTED).latency)
         assert lats[1] < 1.5 * lats[0]
 
     def test_distributed_beats_single_at_scale(self):
         _c, ents, concord = make_system(n_nodes=8,
                                         spec=workloads.nasty(8, 2048))
         eids = [e.entity_id for e in ents]
-        assert concord.sharing(eids, exec_mode="distributed").latency < \
-            concord.sharing(eids, exec_mode="single").latency
+        assert concord.sharing(eids, exec_mode=ExecMode.DISTRIBUTED).latency < \
+            concord.sharing(eids, exec_mode=ExecMode.SINGLE).latency
 
     def test_unknown_mode_rejected(self, concord4, cluster4):
         with pytest.raises(ValueError):
             concord4.sharing(cluster4.all_entity_ids(), exec_mode="magic")
+
+    def test_command_mode_rejected_for_queries(self, concord4, cluster4):
+        with pytest.raises(ValueError):
+            concord4.sharing(cluster4.all_entity_ids(),
+                             exec_mode=ExecMode.INTERACTIVE)
+
+    def test_legacy_string_mode_warns_but_works(self, concord4, cluster4):
+        eids = cluster4.all_entity_ids()
+        with pytest.warns(DeprecationWarning):
+            legacy = concord4.sharing(eids, exec_mode="single")
+        assert legacy.value == concord4.sharing(
+            eids, exec_mode=ExecMode.SINGLE).value
 
 
 class TestStalenessBestEffort:

@@ -71,7 +71,7 @@ class TestDeduplication:
     def test_compression_ratio_tracks_dos(self, cluster4, moldy4, concord4):
         """Fig 14a: the ConCORD ratio matches the degree of sharing."""
         store, _ = checkpoint(concord4, moldy4)
-        dos = concord4.degree_of_sharing([e.entity_id for e in moldy4])
+        dos = concord4.degree_of_sharing([e.entity_id for e in moldy4]).value
         assert store.compression_ratio == pytest.approx(dos, abs=0.03)
 
     def test_nasty_overhead_minuscule(self):
@@ -151,6 +151,66 @@ class TestOnDiskFormat:
         (d / "shared.bin").write_bytes(b"NOPE" + b"\0" * 12)
         with pytest.raises(ValueError):
             CheckpointStore.load_from_dir(d)
+
+
+def dir_bytes(path):
+    return {p.name: p.read_bytes() for p in path.iterdir()}
+
+
+class TestCanonicalFormat:
+    """canonical=True bytes must depend only on the *logical* checkpoint
+    (each SE's page contents), not on how the store was produced — the
+    property the fault-tolerance integration tests build on."""
+
+    def test_concord_and_raw_stores_serialize_identically(self, tmp_path):
+        """The extreme case: a fully covered ConCORD checkpoint (all
+        pointers) vs a raw one (all literal data) of the same entities."""
+        cluster, ents, concord = make_system(
+            n_nodes=2, spec=workloads.moldy(2, 64, seed=9))
+        concord_store, _ = checkpoint(concord, ents)
+        raw_store, _ = RawCheckpoint().run(
+            cluster, [e.entity_id for e in ents])
+        concord_store.write_to_dir(tmp_path / "a", canonical=True)
+        raw_store.write_to_dir(tmp_path / "b", canonical=True)
+        assert dir_bytes(tmp_path / "a") == dir_bytes(tmp_path / "b")
+
+    def test_default_mode_differs_but_canonical_agrees(self, tmp_path):
+        """Two stale views of the same memory produce different record
+        mixes (the default serialization shows it) yet one canonical form."""
+        cluster, ents, concord = make_system(
+            n_nodes=2, spec=workloads.moldy(2, 64, seed=3))
+        fresh, _ = checkpoint(concord, ents)
+        # Stale view: clear the DHT so every block goes down the local path.
+        concord.tracing.clear()
+        stale, _ = checkpoint(concord, ents)
+        fresh.write_to_dir(tmp_path / "f")
+        stale.write_to_dir(tmp_path / "s")
+        assert dir_bytes(tmp_path / "f") != dir_bytes(tmp_path / "s")
+        fresh.write_to_dir(tmp_path / "fc", canonical=True)
+        stale.write_to_dir(tmp_path / "sc", canonical=True)
+        assert dir_bytes(tmp_path / "fc") == dir_bytes(tmp_path / "sc")
+
+    def test_canonical_output_loads_and_restores(self, tmp_path):
+        _c, ents, concord = make_system(
+            n_nodes=2, spec=workloads.nasty(2, 32, seed=5))
+        store, _ = checkpoint(concord, ents)
+        store.write_to_dir(tmp_path / "c", canonical=True)
+        loaded = CheckpointStore.load_from_dir(tmp_path / "c")
+        for e in ents:
+            assert (restore_entity(loaded, e.entity_id) == e.pages).all()
+
+    def test_canonical_garbage_collects_unreferenced_blocks(self, tmp_path):
+        """Shared blocks appended collectively but never referenced by an
+        SE record (stale handled hashes) are dropped from canonical bytes."""
+        _c, ents, concord = make_system(
+            n_nodes=2, spec=workloads.moldy(2, 32, seed=7))
+        store, _ = checkpoint(concord, ents)
+        store.shared.append(10**9 + 7, 424242)     # orphan block
+        store.write_to_dir(tmp_path / "c", canonical=True)
+        loaded = CheckpointStore.load_from_dir(tmp_path / "c")
+        referenced = {h for f in store.se_files.values()
+                      for _k, _i, h, _p in f.records}
+        assert loaded.shared.n_blocks == len(referenced)
 
 
 class TestTiming:

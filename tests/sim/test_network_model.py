@@ -55,13 +55,13 @@ class TestTransportValidation:
             ContentTracingEngine(Cluster(2), transport="carrier-pigeon")
 
     def test_concord_threads_transport(self):
-        from repro import Cluster, ConCORD
+        from repro import Cluster, ConCORD, ConCORDConfig
 
-        c = ConCORD(Cluster(2), update_transport="rdma")
+        c = ConCORD(Cluster(2), ConCORDConfig(update_transport="rdma"))
         assert c.tracing.transport == "rdma"
 
     def test_rdma_batches_marked_one_sided(self):
-        from repro import Cluster, ConCORD
+        from repro import Cluster, ConCORD, ConCORDConfig
 
         cluster = Cluster(2, seed=0)
         import numpy as np
@@ -69,7 +69,8 @@ class TestTransportValidation:
         from repro import Entity
 
         Entity.create(cluster, 0, np.arange(4, dtype=np.uint64))
-        concord = ConCORD(cluster, use_network=True, update_transport="rdma")
+        concord = ConCORD(cluster, ConCORDConfig(use_network=True,
+                                                 update_transport="rdma"))
         seen = []
         orig_send = cluster.network.send
 
