@@ -42,6 +42,8 @@ from repro.core import (
 from repro.dht.engine import RepairReport
 from repro.memory import (Entity, EntityKind, MonitorMode,
                           VirtualMachine)
+from repro.obs import (MetricsRegistry, Observability, ObsConfig, SpanTracer,
+                       capture_traces, validate_chrome_trace)
 from repro.services import (
     CheckpointStore,
     CollectiveCheckpoint,
@@ -72,6 +74,12 @@ __all__ = [
     "MonitorMode",
     "ConCORD",
     "ConCORDConfig",
+    "ObsConfig",
+    "Observability",
+    "MetricsRegistry",
+    "SpanTracer",
+    "capture_traces",
+    "validate_chrome_trace",
     "FaultPlan",
     "RepairReport",
     "ServiceCallbacks",

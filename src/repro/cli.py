@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --out results/   # everything, archived to files
     python -m repro demo                     # 30-second end-to-end tour
     python -m repro info                     # testbeds and calibration
+    python -m repro trace --out traces/      # traced null command + artifacts
+    python -m repro trace fig10 --out t/     # trace any experiment's runs
 
 Exit status is non-zero on unknown experiment names, so the CLI is usable
 from shell scripts and CI.
@@ -43,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("demo", help="quick end-to-end demonstration")
     sub.add_parser("info", help="show testbed cost-model calibration")
+
+    tr = sub.add_parser(
+        "trace", help="run with sim-time span tracing and export artifacts")
+    tr.add_argument("experiment", nargs="?", default=None,
+                    help="experiment id to trace (default: a traced "
+                         "null service command)")
+    tr.add_argument("--out", type=Path, default=Path("traces"),
+                    help="directory for .trace.json / .jsonl / metrics "
+                         "artifacts (default: traces/)")
     return p
 
 
@@ -99,6 +110,42 @@ def _cmd_demo(out) -> int:
     return 0
 
 
+def _dump_obs(obs, out_dir: Path, stem: str, out) -> None:
+    """Write one run's trace/metrics artifacts and validate the trace."""
+    from repro.obs import validate_chrome_trace
+
+    chrome = obs.tracer.write_chrome_trace(out_dir / f"{stem}.trace.json")
+    n_events = validate_chrome_trace(chrome)
+    jsonl = obs.tracer.write_jsonl(out_dir / f"{stem}.trace.jsonl")
+    (out_dir / f"{stem}.metrics.txt").write_text(
+        obs.registry.report(stem).render() + "\n")
+    print(f"[{stem}: {len(obs.tracer)} spans, {n_events} chrome events "
+          f"-> {chrome}, {jsonl}]", file=out)
+
+
+def _cmd_trace(experiment: str | None, out_dir: Path, out) -> int:
+    from repro.harness.trace import run_traced_experiment, run_traced_null
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if experiment is None:
+        table, _result, obs = run_traced_null()
+        print(table.render(), file=out)
+        _dump_obs(obs, out_dir, "null", out)
+        return 0
+    if experiment not in ALL_EXPERIMENTS:
+        print(f"error: unknown experiment {experiment!r}; "
+              f"try 'repro list'", file=sys.stderr)
+        return 2
+    table, cap = run_traced_experiment(experiment)
+    print(table.render(), file=out)
+    for i, obs in enumerate(cap.runs):
+        _dump_obs(obs, out_dir, f"{experiment}.run{i:03d}", out)
+    if not cap.runs:
+        print(f"[{experiment}: no ConCORD instances built; "
+              "nothing to trace]", file=out)
+    return 0
+
+
 def _cmd_info(out) -> int:
     for name, cm in TESTBEDS.items():
         print(f"{name}: {cm.n_nodes} nodes, "
@@ -121,6 +168,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_demo(out)
         if args.command == "info":
             return _cmd_info(out)
+        if args.command == "trace":
+            return _cmd_trace(args.experiment, args.out, out)
     except BrokenPipeError:  # e.g. `repro run all | head`
         return 0
     raise AssertionError("unreachable")  # pragma: no cover

@@ -114,10 +114,18 @@ class NodeContext:
         self.state: Any = None          # the service's private state
         self.plan = ExecutionPlan()     # used in batch mode
         self.n_represented = 1
+        self.obs = None                 # Observability, set by the executor
         # Set by the executor before each phase.
         self._charge_sink = None
         self._net_sink = None
         self._shared_sink = None
+
+    def count(self, name: str, n: int | float = 1, **labels) -> None:
+        """Bump a service-level counter (``ckpt.shared_appends``, ...) in
+        the platform's metrics registry; a no-op when the executor did not
+        attach observability (e.g. a bare NodeContext in tests)."""
+        if self.obs is not None:
+            self.obs.registry.counter(name, **labels).inc(n)
 
     def send_bytes(self, dst_node: int, nbytes: int) -> None:
         """Account a bulk data transfer from this node to ``dst_node``.

@@ -26,8 +26,10 @@ from repro.dht.engine import ContentTracingEngine, RepairReport
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor
 from repro.memory.nsm import NodeSpecificModule
+from repro.obs import MetricsRegistry, Observability, active_capture
 from repro.queries.interface import QueryInterface, QueryResult
 from repro.sim.cluster import Cluster
+from repro.util.stats import Table
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.faults import FaultInjector, FaultPlan
@@ -70,6 +72,15 @@ class ConCORD:
         cfg = self.config
         self.cluster = cluster
         self.n_represented = cfg.n_represented
+        # Observability: one registry + tracer on the cluster's sim clock.
+        # An active capture session (repro.obs.capture_traces) overrides
+        # the obs config so the CLI can trace experiment-built instances.
+        cap = active_capture()
+        obs_cfg = cap.config if cap is not None else cfg.obs
+        self.obs = Observability(clock=lambda: cluster.engine.now,
+                                 config=obs_cfg)
+        cluster.network.use_registry(self.obs.registry)
+        cluster.network.tracer = self.obs.tracer
         engine_kw = {}
         if cfg.update_batch_size is not None:
             engine_kw["batch_size"] = cfg.update_batch_size
@@ -77,6 +88,7 @@ class ConCORD:
                                             use_network=cfg.use_network,
                                             n_represented=cfg.n_represented,
                                             transport=cfg.update_transport,
+                                            obs=self.obs,
                                             **engine_kw)
         self.nsms: list[NodeSpecificModule] = []
         self.monitors: list[MemoryUpdateMonitor] = []
@@ -88,12 +100,15 @@ class ConCORD:
                 nsm, self.tracing.route_updates, cluster.cost,
                 mode=cfg.monitor_mode, hash_algo=cfg.hash_algo,
                 throttle_updates_per_s=cfg.throttle_updates_per_s,
-                n_represented=cfg.n_represented))
+                n_represented=cfg.n_represented, obs=self.obs))
         self.queries = QueryInterface(cluster, self.tracing, cfg.n_represented)
         self.executor = ServiceCommandExecutor(cluster, self.tracing,
-                                               cfg.n_represented)
+                                               cfg.n_represented,
+                                               obs=self.obs)
         for entity in cluster.entities.values():
             self.attach_entity(entity)
+        if cap is not None:
+            cap.add(self.obs)
 
     @classmethod
     def from_config(cls, cluster: Cluster, config: ConCORDConfig) -> ConCORD:
@@ -230,3 +245,33 @@ class ConCORD:
 
     def monitor_stats(self):
         return [m.stats for m in self.monitors]
+
+    # -- observability (docs/OBSERVABILITY.md) -------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The platform-wide metrics registry (``net.*``, ``dht.*``,
+        ``cmd.*``, ``monitor.*``, plus service-level counters)."""
+        return self.obs.registry
+
+    def metrics_report(self, title: str = "concord metrics") -> Table:
+        """Fixed-width text report of every metric."""
+        return self.obs.registry.report(title)
+
+    def trace_dump(self, path: str | None = None, fmt: str = "chrome"):
+        """Export the recorded span trace.
+
+        ``fmt="chrome"`` writes/returns Chrome ``trace_event`` JSON (load
+        in chrome://tracing or Perfetto); ``fmt="jsonl"`` the byte-
+        deterministic one-span-per-line form.  With ``path`` the trace is
+        written there and the path returned; without, the document (dict)
+        or text is returned directly.
+        """
+        tracer = self.obs.tracer
+        if fmt == "chrome":
+            return (tracer.write_chrome_trace(path) if path is not None
+                    else tracer.to_chrome_trace())
+        if fmt == "jsonl":
+            return (tracer.write_jsonl(path) if path is not None
+                    else tracer.to_jsonl())
+        raise ValueError(f"unknown trace format {fmt!r} "
+                         "(expected 'chrome' or 'jsonl')")

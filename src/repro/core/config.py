@@ -14,9 +14,10 @@ accepts them for one release with a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.memory.monitor import MonitorMode
+from repro.obs import ObsConfig
 
 __all__ = ["ConCORDConfig"]
 
@@ -43,6 +44,10 @@ class ConCORDConfig:
         Hash updates per wire message (None = engine default).
     update_transport:
         ``"udp"`` (best-effort, paper default) or ``"reliable"``.
+    obs:
+        Observability section (:class:`~repro.obs.ObsConfig`): the metrics
+        registry is always on; ``obs.trace`` turns on sim-time span tracing
+        (see docs/OBSERVABILITY.md).
     """
 
     use_network: bool = False
@@ -52,6 +57,7 @@ class ConCORDConfig:
     n_represented: int = 1
     update_batch_size: int | None = None
     update_transport: str = "udp"
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def replace(self, **changes) -> ConCORDConfig:
         """Functional update (`dataclasses.replace` as a method)."""

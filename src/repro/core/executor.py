@@ -40,6 +40,7 @@ from repro.core.command import (
 from repro.core.events import CommandTracer, EventKind
 from repro.core.scope import ServiceScope
 from repro.dht.engine import ContentTracingEngine
+from repro.obs import Observability, Span
 from repro.sim.cluster import Cluster
 from repro.util.records import ENTITY_ID_BYTES, HASH_BYTES, UDP_HEADER_BYTES
 
@@ -107,6 +108,38 @@ class PhaseBreakdown:
     comm: float = 0.0
     barrier: float = 0.0
 
+    @classmethod
+    def from_spans(cls, spans: list[Span], shared: float = 0.0,
+                   barrier: float = 0.0,
+                   extra_wall: float = 0.0) -> PhaseBreakdown:
+        """Derive the breakdown from per-node ``cmd.cpu``/``cmd.comm`` spans.
+
+        The spans are the single source of truth for per-node work; the
+        critical path is the node maximizing cpu+comm, and the split
+        reported is *that* node's (mixing the global max-cpu with the
+        global max-total would blend two different nodes).  Ties go to the
+        lowest node id, and nodes with no spans contribute nothing.
+        """
+        cpu_by: dict[int, float] = defaultdict(float)
+        comm_by: dict[int, float] = defaultdict(float)
+        for s in spans:
+            if s.name == "cmd.cpu":
+                cpu_by[s.node] += s.duration
+            elif s.name == "cmd.comm":
+                comm_by[s.node] += s.duration
+        max_cpu = max_total = crit_cpu = crit_comm = 0.0
+        for node in sorted(set(cpu_by) | set(comm_by)):
+            cpu = cpu_by[node]
+            comm = comm_by[node]
+            if cpu > max_cpu:
+                max_cpu = cpu
+            if cpu + comm > max_total:
+                max_total = cpu + comm
+                crit_cpu, crit_comm = cpu, comm
+        return cls(wall=max_total + shared + barrier + extra_wall,
+                   max_node_cpu=max_cpu, cpu=crit_cpu, comm=crit_comm,
+                   barrier=barrier)
+
 
 @dataclass
 class CommandResult:
@@ -126,11 +159,13 @@ class ServiceCommandExecutor:
     """Executes one parametrized service command over the cluster."""
 
     def __init__(self, cluster: Cluster, tracing: ContentTracingEngine,
-                 n_represented: int = 1) -> None:
+                 n_represented: int = 1,
+                 obs: Observability | None = None) -> None:
         self.cluster = cluster
         self.tracing = tracing
         self.cost = cluster.cost
         self.n_represented = n_represented
+        self.obs = obs if obs is not None else Observability()
 
     # -- accounting -----------------------------------------------------------------
 
@@ -141,6 +176,11 @@ class ServiceCommandExecutor:
         self._phase = "init"
         self._shared: dict[str, float] = defaultdict(float)
         self._tracer: CommandTracer | None = None
+        # Timeline cursor for the command's modelled spans: phases are laid
+        # out back-to-back in sim time starting at the engine's current
+        # clock (executor costs are analytic; the sim clock does not
+        # advance while execute() runs).
+        self._t_cursor = float(self.cluster.engine.now)
 
     def _charge(self, node: int, seconds: float) -> None:
         self._cpu[(node, self._phase)] += seconds
@@ -165,29 +205,46 @@ class ServiceCommandExecutor:
         self._tx[(src, self._phase)] += size
         self._rx[(dst, self._phase)] += size
 
-    def _phase_breakdown(self, phase: str, extra_wall: float = 0.0) -> PhaseBreakdown:
-        # The cpu/comm split must come from the *same* node — the one on
-        # the critical path (max cpu+comm).  Subtracting the global max-cpu
-        # from the global max-total mixes two different nodes and
-        # misattributes the split whenever a cpu-heavy node and a
-        # comm-heavy node coexist.
+    def _node_spans(self, phase: str) -> list[Span]:
+        """Per-node ``cmd.cpu``/``cmd.comm`` spans of one phase, laid out at
+        the timeline cursor (cpu first, then the node's NIC time)."""
         cost = self.cost
-        n = self.cluster.n_nodes
-        max_cpu = max_total = crit_cpu = crit_comm = 0.0
-        for node in range(n):
+        t0 = self._t_cursor
+        spans: list[Span] = []
+        for node in range(self.cluster.n_nodes):
             cpu = self._cpu.get((node, phase), 0.0)
             comm = (self._tx.get((node, phase), 0)
                     + self._rx.get((node, phase), 0)) / cost.link_bw
-            if cpu > max_cpu:
-                max_cpu = cpu
-            if cpu + comm > max_total:
-                max_total = cpu + comm
-                crit_cpu, crit_comm = cpu, comm
+            if cpu > 0.0:
+                spans.append(Span("cmd.cpu", t0, t0 + cpu, node=node,
+                                  phase=phase))
+            if comm > 0.0:
+                spans.append(Span("cmd.comm", t0 + cpu, t0 + cpu + comm,
+                                  node=node, phase=phase))
+        return spans
+
+    def _phase_breakdown(self, phase: str, extra_wall: float = 0.0) -> PhaseBreakdown:
+        """Close one phase: derive its breakdown from the per-node spans,
+        record the spans, and advance the timeline cursor by the wall."""
+        spans = self._node_spans(phase)
         shared = self._shared.get(phase, 0.0)
-        barrier = cost.barrier_time(n)
-        return PhaseBreakdown(wall=max_total + shared + barrier + extra_wall,
-                              max_node_cpu=max_cpu, cpu=crit_cpu,
-                              comm=crit_comm, barrier=barrier)
+        barrier = self.cost.barrier_time(self.cluster.n_nodes)
+        bd = PhaseBreakdown.from_spans(spans, shared=shared, barrier=barrier,
+                                       extra_wall=extra_wall)
+        t0 = self._t_cursor
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.add_span(f"cmd.phase.{phase}", t0, t0 + bd.wall, phase=phase)
+            tr.extend(spans)
+            # Shared work and the barrier run after the slowest node.
+            t = t0 + bd.cpu + bd.comm
+            if shared > 0.0:
+                tr.add_span("cmd.shared", t, t + shared, phase=phase)
+            if barrier > 0.0:
+                tr.add_span("cmd.barrier", t + shared, t + shared + barrier,
+                            phase=phase)
+        self._t_cursor = t0 + bd.wall
+        return bd
 
     # -- main entry point -------------------------------------------------------------
 
@@ -233,10 +290,12 @@ class ServiceCommandExecutor:
             ctx = NodeContext(node, cluster, nsm, mode,
                               np.random.default_rng(seed * 1000003 + node))
             ctx.n_represented = R
+            ctx.obs = self.obs
             ctx._charge_sink = self._charge
             ctx._net_sink = self._msg
             ctx._shared_sink = self._charge_shared
             contexts[node] = ctx
+        t_start = self._t_cursor
 
         phases: dict[str, PhaseBreakdown] = {}
 
@@ -302,6 +361,19 @@ class ServiceCommandExecutor:
             stats.rx_bytes_per_node[node] = stats.rx_bytes_per_node.get(node, 0) + b
 
         wall = sum(p.wall for p in phases.values())
+        reg = self.obs.registry
+        reg.counter("cmd.executions").inc()
+        reg.counter("cmd.invokes").inc(stats.invokes)
+        reg.counter("cmd.retries").inc(stats.retries)
+        reg.counter("cmd.handled").inc(stats.handled)
+        reg.counter("cmd.stale_unhandled").inc(stats.stale_unhandled)
+        reg.histogram("cmd.wall_s").observe(wall)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.add_span("cmd", t_start, t_start + wall,
+                        service=type(service).__name__,
+                        mode=getattr(mode, "name", str(mode)),
+                        handled=stats.handled, coverage=stats.coverage)
         return CommandResult(success=success, wall_time=wall, phases=phases,
                              stats=stats, mode=mode,
                              handled_private=handled_private, contexts=contexts)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.dht.partition import Partition
 from repro.dht.table import LocalDHT
+from repro.obs import Observability
 from repro.sim.cluster import Cluster
 from repro.sim.network import DeliveryError
 from repro.util.records import ControlMessage, MsgKind, UpdateBatch
@@ -41,14 +42,45 @@ __all__ = ["ContentTracingEngine", "TracingStats", "RepairReport"]
 DEFAULT_UPDATE_BATCH = 64
 
 
-@dataclass
 class TracingStats:
-    updates_routed: int = 0
-    updates_applied: int = 0
-    batches_sent: int = 0
-    failovers: int = 0          # nodes processed as failed (ranges re-homed)
-    rejoins: int = 0            # nodes re-admitted after restart
-    repairs: int = 0            # anti-entropy repair passes
+    """DHT counters as a live view over the engine's metrics registry
+    (``dht.*``); same single-source-of-truth arrangement as
+    :class:`repro.sim.network.NetworkStats`."""
+
+    def __init__(self, engine: ContentTracingEngine) -> None:
+        self._eng = engine
+
+    @property
+    def updates_routed(self) -> int:
+        return self._eng._c_routed.value
+
+    @property
+    def updates_applied(self) -> int:
+        return self._eng._c_applied.value
+
+    @property
+    def batches_sent(self) -> int:
+        return self._eng._c_batches.value
+
+    @property
+    def failovers(self) -> int:
+        """Nodes processed as failed (ranges re-homed)."""
+        return self._eng._c_failovers.value
+
+    @property
+    def rejoins(self) -> int:
+        """Nodes re-admitted after restart."""
+        return self._eng._c_rejoins.value
+
+    @property
+    def repairs(self) -> int:
+        """Anti-entropy repair passes."""
+        return self._eng._c_repairs.value
+
+    def as_dict(self) -> dict[str, int]:
+        return {k: getattr(self, k)
+                for k in ("updates_routed", "updates_applied", "batches_sent",
+                          "failovers", "rejoins", "repairs")}
 
 
 @dataclass(frozen=True)
@@ -66,7 +98,8 @@ class ContentTracingEngine:
 
     def __init__(self, cluster: Cluster, use_network: bool = True,
                  batch_size: int = DEFAULT_UPDATE_BATCH,
-                 n_represented: int = 1, transport: str = "udp") -> None:
+                 n_represented: int = 1, transport: str = "udp",
+                 obs: Observability | None = None) -> None:
         """``transport``: "udp" (default) sends updates as datagrams the
         receiver must process; "rdma" models the paper's envisioned
         one-sided path — "because the originator of an update in principle
@@ -82,7 +115,15 @@ class ContentTracingEngine:
         self.batch_size = batch_size
         self.n_represented = n_represented
         self.transport = transport
-        self.stats = TracingStats()
+        self.obs = obs if obs is not None else Observability()
+        reg = self.obs.registry
+        self._c_routed = reg.counter("dht.updates_routed")
+        self._c_applied = reg.counter("dht.updates_applied")
+        self._c_batches = reg.counter("dht.batches_sent")
+        self._c_failovers = reg.counter("dht.failovers")
+        self._c_rejoins = reg.counter("dht.rejoins")
+        self._c_repairs = reg.counter("dht.repairs")
+        self.stats = TracingStats(self)
         # Per-primary-range data availability: range r (hashes whose
         # primary node is r) is intact while a live shard holds its data.
         self._intact = np.ones(cluster.n_nodes, dtype=bool)
@@ -102,11 +143,11 @@ class ContentTracingEngine:
         updates (the scan time); sends are paced uniformly over it, as a
         real monitor emits updates while it scans rather than in one burst.
         """
-        self.stats.updates_routed += len(inserts) + len(removes)
+        self._c_routed.inc(len(inserts) + len(removes))
         if not self.use_network:
             self._apply_grouped(inserts, op="i")
             self._apply_grouped(removes, op="r")
-            self.stats.updates_applied += len(inserts) + len(removes)
+            self._c_applied.inc(len(inserts) + len(removes))
             return
         batches = (self._make_batches(src_node, inserts, "i")
                    + self._make_batches(src_node, removes, "r"))
@@ -115,7 +156,7 @@ class ContentTracingEngine:
         engine = self.cluster.engine
         n = len(batches)
         for i, batch in enumerate(batches):
-            self.stats.batches_sent += 1
+            self._c_batches.inc()
             delay = duration * i / n if duration > 0 and n else 0.0
             engine.after(delay, self.cluster.network.send, batch,
                          self._apply_batch)
@@ -176,7 +217,7 @@ class ContentTracingEngine:
                             count=n),
                 np.fromiter((u[1] for u in batch.removes), dtype=np.int64,
                             count=n))
-        self.stats.updates_applied += len(batch.inserts) + len(batch.removes)
+        self._c_applied.inc(len(batch.inserts) + len(batch.removes))
 
     # -- failure detection / failover (docs/FAULTS.md) ---------------------------------
 
@@ -195,7 +236,11 @@ class ContentTracingEngine:
         self._intact[lost] = False
         self.shards[node].clear()
         self.partition.set_alive(node, False)
-        self.stats.failovers += 1
+        self._c_failovers.inc()
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant("dht.node_failed", node=node,
+                       ranges_lost=int(lost.sum()))
 
     def node_restarted(self, node: int) -> None:
         """Re-admit a restarted node (it rejoins empty).
@@ -214,7 +259,11 @@ class ContentTracingEngine:
             self._purge_ranges_at(int(owner), moved_ranges)
         self._intact[moved] = False
         self.shards[node].clear()
-        self.stats.rejoins += 1
+        self._c_rejoins.inc()
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant("dht.node_rejoined", node=node,
+                       ranges_moved=len(moved_ranges))
 
     def refresh_failed(self) -> list[int]:
         """Inline failure detection: the cheap equivalent of the timeout a
@@ -239,21 +288,22 @@ class ContentTracingEngine:
         if not self.use_network:
             return self.refresh_failed()
         detected = []
-        for node in range(self.cluster.n_nodes):
-            if node == issuing_node or not self.partition.is_alive(node):
-                continue
-            acked: list[bool] = []
-            self.cluster.network.send_reliable(
-                ControlMessage(MsgKind.CONTROL, issuing_node, node,
-                               op="ping"),
-                on_deliver=lambda _m: acked.append(True))
-            try:
-                self.cluster.engine.run()
-            except DeliveryError:
-                pass
-            if not acked:
-                self.node_failed(node)
-                detected.append(node)
+        with self.obs.tracer.span("dht.detect", node=issuing_node):
+            for node in range(self.cluster.n_nodes):
+                if node == issuing_node or not self.partition.is_alive(node):
+                    continue
+                acked: list[bool] = []
+                self.cluster.network.send_reliable(
+                    ControlMessage(MsgKind.CONTROL, issuing_node, node,
+                                   op="ping"),
+                    on_deliver=lambda _m: acked.append(True))
+                try:
+                    self.cluster.engine.run()
+                except DeliveryError:
+                    pass
+                if not acked:
+                    self.node_failed(node)
+                    detected.append(node)
         return detected
 
     # -- anti-entropy repair ------------------------------------------------------------
@@ -314,7 +364,11 @@ class ContentTracingEngine:
                     self.shards[dst].bulk_insert(hs[idxs], entity.entity_id)
                     copies += len(idxs)
         self._intact[targets] = True
-        self.stats.repairs += 1
+        self._c_repairs.inc()
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant("dht.repair", ranges=len(targets),
+                       copies_restored=copies, nodes_scanned=nodes_scanned)
         return RepairReport(ranges_repaired=len(targets),
                             hashes_restored=self.total_hashes - before_hashes,
                             copies_restored=copies,

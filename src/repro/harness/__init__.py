@@ -29,8 +29,11 @@ from repro.harness.experiments import (
     run_faults,
     ALL_EXPERIMENTS,
 )
+from repro.harness.trace import run_traced_experiment, run_traced_null
 
 __all__ = [
+    "run_traced_experiment",
+    "run_traced_null",
     "run_fig05",
     "run_fig06",
     "run_fig07",

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.memory.entity import Entity
 from repro.memory.nsm import NodeSpecificModule
+from repro.obs import Observability
 from repro.sim.costmodel import CostModel
 
 __all__ = ["MemoryUpdateMonitor", "MonitorMode", "multiset_diff", "MonitorStats"]
@@ -91,7 +92,8 @@ class MemoryUpdateMonitor:
                  cost: CostModel, mode: MonitorMode = MonitorMode.PERIODIC_SCAN,
                  hash_algo: str = "sfh",
                  throttle_updates_per_s: float | None = None,
-                 n_represented: int = 1) -> None:
+                 n_represented: int = 1,
+                 obs: Observability | None = None) -> None:
         self.nsm = nsm
         self.sink = sink
         self.cost = cost
@@ -99,6 +101,14 @@ class MemoryUpdateMonitor:
         self.hash_algo = hash_algo
         self.throttle = throttle_updates_per_s
         self.n_represented = n_represented
+        self.obs = obs if obs is not None else Observability()
+        reg = self.obs.registry
+        self._c_scans = reg.counter("monitor.scans")
+        self._c_pages = reg.counter("monitor.pages_hashed")
+        self._c_produced = reg.counter("monitor.updates_produced")
+        self._c_sent = reg.counter("monitor.updates_sent")
+        self._c_flushes = reg.counter("monitor.flushes")
+        self._h_scan = reg.histogram("monitor.scan_s")
         self.stats = MonitorStats()
         self._pending: deque[tuple[str, int, int]] = deque()  # (op, hash, eid)
         self._last_scan_time = 0.0  # production window for the next flush
@@ -159,6 +169,17 @@ class MemoryUpdateMonitor:
 
         n_updates = len(ins) + len(rem)
         self.stats.updates_produced += n_updates
+        self._c_scans.inc()
+        self._c_pages.inc(n_hashed)
+        self._c_produced.inc(n_updates)
+        self._h_scan.observe(scan_time)
+        tr = self.obs.tracer
+        if tr.enabled:
+            # The scan's modelled cost as a span at the current sim time.
+            now = self.obs.now()
+            tr.add_span("monitor.scan", now, now + scan_time,
+                        node=self.nsm.node_id, entity=eid,
+                        pages=n_hashed, updates=n_updates)
         for h in ins.tolist():
             self._pending.append(("i", int(h), eid))
         for h in rem.tolist():
@@ -249,6 +270,8 @@ class MemoryUpdateMonitor:
         self._last_scan_time = 0.0
         sent = len(inserts) + len(removes)
         self.stats.updates_sent += sent
+        self._c_flushes.inc()
+        self._c_sent.inc(sent)
         return sent
 
     @property

@@ -1,0 +1,302 @@
+"""Sim-time span tracing with JSONL and Chrome ``trace_event`` exporters.
+
+Spans are stamped with :class:`~repro.sim.engine.SimEngine` time, never
+wall time, so a trace is a deterministic function of the run's seed: two
+runs of the same scenario serialize byte-identically, and a trace can be
+diffed, replayed, and asserted on in tests.
+
+Two ways to record a span:
+
+* ``with tracer.span("concord.sync", node=3):`` — reads the sim clock at
+  enter/exit; right for code whose duration *is* simulated time advancing
+  (anything that pumps the event engine).
+* ``tracer.add_span("monitor.scan", t0, t1, node=3)`` — explicit
+  timestamps; right for *modelled* costs (the executor's analytic phase
+  walls, a monitor's computed scan time) anchored at the current sim time.
+
+A disabled tracer records nothing and costs one attribute check per call,
+so instrumentation can stay inline on hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.util.stats import Table
+
+__all__ = ["Span", "SpanTracer", "validate_chrome_trace"]
+
+
+@dataclass
+class Span:
+    """One traced interval of simulated time."""
+
+    name: str
+    t0: float
+    t1: float
+    node: int | None = None
+    phase: str | None = None
+    args: dict = field(default_factory=dict)
+    seq: int = -1        # assigned by the tracer on record
+    parent: int = -1     # seq of the enclosing open span, -1 at top level
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "name": self.name, "t0": self.t0,
+                "t1": self.t1, "node": self.node, "phase": self.phase,
+                "parent": self.parent, "args": self.args}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> Span:
+        return cls(name=d["name"], t0=d["t0"], t1=d["t1"], node=d["node"],
+                   phase=d["phase"], args=d.get("args", {}),
+                   seq=d.get("seq", -1), parent=d.get("parent", -1))
+
+
+class _OpenSpan:
+    """Context manager for clock-driven spans (supports nesting)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: SpanTracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(self._span)
+        return None
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Deterministic sim-clock span recorder."""
+
+    def __init__(self, clock: Callable[[], float],
+                 enabled: bool = True, limit: int = 1_000_000) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.limit = limit
+        self.spans: list[Span] = []
+        self.dropped = 0          # spans not recorded because limit was hit
+        self._stack: list[Span] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def _record(self, span: Span) -> Span:
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return span
+        span.seq = len(self.spans)
+        self.spans.append(span)
+        return span
+
+    def _push(self, span: Span) -> None:
+        span.t0 = span.t1 = self.clock()
+        span.parent = self._stack[-1].seq if self._stack else -1
+        self._record(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.t1 = self.clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def span(self, name: str, node: int | None = None,
+             phase: str | None = None, **args):
+        """Context manager: a span covering the enclosed sim-time interval."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _OpenSpan(self, Span(name, 0.0, 0.0, node=node, phase=phase,
+                                    args=args))
+
+    def add_span(self, name: str, t0: float, t1: float,
+                 node: int | None = None, phase: str | None = None,
+                 **args) -> Span | None:
+        """Record a span with explicit (modelled) sim timestamps."""
+        if not self.enabled:
+            return None
+        if t1 < t0:
+            raise ValueError(f"span {name!r} ends before it starts")
+        return self._record(Span(name, t0, t1, node=node, phase=phase,
+                                 args=args))
+
+    def instant(self, name: str, node: int | None = None,
+                phase: str | None = None, **args) -> Span | None:
+        """Record a zero-duration marker event at the current sim time."""
+        if not self.enabled:
+            return None
+        now = self.clock()
+        return self._record(Span(name, now, now, node=node, phase=phase,
+                                 args=args))
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Record pre-built spans (e.g. the executor's per-node spans)."""
+        if not self.enabled:
+            return
+        for s in spans:
+            self._record(s)
+
+    # -- querying ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def find(self, name: str | None = None, node: int | None = None,
+             phase: str | None = None) -> list[Span]:
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (node is None or s.node == node)
+                and (phase is None or s.phase == phase)]
+
+    def total(self, name: str | None = None, node: int | None = None,
+              phase: str | None = None) -> float:
+        """Summed duration of matching spans."""
+        return sum(s.duration for s in self.find(name, node, phase))
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    # -- exporters ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One span per line in record order; byte-deterministic."""
+        lines = [json.dumps(s.to_dict(), separators=(",", ":"))
+                 for s in self.spans]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def spans_from_jsonl(text: str) -> list[Span]:
+        return [Span.from_dict(json.loads(line))
+                for line in text.splitlines() if line.strip()]
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON (load in chrome://tracing / Perfetto).
+
+        Sim seconds map to trace microseconds; tracks (tid) are nodes, with
+        -1 for cluster-wide spans.  Durationful spans become complete
+        ("X") events; instants become "i" events.
+        """
+        events: list[dict] = []
+        tids = set()
+        for s in self.spans:
+            tid = -1 if s.node is None else int(s.node)
+            tids.add(tid)
+            args = dict(s.args)
+            if s.phase is not None:
+                args["phase"] = s.phase
+            ev = {"name": s.name, "cat": s.phase or "span",
+                  "pid": 0, "tid": tid, "ts": s.t0 * 1e6}
+            if s.t1 > s.t0:
+                ev["ph"] = "X"
+                ev["dur"] = (s.t1 - s.t0) * 1e6
+            else:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            if args:
+                ev["args"] = args
+            events.append(ev)
+        meta = [{"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                 "args": {"name": "concord-sim"}}]
+        for tid in sorted(tids):
+            meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                         "tid": tid,
+                         "args": {"name": "cluster" if tid < 0
+                                  else f"node {tid}"}})
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_jsonl())
+        return p
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(self.to_chrome_trace(),
+                                separators=(",", ":"), sort_keys=False))
+        return p
+
+    def report(self, title: str = "trace summary") -> Table:
+        """Per-span-name aggregate: count, total and mean sim seconds."""
+        agg: dict[str, tuple[int, float]] = {}
+        for s in self.spans:
+            n, tot = agg.get(s.name, (0, 0.0))
+            agg[s.name] = (n + 1, tot + s.duration)
+        t = Table(title, "span")
+        s_n = t.add_series("count")
+        s_tot = t.add_series("total_s")
+        s_mean = t.add_series("mean_s")
+        for name in sorted(agg):
+            n, tot = agg[name]
+            t.x_values.append(name)
+            s_n.append(n)
+            s_tot.append(tot)
+            s_mean.append(tot / n)
+        if self.dropped:
+            t.note(f"{self.dropped} spans dropped at limit={self.limit}")
+        return t
+
+
+def validate_chrome_trace(source: str | Path | dict) -> int:
+    """Validate Chrome ``trace_event`` JSON; returns the event count.
+
+    Checks the schema a trace viewer actually needs: a ``traceEvents``
+    list whose entries carry ``name``/``ph``/``pid``/``tid``, a numeric
+    ``ts``, and a non-negative ``dur`` on complete ("X") events.  Raises
+    ``ValueError`` on the first violation.
+    """
+    if isinstance(source, dict):
+        doc = source
+    else:
+        doc = json.loads(Path(source).read_text())
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a chrome trace: missing traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        for req in ("name", "ph", "pid", "tid"):
+            if req not in ev:
+                raise ValueError(f"event {i} missing {req!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValueError(f"event {i} has no numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} has invalid dur {dur!r}")
+        elif ph not in ("i", "B", "E", "b", "e", "C"):
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+    return len(events)

@@ -429,6 +429,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
         self._charge_block_append(ctx, shared=True)
         st.offsets[int(content_hash)] = offset
         st.shared_appends += 1
+        ctx.count("ckpt.shared_appends")
         return offset
 
     def collective_finalize(self, ctx: NodeContext, role: EntityRole,
@@ -441,6 +442,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
                 st.offsets[h] = offset
                 st.shared_appends += 1
                 self._charge_block_append(ctx, amortize=1.0 / 16, shared=True)
+            ctx.count("ckpt.shared_appends", len(st.shared_plan))
             st.shared_plan_done = True
 
     # -- local phase: per-SE checkpoint files ---------------------------------------------
@@ -462,12 +464,14 @@ class CollectiveCheckpoint(ServiceCallbacks):
         if handled_private is not None:
             f.add_pointer(page_idx, content_hash, int(handled_private))
             st.pointer_records += 1
+            ctx.count("ckpt.pointer_records")
             ctx.charge_per_block(ctx.cost.file_append_base / 8
                                  + _PTR_RECORD_BYTES
                                  * ctx.cost.file_append_per_byte)
         else:
             f.add_data(page_idx, content_hash, entity.read_page(page_idx))
             st.data_records += 1
+            ctx.count("ckpt.data_records")
             self._charge_block_append(ctx)
 
     def local_command_batch(self, ctx: NodeContext, entity: Entity,
@@ -498,6 +502,8 @@ class CollectiveCheckpoint(ServiceCallbacks):
                 f.add_data(idx, h, entity.read_page(idx))
         st.pointer_records += n_cov
         st.data_records += n - n_cov
+        ctx.count("ckpt.pointer_records", n_cov)
+        ctx.count("ckpt.data_records", n - n_cov)
         ctx.charge_per_block(c.file_append_base / 8
                              + _PTR_RECORD_BYTES * c.file_append_per_byte, n_cov)
         ctx.charge_per_block(c.file_append_base + self.store.page_size
@@ -528,16 +534,19 @@ class CollectiveCheckpoint(ServiceCallbacks):
                     cid = ctx.cluster.entity(eid).read_page(idx)
                     self.store.se_file(eid).add_data(idx, h, cid)
                     st.data_records += 1
+                    ctx.count("ckpt.data_records")
                     self._charge_block_append(ctx, amortize=1.0 / 16)
                     continue
                 self.store.se_file(eid).add_pointer(idx, h, offset)
                 st.pointer_records += 1
+                ctx.count("ckpt.pointer_records")
                 ctx.charge_per_block(c.file_append_base * amortize / 4
                                      + _PTR_RECORD_BYTES * c.file_append_per_byte)
             else:
                 _kind, eid, idx, h, cid = op
                 self.store.se_file(eid).add_data(idx, h, cid)
                 st.data_records += 1
+                ctx.count("ckpt.data_records")
                 self._charge_block_append(ctx, amortize=amortize)
         st.local_plan_done = True
 

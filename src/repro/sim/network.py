@@ -37,42 +37,110 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.obs.registry import Counter, MetricsRegistry
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Resource, SimEngine
 from repro.util.records import Message
 
-__all__ = ["Network", "NetworkStats", "DeliveryError"]
+__all__ = ["Network", "NetworkStats", "DeliveryError", "DROP_REASONS"]
 
 
 class DeliveryError(Exception):
     """A reliable message exhausted its retransmission budget."""
 
 
-@dataclass
-class NetworkStats:
-    """Per-network counters; per-node breakdowns are kept by the Network."""
+#: Label values of ``net.msgs_dropped{reason=...}``.
+DROP_REASONS = ("blackhole", "sender-down", "injected", "rx-overflow")
 
-    msgs_sent: int = 0
-    msgs_delivered: int = 0
-    msgs_dropped: int = 0
-    msgs_blackholed: int = 0    # subset of msgs_dropped: dead node / cut link
-    retransmissions: int = 0
-    bytes_sent: int = 0
-    bytes_delivered: int = 0
-    updates_sent: int = 0       # individual DHT updates (not batches)
-    updates_lost: int = 0
+# Drop reasons that also count as blackholed (dead node / cut link).
+_BLACKHOLE_REASONS = ("blackhole", "sender-down")
+
+
+class NetworkStats:
+    """Network counters as a *live view* over the metrics registry.
+
+    The registry (``net.*`` metrics) is the single source of truth; this
+    class only reads it, so a reference held across
+    :meth:`Network.reset_stats` keeps reporting the current window instead
+    of going stale — the registry resets its metrics in place and this
+    view holds no values of its own.  Rate properties return 0.0 under
+    zero traffic rather than dividing by zero.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._net = network
+
+    @property
+    def _reg(self) -> MetricsRegistry:
+        return self._net.registry
+
+    @property
+    def msgs_sent(self) -> int:
+        return self._reg.counter("net.msgs_sent").value
+
+    @property
+    def msgs_delivered(self) -> int:
+        return self._reg.counter("net.msgs_delivered").value
+
+    @property
+    def msgs_dropped(self) -> int:
+        return int(self._reg.total("net.msgs_dropped"))
+
+    @property
+    def msgs_blackholed(self) -> int:
+        """Subset of msgs_dropped: dead node / cut link (either endpoint)."""
+        return sum(self._reg.counter("net.msgs_dropped", reason=r).value
+                   for r in _BLACKHOLE_REASONS)
+
+    def dropped_by_reason(self) -> dict[str, int]:
+        return {r: self._reg.counter("net.msgs_dropped", reason=r).value
+                for r in DROP_REASONS}
+
+    @property
+    def retransmissions(self) -> int:
+        return self._reg.counter("net.retransmissions").value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._reg.counter("net.bytes_sent").value
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self._reg.counter("net.bytes_delivered").value
+
+    @property
+    def updates_sent(self) -> int:
+        """Individual DHT updates (not batches)."""
+        return self._reg.counter("net.updates_sent").value
+
+    @property
+    def updates_lost(self) -> int:
+        return self._reg.counter("net.updates_lost").value
 
     @property
     def loss_rate(self) -> float:
-        if self.msgs_sent == 0:
+        sent = self.msgs_sent
+        if sent == 0:
             return 0.0
-        return self.msgs_dropped / self.msgs_sent
+        return self.msgs_dropped / sent
 
     @property
     def update_loss_rate(self) -> float:
-        if self.updates_sent == 0:
+        sent = self.updates_sent
+        if sent == 0:
             return 0.0
-        return self.updates_lost / self.updates_sent
+        return self.updates_lost / sent
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {k: getattr(self, k)
+                for k in ("msgs_sent", "msgs_delivered", "msgs_dropped",
+                          "msgs_blackholed", "retransmissions", "bytes_sent",
+                          "bytes_delivered", "updates_sent", "updates_lost",
+                          "loss_rate", "update_loss_rate")}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"NetworkStats({body})"
 
 
 @dataclass
@@ -97,18 +165,54 @@ class Network:
     MAX_RELIABLE_ATTEMPTS = 12
 
     def __init__(self, engine: SimEngine, cost: CostModel, n_nodes: int,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
         self.engine = engine
         self.cost = cost
         self.n_nodes = n_nodes
         self.nodes = [_NodeNet() for _ in range(n_nodes)]
-        self.stats = NetworkStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = NetworkStats(self)  # persistent live view; never replaced
+        self.tracer = None  # optional SpanTracer, attached by ConCORD
+        self._bind_counters()
         # Fault-injection state (see repro.sim.faults / docs/FAULTS.md).
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.node_up = [True] * n_nodes
         self.loss_prob = 0.0
         self.latency_scale = 1.0
         self._blocked: set[tuple[int, int]] = set()  # directed (src, dst)
+
+    def _bind_counters(self) -> None:
+        # Resolve each hot-path metric once; send/deliver/drop then pay a
+        # plain attribute add instead of a registry lookup per message.
+        reg = self.registry
+        self._c_sent = reg.counter("net.msgs_sent")
+        self._c_delivered = reg.counter("net.msgs_delivered")
+        self._c_bytes_sent = reg.counter("net.bytes_sent")
+        self._c_bytes_delivered = reg.counter("net.bytes_delivered")
+        self._c_retrans = reg.counter("net.retransmissions")
+        self._c_updates_sent = reg.counter("net.updates_sent")
+        self._c_updates_lost = reg.counter("net.updates_lost")
+        self._c_dropped = {r: reg.counter("net.msgs_dropped", reason=r)
+                           for r in DROP_REASONS}
+
+    def use_registry(self, registry: MetricsRegistry) -> None:
+        """Fold the net counters into a shared registry (ConCORD's).
+
+        Counts accumulated so far migrate, so attaching observability after
+        traffic has flowed loses nothing; ``self.stats`` keeps reading the
+        new registry through the network.
+        """
+        if registry is self.registry:
+            return
+        for name, key, m in self.registry.collect():
+            # Only the network's own counters move; the outgoing registry
+            # may be a previous ConCORD's shared one with other subsystems'
+            # metrics in it.
+            if name.startswith("net.") and isinstance(m, Counter):
+                registry.counter(name, **dict(key)).inc(m.value)
+        self.registry = registry
+        self._bind_counters()
 
     # -- fault injection --------------------------------------------------------
 
@@ -189,19 +293,19 @@ class Network:
         self._check(msg.src_node)
         self._check(msg.dst_node)
         size = msg.wire_bytes()
-        self.stats.msgs_sent += 1
-        self.stats.bytes_sent += size
+        self._c_sent.inc()
+        self._c_bytes_sent.inc(size)
         sn = self.nodes[msg.src_node]
         sn.tx_bytes += size
         sn.tx_msgs += 1
         n_updates = getattr(msg, "n_updates", None)
         if callable(n_updates):
-            self.stats.updates_sent += n_updates()
+            self._c_updates_sent.inc(n_updates())
 
         if not self.node_up[msg.src_node]:
             # A dead node sends nothing; events queued before the crash
             # (e.g. paced update batches) vanish at its NIC.
-            self.engine.after(0.0, self._drop, msg, on_drop, True)
+            self.engine.after(0.0, self._drop, msg, on_drop, "sender-down")
             return
 
         if msg.src_node == msg.dst_node:
@@ -214,15 +318,22 @@ class Network:
         self.engine.at(arrive, self._arrive, msg, size, on_deliver, on_drop)
 
     def _drop(self, msg: Message, on_drop: Callable | None,
-              blackholed: bool = False) -> None:
+              reason: str = "rx-overflow") -> None:
         """Account one lost datagram and fire the sender's drop callback."""
-        self.stats.msgs_dropped += 1
-        if blackholed:
-            self.stats.msgs_blackholed += 1
-        self.nodes[msg.dst_node].drops += 1
+        self._c_dropped[reason].inc()
+        # Attribute the drop to the node where the datagram died: the
+        # sender's NIC for a dead sender, the receiver otherwise.  (The
+        # sender-down path used to charge dst, skewing per-node drop
+        # profiles during crash windows.)
+        at_node = msg.src_node if reason == "sender-down" else msg.dst_node
+        self.nodes[at_node].drops += 1
         n_updates = getattr(msg, "n_updates", None)
         if callable(n_updates):
-            self.stats.updates_lost += n_updates()
+            self._c_updates_lost.inc(n_updates())
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("net.drop", node=at_node, reason=reason,
+                           kind=str(msg.kind))
         if on_drop is not None:
             on_drop(msg)
 
@@ -232,22 +343,22 @@ class Network:
         dst = msg.dst_node
         if not self.node_up[dst] or not self.link_ok(msg.src_node, dst):
             # Dead receiver or cut link: the datagram vanishes.
-            self._drop(msg, on_drop, blackholed=True)
+            self._drop(msg, on_drop, "blackhole")
             return
         if self.loss_prob > 0.0 and self.rng.random() < self.loss_prob:
             # Injected i.i.d. loss (fault plans; see docs/FAULTS.md).
-            self._drop(msg, on_drop)
+            self._drop(msg, on_drop, "injected")
             return
         service = self._rx_service(msg, size)
         if self.nodes[dst].rx.backlog(now) + service > self.cost.rx_queue_delay:
-            self._drop(msg, on_drop)
+            self._drop(msg, on_drop, "rx-overflow")
             return
         done = self.nodes[dst].rx.submit(now, service)
         self.engine.at(done, self._deliver, msg, size, on_deliver)
 
     def _deliver(self, msg: Message, size: int, on_deliver: Callable | None) -> None:
-        self.stats.msgs_delivered += 1
-        self.stats.bytes_delivered += size
+        self._c_delivered.inc()
+        self._c_bytes_delivered.inc(size)
         dn = self.nodes[msg.dst_node]
         dn.rx_bytes += size
         dn.rx_msgs += 1
@@ -269,7 +380,11 @@ class Network:
     def _attempt_reliable(self, msg: Message, on_deliver: Callable | None,
                           attempt: int) -> None:
         if attempt > 1:
-            self.stats.retransmissions += 1
+            self._c_retrans.inc()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.instant("net.retransmit", node=msg.src_node,
+                               dst=msg.dst_node, attempt=attempt)
 
         def dropped(_m: Message) -> None:
             if attempt >= self.MAX_RELIABLE_ATTEMPTS:
@@ -303,8 +418,12 @@ class Network:
         latency — from the traffic of the previous one.  Pass
         ``drain=False`` to reset counters mid-flight while keeping the
         physical queue state.
+
+        Counters are zeroed *in place* in the registry; ``self.stats`` is
+        never replaced, so references held by callers stay live instead of
+        reporting a dead window.
         """
-        self.stats = NetworkStats()
+        self.registry.reset(prefix="net.")
         for n in self.nodes:
             n.tx_bytes = n.rx_bytes = n.tx_msgs = n.rx_msgs = n.drops = 0
             if drain:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
-__all__ = ["Series", "Table", "fmt_bytes", "fmt_time_s"]
+__all__ = ["Series", "Table", "check_monotone", "fmt_bytes", "fmt_time_s"]
 
 
 @dataclass
@@ -49,7 +49,17 @@ class Table:
         self.notes.append(text)
 
     def render(self, float_fmt: str = "{:.4g}") -> str:
-        """Fixed-width text rendering, one row per x value."""
+        """Fixed-width text rendering, one row per x value.
+
+        A series shorter than the x-axis renders ``-`` for the missing
+        rows; a series *longer* than the x-axis would silently drop the
+        excess values, so that raises ``ValueError`` instead.
+        """
+        for s in self.series:
+            if len(s.values) > len(self.x_values):
+                raise ValueError(
+                    f"series {s.name!r} has {len(s.values)} values but the "
+                    f"table has only {len(self.x_values)} x values")
         headers = [self.x_name] + [s.name for s in self.series]
         rows = []
         for i, x in enumerate(self.x_values):

@@ -1,0 +1,138 @@
+"""Unit tests for the labelled metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestLabels:
+    def test_same_labels_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.msgs_dropped", reason="blackhole")
+        b = reg.counter("net.msgs_dropped", reason="blackhole")
+        assert a is b
+
+    def test_label_order_never_matters(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", a=1, b=2)
+        b = reg.counter("x", b=2, a=1)
+        assert a is b
+
+    def test_different_labels_different_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.msgs_dropped", reason="blackhole")
+        b = reg.counter("net.msgs_dropped", reason="injected")
+        assert a is not b
+        a.inc(3)
+        b.inc(4)
+        assert reg.value("net.msgs_dropped", reason="blackhole") == 3
+        assert reg.total("net.msgs_dropped") == 7
+
+    def test_unlabelled_and_labelled_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c", k="v").inc(2)
+        assert reg.total("c") == 3
+        assert reg.value("c") == 1
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", node=3) is reg.counter("c", node="3")
+
+
+class TestKinds:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+        with pytest.raises(TypeError):
+            reg.histogram("m")
+
+    def test_kind_conflict_across_labels_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", a=1)
+        with pytest.raises(TypeError):
+            reg.gauge("m", b=2)
+
+    def test_value_on_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+    def test_histogram_summary(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(52.5 / 3)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.min == 0.5 and h.max == 50.0
+
+
+class TestLifecycle:
+    def test_reset_is_in_place(self):
+        """Held references keep working after reset — no stale objects."""
+        reg = MetricsRegistry()
+        c = reg.counter("net.msgs_sent")
+        c.inc(10)
+        reg.reset(prefix="net.")
+        assert c.value == 0
+        assert reg.counter("net.msgs_sent") is c
+        c.inc()
+        assert reg.value("net.msgs_sent") == 1
+
+    def test_reset_prefix_scoped(self):
+        reg = MetricsRegistry()
+        reg.counter("net.msgs_sent").inc(5)
+        reg.counter("dht.updates_routed").inc(7)
+        reg.reset(prefix="net.")
+        assert reg.value("net.msgs_sent") == 0
+        assert reg.value("dht.updates_routed") == 7
+
+    def test_get_or_create_returns_counter_object(self):
+        reg = MetricsRegistry()
+        assert isinstance(reg.counter("c"), Counter)
+        assert reg.get("missing") is None
+        assert reg.value("missing") == 0
+
+
+class TestExport:
+    def test_snapshot_sorted_and_labelled(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a", x="1").inc(1)
+        snap = reg.snapshot()
+        assert list(snap) == ["a{x=1}", "b"]
+        assert snap["b"] == {"kind": "counter", "value": 2}
+
+    def test_jsonl_deterministic_and_parseable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z.last").inc(1)
+            reg.counter("a.first", reason="x").inc(2)
+            reg.histogram("h").observe(0.5)
+            return reg
+
+        a, b = build().to_jsonl(), build().to_jsonl()
+        assert a == b
+        recs = [json.loads(line) for line in a.splitlines()]
+        assert [r["name"] for r in recs] == ["a.first", "h", "z.last"]
+        assert recs[0]["labels"] == {"reason": "x"}
+
+    def test_report_is_renderable_table(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(2.0)
+        text = reg.report("m").render()
+        assert "c" in text and "h" in text and "value" in text

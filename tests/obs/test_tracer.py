@@ -1,0 +1,162 @@
+"""Unit tests for the sim-time span tracer and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, SpanTracer, validate_chrome_trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_tracer(**kw):
+    clock = FakeClock()
+    return clock, SpanTracer(clock, **kw)
+
+
+class TestRecording:
+    def test_span_stamps_sim_time(self):
+        clock, tr = make_tracer()
+        clock.t = 1.0
+        with tr.span("work", node=2):
+            clock.t = 3.5
+        (s,) = tr.spans
+        assert (s.t0, s.t1, s.node) == (1.0, 3.5, 2)
+        assert s.duration == 2.5
+
+    def test_nesting_sets_parent(self):
+        clock, tr = make_tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                clock.t = 1.0
+        outer, inner = tr.spans
+        assert outer.parent == -1
+        assert inner.parent == outer.seq
+        assert outer.t1 >= inner.t1
+
+    def test_add_span_explicit_timestamps(self):
+        _clock, tr = make_tracer()
+        s = tr.add_span("monitor.scan", 2.0, 5.0, node=1, phase="scan")
+        assert s.duration == 3.0
+        with pytest.raises(ValueError):
+            tr.add_span("bad", 5.0, 2.0)
+
+    def test_instant_zero_duration(self):
+        clock, tr = make_tracer()
+        clock.t = 7.0
+        s = tr.instant("net.drop", node=3, reason="blackhole")
+        assert s.t0 == s.t1 == 7.0
+        assert s.args["reason"] == "blackhole"
+
+    def test_disabled_records_nothing(self):
+        _clock, tr = make_tracer(enabled=False)
+        with tr.span("x"):
+            pass
+        assert tr.add_span("y", 0.0, 1.0) is None
+        assert tr.instant("z") is None
+        assert len(tr) == 0
+
+    def test_limit_counts_dropped(self):
+        _clock, tr = make_tracer(limit=2)
+        for i in range(5):
+            tr.add_span(f"s{i}", 0.0, 1.0)
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        assert "dropped" in tr.report().render()
+
+    def test_find_and_total(self):
+        _clock, tr = make_tracer()
+        tr.add_span("a", 0.0, 1.0, node=0, phase="p")
+        tr.add_span("a", 0.0, 2.0, node=1, phase="p")
+        tr.add_span("b", 0.0, 4.0, node=0)
+        assert len(tr.find(name="a")) == 2
+        assert tr.total(name="a") == 3.0
+        assert tr.total(name="a", node=1) == 2.0
+        assert tr.total(phase="p") == 3.0
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self):
+        _clock, tr = make_tracer()
+        tr.add_span("a", 0.5, 1.5, node=2, phase="p", extra=7)
+        tr.instant("b")
+        text = tr.to_jsonl()
+        spans = SpanTracer.spans_from_jsonl(text)
+        assert [s.name for s in spans] == ["a", "b"]
+        assert spans[0].node == 2 and spans[0].phase == "p"
+        assert spans[0].args == {"extra": 7}
+        assert spans[0].duration == 1.0
+
+    def test_jsonl_deterministic(self):
+        def build():
+            _clock, tr = make_tracer()
+            tr.add_span("a", 0.0, 1.0, node=1)
+            tr.instant("b", node=2)
+            return tr.to_jsonl()
+
+        assert build() == build()
+
+    def test_chrome_trace_schema(self):
+        _clock, tr = make_tracer()
+        tr.add_span("a", 0.001, 0.002, node=3, phase="collective")
+        tr.instant("ev")
+        doc = tr.to_chrome_trace()
+        n = validate_chrome_trace(doc)
+        events = doc["traceEvents"]
+        assert n == len(events)
+        x = [e for e in events if e["ph"] == "X"]
+        assert x[0]["ts"] == pytest.approx(1000.0)   # seconds -> us
+        assert x[0]["dur"] == pytest.approx(1000.0)
+        assert x[0]["tid"] == 3
+        i = [e for e in events if e["ph"] == "i"]
+        assert i[0]["tid"] == -1                      # cluster-wide track
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"}
+        assert {"cluster", "node 3"} <= names
+
+    def test_write_files(self, tmp_path):
+        _clock, tr = make_tracer()
+        tr.add_span("a", 0.0, 1.0)
+        chrome = tr.write_chrome_trace(tmp_path / "t.trace.json")
+        jsonl = tr.write_jsonl(tmp_path / "t.jsonl")
+        assert validate_chrome_trace(chrome) > 0
+        assert SpanTracer.spans_from_jsonl(jsonl.read_text())[0].name == "a"
+
+    def test_validate_rejects_bad_documents(self, tmp_path):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"nope": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "X",
+                                                    "pid": 0}]})
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0,
+                                "ts": 0.0, "dur": -1.0}]}
+        with pytest.raises(ValueError):
+            validate_chrome_trace(bad)
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"traceEvents": [
+            {"name": "x", "ph": "?", "pid": 0, "tid": 0, "ts": 0.0}]}))
+        with pytest.raises(ValueError):
+            validate_chrome_trace(p)
+
+    def test_report_aggregates_by_name(self):
+        _clock, tr = make_tracer()
+        tr.add_span("a", 0.0, 1.0)
+        tr.add_span("a", 0.0, 3.0)
+        table = tr.report()
+        assert table.x_values == ["a"]
+        assert table.get("count").values == [2]
+        assert table.get("total_s").values == [4.0]
+        assert table.get("mean_s").values == [2.0]
+
+
+class TestSpanValue:
+    def test_to_from_dict(self):
+        s = Span("n", 1.0, 2.0, node=4, phase="p", args={"k": 1}, seq=9,
+                 parent=3)
+        assert Span.from_dict(s.to_dict()) == s

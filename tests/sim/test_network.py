@@ -136,6 +136,92 @@ class TestStats:
         assert net.stats.loss_rate == 0.0
         assert net.stats.update_loss_rate == 0.0
 
+    def test_loss_rates_zero_after_reset(self):
+        """Zero-traffic guards hold in a *reset* window too, where the
+        counters exist but are zero."""
+        eng, net = make_net()
+        net.send(msg(0, 1))
+        eng.run()
+        net.reset_stats()
+        assert net.stats.loss_rate == 0.0
+        assert net.stats.update_loss_rate == 0.0
+        assert net.per_node_tx_bytes() == [0] * 4
+        assert net.per_node_rx_bytes() == [0] * 4
+
+    def test_stats_reference_survives_reset(self):
+        """A held NetworkStats must keep reading the live window after
+        reset_stats (it used to go stale when the object was replaced)."""
+        eng, net = make_net()
+        stats = net.stats
+        net.send(msg(0, 1))
+        eng.run()
+        assert stats.msgs_sent == 1
+        net.reset_stats()
+        assert stats.msgs_sent == 0
+        assert net.stats is stats
+        net.send(msg(0, 1))
+        eng.run()
+        assert stats.msgs_sent == 1
+        assert stats.msgs_delivered == 1
+
+    def test_drop_reasons_labelled(self):
+        eng, net = make_net()
+        net.set_node_up(2, False)
+        net.send(msg(0, 2))              # dead receiver -> blackhole
+        net.send(msg(2, 0))              # dead sender -> sender-down
+        net.set_loss(1.0)
+        net.send(msg(0, 1))              # injected loss
+        eng.run()
+        by_reason = net.stats.dropped_by_reason()
+        assert by_reason["blackhole"] == 1
+        assert by_reason["sender-down"] == 1
+        assert by_reason["injected"] == 1
+        assert net.stats.msgs_dropped == 3
+        assert net.stats.msgs_blackholed == 2  # both dead-node reasons
+
+    def test_dead_sender_drop_charged_to_sender(self):
+        """Bugfix: a dead sender's vanished datagram is the *sender's*
+        drop, not the healthy receiver's."""
+        eng, net = make_net()
+        net.set_node_up(2, False)
+        net.send(msg(2, 0))
+        eng.run()
+        assert net.nodes[2].drops == 1
+        assert net.nodes[0].drops == 0
+
+    def test_dead_receiver_drop_charged_to_receiver(self):
+        eng, net = make_net()
+        net.set_node_up(2, False)
+        net.send(msg(0, 2))
+        eng.run()
+        assert net.nodes[2].drops == 1
+        assert net.nodes[0].drops == 0
+
+    def test_as_dict_round_trip(self):
+        eng, net = make_net()
+        net.send(msg(0, 1))
+        eng.run()
+        d = net.stats.as_dict()
+        assert d["msgs_sent"] == 1 and d["msgs_delivered"] == 1
+        assert d["loss_rate"] == 0.0
+
+    def test_use_registry_migrates_counts(self):
+        from repro.obs import MetricsRegistry
+
+        eng, net = make_net()
+        net.send(msg(0, 1))
+        eng.run()
+        assert net.stats.msgs_sent == 1
+        shared = MetricsRegistry()
+        shared.histogram("other.h").observe(1.0)  # foreign metric survives
+        net.use_registry(shared)
+        assert net.registry is shared
+        assert net.stats.msgs_sent == 1
+        assert shared.value("net.msgs_sent") == 1
+        net.send(msg(0, 1))
+        eng.run()
+        assert shared.value("net.msgs_sent") == 2
+
 
 class TestMeasurementWindows:
     """reset_stats() must also drain NIC backlogs (the default), so

@@ -56,6 +56,32 @@ class TestDemoInfo:
             assert name in out
 
 
+class TestTrace:
+    def test_traced_null_writes_artifacts(self, tmp_path):
+        code, out = run_cli("trace", "--out", str(tmp_path))
+        assert code == 0
+        assert "span_wall_ms" in out
+        chrome = tmp_path / "null.trace.json"
+        assert chrome.exists()
+        assert (tmp_path / "null.trace.jsonl").exists()
+        assert (tmp_path / "null.metrics.txt").exists()
+        from repro.obs import validate_chrome_trace
+        assert validate_chrome_trace(chrome) > 0
+
+    def test_traced_experiment_per_run_artifacts(self, tmp_path):
+        code, out = run_cli("trace", "fig11", "--out", str(tmp_path))
+        assert code == 0
+        runs = sorted(tmp_path.glob("fig11.run*.trace.json"))
+        assert runs
+        from repro.obs import validate_chrome_trace
+        for p in runs:
+            assert validate_chrome_trace(p) > 0
+
+    def test_unknown_experiment(self, tmp_path):
+        code, _out = run_cli("trace", "fig99", "--out", str(tmp_path))
+        assert code == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

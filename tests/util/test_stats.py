@@ -27,7 +27,26 @@ class TestTable:
     def test_render_handles_short_series(self):
         t = Table("t", "x", x_values=[1, 2])
         t.add_series("s", [1.0])
-        assert "-" in t.render()
+        out = t.render()
+        assert "-" in out
+        assert "1" in out
+
+    def test_render_rejects_over_long_series(self):
+        """A series longer than the x-axis would silently lose values;
+        render must refuse instead."""
+        t = Table("t", "x", x_values=[1, 2])
+        t.add_series("ok", [1.0, 2.0])
+        t.add_series("too_long", [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="too_long"):
+            t.render()
+        with pytest.raises(ValueError):
+            str(t)
+
+    def test_render_rejects_series_on_empty_axis(self):
+        t = Table("t", "x")
+        t.add_series("s", [1.0])
+        with pytest.raises(ValueError):
+            t.render()
 
     def test_notes_rendered(self):
         t = self.make()
@@ -57,6 +76,16 @@ class TestFormatting:
 
 
 class TestMonotone:
+    def test_in_public_api(self):
+        """Regression: check_monotone was missing from __all__, so
+        ``from repro.util.stats import *`` silently lost it."""
+        import repro.util.stats as stats
+
+        assert "check_monotone" in stats.__all__
+        ns = {}
+        exec("from repro.util.stats import *", ns)
+        assert "check_monotone" in ns
+
     def test_increasing(self):
         assert check_monotone([1, 2, 3])
         assert not check_monotone([1, 3, 2])
