@@ -8,19 +8,9 @@ Not paper figures — these probe *why* the design works:
 * monitor throttling vs DHT completeness (the load/precision tradeoff).
 """
 
-from repro.harness import (
-    run_ablation_incremental,
-    run_ablation_modes,
-    run_ablation_rdma,
-    run_ablation_redundancy,
-    run_ablation_staleness,
-    run_ablation_throttle,
-)
 
-
-def test_ablation_modes(run_once, emit):
-    table = run_once(run_ablation_modes)
-    emit(table, "ablation_modes")
+def test_ablation_modes(figure):
+    table = figure("ablation_modes")
     inter = table.get("interactive_ms").values
     batch = table.get("batch_ms").values
     for a, b in zip(inter, batch):
@@ -30,9 +20,8 @@ def test_ablation_modes(run_once, emit):
     assert batch[-1] < batch[0]
 
 
-def test_ablation_redundancy_adaptation(run_once, emit):
-    table = run_once(run_ablation_redundancy)
-    emit(table, "ablation_redundancy")
+def test_ablation_redundancy_adaptation(figure):
+    table = figure("ablation_redundancy")
     ratio = table.get("ckpt_ratio_pct").values
     # The same service code reaps whatever redundancy exists: checkpoint
     # ratio falls monotonically as sharing grows, with no service changes.
@@ -43,9 +32,8 @@ def test_ablation_redundancy_adaptation(run_once, emit):
         assert c > 99.9
 
 
-def test_ablation_staleness_graceful_degradation(run_once, emit):
-    table = run_once(run_ablation_staleness)
-    emit(table, "ablation_staleness")
+def test_ablation_staleness_graceful_degradation(figure):
+    table = figure("ablation_staleness")
     cov = table.get("coverage_pct").values
     stale = table.get("stale_hashes_pct").values
     ok = table.get("restore_exact").values
@@ -57,9 +45,8 @@ def test_ablation_staleness_graceful_degradation(run_once, emit):
     assert stale[0] == 0.0 and stale[-1] > 30
 
 
-def test_ablation_throttle_precision_tradeoff(run_once, emit):
-    table = run_once(run_ablation_throttle)
-    emit(table, "ablation_throttle")
+def test_ablation_throttle_precision_tradeoff(figure):
+    table = figure("ablation_throttle")
     tracked = table.get("tracked_pct_after_1s").values
     pending = table.get("pending_updates").values
     # Tighter caps -> less of memory tracked after one interval, with the
@@ -70,9 +57,8 @@ def test_ablation_throttle_precision_tradeoff(run_once, emit):
     assert all(b >= a for a, b in zip(pending, pending[1:]))
 
 
-def test_ablation_rdma_transport(run_once, emit):
-    table = run_once(run_ablation_rdma)
-    emit(table, "ablation_rdma")
+def test_ablation_rdma_transport(figure):
+    table = figure("ablation_rdma")
     udp = table.get("udp_loss_pct").values
     rdma = table.get("rdma_loss_pct").values
     # One-sided updates eliminate the receive-side packet bottleneck: no
@@ -81,9 +67,8 @@ def test_ablation_rdma_transport(run_once, emit):
     assert all(v < 0.01 for v in rdma)
 
 
-def test_ablation_incremental_checkpoint(run_once, emit):
-    table = run_once(run_ablation_incremental)
-    emit(table, "ablation_incremental")
+def test_ablation_incremental_checkpoint(figure):
+    table = figure("ablation_incremental")
     size = table.get("increment_pct_of_base").values
     ok = table.get("restore_exact").values
     # Correct at every churn level; size tracks churn from ~0 upward.

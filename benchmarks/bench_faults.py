@@ -7,12 +7,9 @@ failover repair restores coverage to 100% (loss error remains); after the
 victims rejoin and a full anti-entropy pass runs, the answer is exact.
 """
 
-from repro.harness import run_faults
 
-
-def test_faults_degradation_and_recovery(run_once, emit):
-    table = run_once(run_faults, n_nodes=8, pages_per_entity=512, loss=0.2)
-    emit(table, "faults")
+def test_faults_degradation_and_recovery(figure):
+    table = figure("faults", n_nodes=8, pages_per_entity=512, loss=0.2)
     stages = table.x_values
     cov = dict(zip(stages, table.get("coverage_pct").values))
     err = dict(zip(stages, table.get("abs_error").values))

@@ -5,12 +5,9 @@ beats GNU malloc; overhead ~8% of entity memory at 16 GB and stays
 bounded (~12.5%) even at 256 GB/entity.
 """
 
-from repro.harness import run_fig06
 
-
-def test_fig06_dht_memory(run_once, emit):
-    table = run_once(run_fig06)
-    emit(table, "fig06")
+def test_fig06_dht_memory(figure):
+    table = figure("fig06")
     gbs = table.x_values
     custom = table.get("custom_mb").values
     malloc = table.get("malloc_mb").values

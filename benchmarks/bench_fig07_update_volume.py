@@ -6,12 +6,9 @@ scale (a behaviour the authors note they were still investigating — here
 it emerges from per-packet receive-queue overflow under incast).
 """
 
-from repro.harness import run_fig07
 
-
-def test_fig07_update_volume_and_loss(run_once, emit):
-    table = run_once(run_fig07, node_counts=(1, 2, 4, 8, 16, 32, 64, 128))
-    emit(table, "fig07")
+def test_fig07_update_volume_and_loss(figure):
+    table = figure("fig07", node_counts=(1, 2, 4, 8, 16, 32, 64, 128))
     nodes = table.x_values
     volume = table.get("updates_millions").values
     loss = table.get("loss_rate_pct").values

@@ -5,13 +5,10 @@ round trip ("essentially a ping time"); the compute component is an order
 of magnitude smaller.
 """
 
-from repro.harness import run_fig08
 
-
-def test_fig08_nodewise_query_latency(run_once, emit):
-    table = run_once(run_fig08, sizes=(250_000, 1_000_000, 4_000_000),
-                     reps=50_000)
-    emit(table, "fig08")
+def test_fig08_nodewise_query_latency(figure):
+    table = figure("fig08", sizes=(250_000, 1_000_000, 4_000_000),
+                   reps=50_000)
 
     for name in ("entities_query_ns", "num_copies_query_ns",
                  "entities_compute_ns", "num_copies_compute_ns"):

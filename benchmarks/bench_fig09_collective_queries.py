@@ -5,13 +5,10 @@ distributed curve is constant (~300 ms on Old-cluster) when hashes/node is
 fixed at ~2 M; they cross at 2-4 M total hashes.
 """
 
-from repro.harness import run_fig09
 
-
-def test_fig09_collective_query_crossover(run_once, emit):
-    table = run_once(run_fig09,
-                     hash_millions=(2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40))
-    emit(table, "fig09")
+def test_fig09_collective_query_crossover(figure):
+    table = figure("fig09",
+                   hash_millions=(2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40))
     xs = table.x_values
     single = table.get("sharing_single_ms").values
     dist = table.get("sharing_distributed_ms").values

@@ -4,12 +4,9 @@ Paper claims: execution time linear in total SE memory; interactive mode
 slightly above batch mode.
 """
 
-from repro.harness import run_fig10
 
-
-def test_fig10_null_command_linear_in_memory(run_once, emit):
-    table = run_once(run_fig10)
-    emit(table, "fig10")
+def test_fig10_null_command_linear_in_memory(figure):
+    table = figure("fig10")
     mem = table.x_values
     inter = table.get("interactive_ms").values
     batch = table.get("batch_ms").values

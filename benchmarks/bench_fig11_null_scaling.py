@@ -5,12 +5,9 @@ stays roughly constant; per-node traffic stays constant (~15 MB) as the
 system grows.
 """
 
-from repro.harness import run_fig11
 
-
-def test_fig11_null_command_flat_with_scale(run_once, emit):
-    table = run_once(run_fig11)
-    emit(table, "fig11")
+def test_fig11_null_command_flat_with_scale(figure):
+    table = figure("fig11")
     procs = table.x_values
     inter = table.get("interactive_ms").values
     batch = table.get("batch_ms").values

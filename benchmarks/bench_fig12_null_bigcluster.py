@@ -3,12 +3,9 @@
 Paper claim: "The response time is constant, up to 128 nodes."
 """
 
-from repro.harness import run_fig12
 
-
-def test_fig12_null_command_bigcluster(run_once, emit):
-    table = run_once(run_fig12)
-    emit(table, "fig12")
+def test_fig12_null_command_bigcluster(figure):
+    table = figure("fig12")
     vals = table.get("response_ms").values
     # Constant within a factor of two across 1 -> 128 nodes.
     assert max(vals) < 2.0 * min(vals)

@@ -10,12 +10,9 @@ Paper claims:
 
 import pytest
 
-from repro.harness import run_fig14
 
-
-def test_fig14a_moldy(run_once, emit):
-    table = run_once(run_fig14, workload="moldy")
-    emit(table, "fig14a")
+def test_fig14a_moldy(figure):
+    table = figure("fig14a")
     nodes = table.x_values
     cc = table.get("concord_pct").values
     dos = table.get("dos_pct").values
@@ -33,9 +30,8 @@ def test_fig14a_moldy(run_once, emit):
         assert g < c
 
 
-def test_fig14b_nasty(run_once, emit):
-    table = run_once(run_fig14, workload="nasty")
-    emit(table, "fig14b")
+def test_fig14b_nasty(figure):
+    table = figure("fig14b")
     cc = table.get("concord_pct").values
     # No redundancy -> overhead over raw is minuscule (paper: ~100%).
     for c in cc:

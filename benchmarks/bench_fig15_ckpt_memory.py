@@ -5,12 +5,9 @@ raw < ConCORD < raw+gzip, with ConCORD a small constant over raw and gzip
 an order of magnitude above.
 """
 
-from repro.harness import run_fig15
 
-
-def test_fig15_checkpoint_time_vs_memory(run_once, emit):
-    table = run_once(run_fig15)
-    emit(table, "fig15")
+def test_fig15_checkpoint_time_vs_memory(figure):
+    table = figure("fig15")
     mem = table.x_values
     raw = table.get("raw_ms").values
     cc = table.get("concord_ms").values

@@ -7,12 +7,9 @@ awareness and exploitation of memory content redundancy ... is a
 constant".
 """
 
-from repro.harness import run_fig16
 
-
-def test_fig16_checkpoint_time_vs_nodes(run_once, emit):
-    table = run_once(run_fig16)
-    emit(table, "fig16")
+def test_fig16_checkpoint_time_vs_nodes(figure):
+    table = figure("fig16")
     raw = table.get("raw_ms").values
     cc = table.get("concord_ms").values
     rgz = table.get("raw_gzip_ms").values

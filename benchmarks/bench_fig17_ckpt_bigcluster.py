@@ -4,12 +4,9 @@ Paper claim: "The response time is virtually constant (within a factor of
 two) from 1 to 128 nodes."
 """
 
-from repro.harness import run_fig17
 
-
-def test_fig17_checkpoint_bigcluster(run_once, emit):
-    table = run_once(run_fig17)
-    emit(table, "fig17")
+def test_fig17_checkpoint_bigcluster(figure):
+    table = figure("fig17")
     vals = table.get("response_ms").values
     assert max(vals) < 2.0 * min(vals)
     # Paper's regime: roughly a second or two per checkpoint of 1 GB/node.

@@ -5,12 +5,9 @@ MD5 costs 6.4% CPU at a 2 s scan period and 2.6% at 5 s; SuperFastHash
 2.2% and <1%; update traffic ~1% of the outgoing link bandwidth.
 """
 
-from repro.harness import run_monitor_overhead
 
-
-def test_monitor_overhead_matches_sec52(run_once, emit):
-    table = run_once(run_monitor_overhead)
-    emit(table, "monitor_overhead")
+def test_monitor_overhead_matches_sec52(figure):
+    table = figure("monitor", out="monitor_overhead")
     periods = table.x_values
     md5 = table.get("md5_cpu_pct").values
     sfh = table.get("sfh_cpu_pct").values

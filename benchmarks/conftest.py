@@ -1,48 +1,58 @@
-"""Benchmark support: run a figure's runner once under pytest-benchmark,
-print its table, and archive it under benchmarks/results/.
+"""Benchmark support: run figure specs through the shared BenchRunner.
+
+Every file here exercises one :data:`repro.harness.benchsuite.
+FIGURE_SPECS` entry via the ``figure`` fixture, which
+
+* runs the spec once under pytest-benchmark (timing in its own table),
+* prints the regenerated paper table (visible with ``-s``) and archives
+  it under ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md,
+* and, when ``BENCH_TRAJECTORY`` names a file, appends the run's
+  schema-versioned record there — the same time series ``repro bench``
+  writes (docs/BENCHMARKS.md).
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
-
-Timing statistics go to pytest-benchmark's own table; the regenerated
-paper tables are printed (visible with ``-s``) and always written to
-``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.harness.benchsuite import FIGURE_SPECS
+from repro.obs.bench import BenchRunner, append_records
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-
-@pytest.fixture
-def emit():
-    """Print a Table and archive it under benchmarks/results/."""
-
-    def _emit(table, name: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        text = table.render()
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print()
-        print(text)
-
-    return _emit
+_RUNNER = BenchRunner()
 
 
 @pytest.fixture
-def run_once(benchmark):
-    """Run a figure runner exactly once under the benchmark fixture.
+def figure(benchmark):
+    """Run one figure spec; archive + print its Table and return it.
 
-    Figure runners are full experiments (seconds each), so one round is
-    the right cadence; pytest-benchmark still records the duration.
+    ``figure("fig05", sizes=(...), reps=...)`` runs ``FIGURE_SPECS
+    ["fig05"]`` with those param overrides.  ``out`` renames the archived
+    file when it differs from the spec key (e.g. ``monitor`` ->
+    ``monitor_overhead.txt``).
     """
 
-    def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  iterations=1, rounds=1)
+    def _run(name: str, out: str | None = None, **params):
+        spec = FIGURE_SPECS[name]
+        record, table = benchmark.pedantic(
+            lambda: _RUNNER.run_spec(spec, **params),
+            iterations=1, rounds=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{out or name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        trajectory = os.environ.get("BENCH_TRAJECTORY")
+        if trajectory:
+            append_records(trajectory, [record])
+        return table
 
     return _run

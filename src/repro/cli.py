@@ -9,6 +9,13 @@ Usage::
     python -m repro info                     # testbeds and calibration
     python -m repro trace --out traces/      # traced null command + artifacts
     python -m repro trace fig10 --out t/     # trace any experiment's runs
+    python -m repro bench --quick            # seconds-scale benchmark tier
+    python -m repro bench --quick --compare baselines/ci.json --budget 25%
+    python -m repro bench --selftest         # prove the regression gate trips
+
+``bench`` appends one schema-versioned record per spec to
+``BENCH_trajectory.json`` and, with ``--compare``, exits 1 when a gated
+metric regresses past the budget (docs/BENCHMARKS.md).
 
 Exit status is non-zero on unknown experiment names, so the CLI is usable
 from shell scripts and CI.
@@ -54,6 +61,46 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--out", type=Path, default=Path("traces"),
                     help="directory for .trace.json / .jsonl / metrics "
                          "artifacts (default: traces/)")
+    tr.add_argument("--profile", action="store_true",
+                    help="also attach the phase profiler and export "
+                         "hotspot + folded-stack artifacts")
+
+    be = sub.add_parser(
+        "bench", help="run the benchmark suite, track and gate regressions")
+    tier = be.add_mutually_exclusive_group()
+    tier.add_argument("--quick", action="store_true",
+                      help="seconds-scale tier (the per-PR CI tier)")
+    tier.add_argument("--full", action="store_true",
+                      help="quick tier plus the minutes-scale sweeps")
+    be.add_argument("--list", action="store_true", dest="list_specs",
+                    help="list registered benchmark specs and exit")
+    be.add_argument("--filter", default=None, metavar="SUBSTR",
+                    help="only run specs whose name contains SUBSTR")
+    be.add_argument("--compare", type=Path, default=None, metavar="BASELINE",
+                    help="compare against a baseline file; exit 1 on any "
+                         "gated metric past the budget")
+    be.add_argument("--budget", default="10%",
+                    help="allowed regression, e.g. '25%%' or '0.25' "
+                         "(default: 10%%)")
+    be.add_argument("--profile", action="store_true",
+                    help="profile each spec (one cProfile phase per spec) "
+                         "and export hotspot tables to --out")
+    be.add_argument("--out", type=Path, default=Path("bench-artifacts"),
+                    help="directory for hotspot/folded artifacts "
+                         "(default: bench-artifacts/)")
+    be.add_argument("--trajectory", type=Path,
+                    default=Path("BENCH_trajectory.json"),
+                    help="time-series file records are appended to "
+                         "(default: ./BENCH_trajectory.json)")
+    be.add_argument("--no-trajectory", action="store_true",
+                    help="do not append this run to the trajectory file")
+    be.add_argument("--write-baseline", type=Path, default=None,
+                    metavar="PATH",
+                    help="write this run as a baseline file (one record "
+                         "per spec)")
+    be.add_argument("--selftest", action="store_true",
+                    help="inject a synthetic 2x slowdown and verify the "
+                         "gate trips (exits 1 when it does — armed)")
     return p
 
 
@@ -121,14 +168,20 @@ def _dump_obs(obs, out_dir: Path, stem: str, out) -> None:
         obs.registry.report(stem).render() + "\n")
     print(f"[{stem}: {len(obs.tracer)} spans, {n_events} chrome events "
           f"-> {chrome}, {jsonl}]", file=out)
+    if obs.profiler.enabled and obs.profiler.phases:
+        for p in obs.profiler.write(out_dir, stem):
+            print(f"[{stem}: profile -> {p}]", file=out)
 
 
-def _cmd_trace(experiment: str | None, out_dir: Path, out) -> int:
+def _cmd_trace(experiment: str | None, out_dir: Path, profile: bool,
+               out) -> int:
     from repro.harness.trace import run_traced_experiment, run_traced_null
+    from repro.obs import ObsConfig
 
+    obs_cfg = ObsConfig(trace=True, profile=profile)
     out_dir.mkdir(parents=True, exist_ok=True)
     if experiment is None:
-        table, _result, obs = run_traced_null()
+        table, _result, obs = run_traced_null(obs_config=obs_cfg)
         print(table.render(), file=out)
         _dump_obs(obs, out_dir, "null", out)
         return 0
@@ -136,13 +189,104 @@ def _cmd_trace(experiment: str | None, out_dir: Path, out) -> int:
         print(f"error: unknown experiment {experiment!r}; "
               f"try 'repro list'", file=sys.stderr)
         return 2
-    table, cap = run_traced_experiment(experiment)
+    table, cap = run_traced_experiment(experiment, obs_config=obs_cfg)
     print(table.render(), file=out)
     for i, obs in enumerate(cap.runs):
         _dump_obs(obs, out_dir, f"{experiment}.run{i:03d}", out)
     if not cap.runs:
         print(f"[{experiment}: no ConCORD instances built; "
               "nothing to trace]", file=out)
+    return 0
+
+
+def _parse_budget(text: str) -> float:
+    """'25%' or '0.25' -> 0.25 (bare numbers above 1 are percentages)."""
+    s = text.strip().rstrip("%")
+    try:
+        val = float(s)
+    except ValueError:
+        raise SystemExit(f"error: invalid --budget {text!r}; "
+                         "use e.g. '25%' or '0.25'") from None
+    if text.strip().endswith("%") or val > 1.0:
+        val /= 100.0
+    if val < 0:
+        raise SystemExit(f"error: --budget must be non-negative, got {text!r}")
+    return val
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.harness.benchsuite import build_default_runner
+    from repro.obs import ProfileSession
+    from repro.obs.bench import (BaselineError, append_records, compare,
+                                 diff_table, gate_selftest, load_baseline,
+                                 write_baseline)
+
+    budget = _parse_budget(args.budget)
+    if args.selftest:
+        tripped, table = gate_selftest(budget)
+        print(table.render(), file=out)
+        if tripped:
+            print("[gate self-test: the injected 2x slowdown tripped the "
+                  "gate — exiting 1 to prove it is armed]", file=out)
+            return 1
+        print("error: gate self-test FAILED — the injected slowdown did "
+              "not trip the gate", file=sys.stderr)
+        return 2
+
+    runner = build_default_runner()
+    if args.list_specs:
+        names = runner.names("figure") if args.filter == "figure" \
+            else runner.names()
+        width = max(len(n) for n in names)
+        for name in names:
+            spec = runner.specs[name]
+            print(f"{name:<{width}}  [{spec.tier}] {spec.doc}", file=out)
+        return 0
+
+    baseline = None
+    if args.compare is not None:
+        try:                     # fail fast, before any benchmark runs
+            baseline = load_baseline(args.compare)
+        except BaselineError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+
+    tier = "full" if args.full else "quick"
+    profiler = ProfileSession() if args.profile else None
+    t0 = time.perf_counter()
+    records = runner.run(
+        tier=tier, filter_substr=args.filter, profiler=profiler,
+        progress=lambda n, rec: print(
+            f"[{n}: {rec['runtime_s']:.3f}s, "
+            f"{len(rec['metrics'])} metrics]", file=out))
+    if not records:
+        print(f"error: no benchmarks match --filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+    print(f"[{len(records)} benchmark(s) in "
+          f"{time.perf_counter() - t0:.1f}s, tier={tier}]", file=out)
+
+    if not args.no_trajectory:
+        doc = append_records(args.trajectory, records)
+        print(f"[trajectory: {args.trajectory} now holds "
+              f"{len(doc['records'])} record(s)]", file=out)
+    if profiler is not None:
+        for p in profiler.write(args.out, f"bench-{tier}"):
+            print(f"[profile -> {p}]", file=out)
+    if args.write_baseline is not None:
+        p = write_baseline(args.write_baseline, records)
+        print(f"[baseline written: {p}]", file=out)
+
+    if baseline is not None:
+        diffs = compare(records, baseline, budget)
+        print(diff_table(diffs, budget).render(), file=out)
+        failures = [d for d in diffs if d.regressed]
+        if failures:
+            print(f"error: {len(failures)} metric(s) regressed past the "
+                  f"{budget:.0%} budget (see table above)", file=sys.stderr)
+            return 1
+        print(f"[gate: OK, no gated metric worse than {budget:.0%} "
+              f"of {args.compare}]", file=out)
     return 0
 
 
@@ -169,7 +313,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
         if args.command == "info":
             return _cmd_info(out)
         if args.command == "trace":
-            return _cmd_trace(args.experiment, args.out, out)
+            return _cmd_trace(args.experiment, args.out, args.profile, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
     except BrokenPipeError:  # e.g. `repro run all | head`
         return 0
     raise AssertionError("unreachable")  # pragma: no cover

@@ -264,9 +264,16 @@ class ConCORD:
         in chrome://tracing or Perfetto); ``fmt="jsonl"`` the byte-
         deterministic one-span-per-line form.  With ``path`` the trace is
         written there and the path returned; without, the document (dict)
-        or text is returned directly.
+        or text is returned directly.  A trace truncated at the span
+        limit warns — the export is incomplete, not merely small.
         """
         tracer = self.obs.tracer
+        if tracer.dropped:
+            warnings.warn(
+                f"trace is incomplete: {tracer.dropped} span(s) were "
+                f"dropped at trace_limit={tracer.limit}; raise "
+                "ObsConfig.trace_limit to capture the full run",
+                RuntimeWarning, stacklevel=2)
         if fmt == "chrome":
             return (tracer.write_chrome_trace(path) if path is not None
                     else tracer.to_chrome_trace())
@@ -275,3 +282,16 @@ class ConCORD:
                     else tracer.to_jsonl())
         raise ValueError(f"unknown trace format {fmt!r} "
                          "(expected 'chrome' or 'jsonl')")
+
+    def profile_report(self, top_n: int | None = None) -> Table:
+        """Hotspot table from the attached phase profiler.
+
+        Requires ``ObsConfig(profile=True)``; raises ``RuntimeError``
+        otherwise (the null profiler records nothing, so a silent empty
+        table would be misleading).
+        """
+        prof = self.obs.profiler
+        if not prof.enabled:
+            raise RuntimeError("profiling is off; build with "
+                               "ConCORDConfig(obs=ObsConfig(profile=True))")
+        return prof.hotspots(top_n=top_n)

@@ -31,18 +31,22 @@ _PHASES = ("init", "collective", "local", "teardown")
 
 def run_traced_null(n_nodes: int = 4, pages_per_entity: int = 2048,
                     n_represented: int = 64, seed: int = 3,
-                    mode: ExecMode | str = ExecMode.INTERACTIVE):
+                    mode: ExecMode | str = ExecMode.INTERACTIVE,
+                    obs_config: ObsConfig | None = None):
     """One traced null command.
 
     Returns ``(table, result, obs)``: the per-phase span-vs-bookkeeping
     table, the :class:`~repro.core.executor.CommandResult`, and the
     :class:`~repro.obs.Observability` whose tracer holds the trace.
+    Pass ``obs_config`` to also profile (``ObsConfig(trace=True,
+    profile=True)``); the default only traces.
     """
     cluster = Cluster(n_nodes, cost=NEW_CLUSTER, seed=seed)
     entities = workloads.instantiate(
         cluster, workloads.moldy(n_nodes, pages_per_entity, seed=seed))
-    concord = ConCORD(cluster, ConCORDConfig(n_represented=n_represented,
-                                             obs=ObsConfig(trace=True)))
+    concord = ConCORD(cluster, ConCORDConfig(
+        n_represented=n_represented,
+        obs=obs_config or ObsConfig(trace=True)))
     concord.initial_scan()
     eids = [e.entity_id for e in entities]
     result = concord.execute_command(NullService(), ServiceScope.of(eids),

@@ -88,17 +88,25 @@ class Gauge:
 #: Default histogram bucket upper bounds: simulated seconds, 1 us .. 100 s.
 DEFAULT_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
 
+#: Observations kept verbatim for exact quantiles; past this cap the
+#: quantile accessors fall back to bucket interpolation.
+QUANTILE_SAMPLE_CAP = 4096
+
 
 class Histogram:
-    """Distribution summary: count/sum/min/max plus fixed buckets.
+    """Distribution summary: count/sum/min/max, buckets, and quantiles.
 
     Buckets are cumulative-style upper bounds (the last bucket is
-    overflow), good enough to see where scan times or phase walls land
-    without keeping every observation.
+    overflow).  The first :data:`QUANTILE_SAMPLE_CAP` observations are
+    also kept verbatim, so :meth:`quantile` is *exact* (NumPy
+    linear-interpolation semantics) for every histogram that stays under
+    the cap — which all of ours do — and degrades to a bucket-edge
+    interpolation estimate beyond it.
     """
 
     kind = "histogram"
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max",
+                 "samples")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
         self.bounds = tuple(bounds)
@@ -107,6 +115,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -116,6 +125,8 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        if len(self.samples) < QUANTILE_SAMPLE_CAP:
+            self.samples.append(v)
         for i, bound in enumerate(self.bounds):
             if v <= bound:
                 self.bucket_counts[i] += 1
@@ -126,12 +137,61 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The q-quantile (``q`` in [0, 1]) of the observed distribution.
+
+        Exact (matching ``numpy.percentile``'s default linear
+        interpolation) while the observation count is within
+        :data:`QUANTILE_SAMPLE_CAP`; a bucket-interpolated estimate
+        clamped to ``[min, max]`` beyond it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if self.count <= len(self.samples):
+            s = sorted(self.samples)
+            pos = q * (len(s) - 1)
+            lo = int(pos)
+            frac = pos - lo
+            if frac == 0.0 or lo + 1 >= len(s):
+                return s[lo]
+            return s[lo] + frac * (s[lo + 1] - s[lo])
+        # Bucket estimate: find the bucket holding rank q*count and
+        # interpolate linearly between its bounds.
+        target = q * self.count
+        cum = 0
+        prev_bound = self.min
+        for i, n in enumerate(self.bucket_counts):
+            upper = (self.bounds[i] if i < len(self.bounds) else self.max)
+            if n and cum + n >= target:
+                frac = (target - cum) / n
+                est = prev_bound + frac * (upper - prev_bound)
+                return min(max(est, self.min), self.max)
+            cum += n
+            if n:
+                prev_bound = upper
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples.clear()
 
     def snapshot(self) -> dict:
         return {
@@ -140,6 +200,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "buckets": list(self.bucket_counts),
         }
 
@@ -245,17 +308,27 @@ class MetricsRegistry:
 
         One row per metric; ``value`` is the counter/gauge value or the
         histogram total, ``n`` the histogram observation count (0 for
-        scalar metrics).
+        scalar metrics), and ``p50``/``p95``/``p99`` the histogram
+        quantiles (0 for scalar metrics).
         """
         t = Table(title, "metric")
         s_val = t.add_series("value")
         s_n = t.add_series("n")
+        s_p50 = t.add_series("p50")
+        s_p95 = t.add_series("p95")
+        s_p99 = t.add_series("p99")
         for name, key, m in self.collect():
             t.x_values.append(name + _labels_str(key))
             if isinstance(m, Histogram):
                 s_val.append(m.total)
                 s_n.append(m.count)
+                s_p50.append(m.p50)
+                s_p95.append(m.p95)
+                s_p99.append(m.p99)
             else:
                 s_val.append(m.value)
                 s_n.append(0)
+                s_p50.append(0.0)
+                s_p95.append(0.0)
+                s_p99.append(0.0)
         return t

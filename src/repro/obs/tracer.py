@@ -102,6 +102,9 @@ class SpanTracer:
         self.limit = limit
         self.spans: list[Span] = []
         self.dropped = 0          # spans not recorded because limit was hit
+        #: Optional registry counter (``obs.trace.dropped``) bumped on
+        #: every drop, so the loss is visible in metrics reports too.
+        self.drop_counter = None
         self._stack: list[Span] = []
 
     # -- recording ---------------------------------------------------------------
@@ -109,6 +112,8 @@ class SpanTracer:
     def _record(self, span: Span) -> Span:
         if len(self.spans) >= self.limit:
             self.dropped += 1
+            if self.drop_counter is not None:
+                self.drop_counter.inc()
             return span
         span.seq = len(self.spans)
         self.spans.append(span)

@@ -55,13 +55,12 @@ class TestFilesExist:
             assert any(fig.replace("fig", "fig") in b for b in bench_files), fig
 
     def test_all_experiments_have_bench_or_table_coverage(self):
+        # Benchmarks request experiments by key through the shared
+        # `figure` fixture, e.g. figure("fig05", ...).
         bench_text = "".join(p.read_text()
                              for p in (ROOT / "benchmarks").glob("bench_*.py"))
         for name in ALL_EXPERIMENTS:
-            fn = ALL_EXPERIMENTS[name].__name__
-            # fig14a/b are thin aliases over run_fig14(workload=...).
-            base = fn.rstrip("ab")
-            assert fn in bench_text or base in bench_text, \
+            assert f'"{name}"' in bench_text, \
                 f"experiment {name} has no benchmark"
 
 

@@ -2,9 +2,11 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import QUANTILE_SAMPLE_CAP
 
 
 class TestLabels:
@@ -78,6 +80,76 @@ class TestKinds:
         assert h.mean == pytest.approx(52.5 / 3)
         assert h.bucket_counts == [1, 1, 1]
         assert h.min == 0.5 and h.max == 50.0
+
+
+class TestQuantiles:
+    def test_matches_numpy_percentile_exactly(self):
+        """Under the sample cap the quantiles are exact — pinned against
+        the NumPy linear-interpolation reference (ISSUE satellite)."""
+        rng = np.random.default_rng(7)
+        vals = rng.lognormal(mean=-2.0, sigma=1.5, size=1000)
+        h = Histogram()
+        for v in vals:
+            h.observe(v)
+        for q in (0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(
+                np.percentile(vals, q * 100), rel=1e-12)
+        assert h.p50 == pytest.approx(np.percentile(vals, 50))
+        assert h.p95 == pytest.approx(np.percentile(vals, 95))
+        assert h.p99 == pytest.approx(np.percentile(vals, 99))
+
+    def test_small_histograms(self):
+        h = Histogram()
+        h.observe(3.0)
+        assert h.p50 == h.p99 == 3.0
+        h.observe(1.0)
+        assert h.p50 == pytest.approx(2.0)  # numpy midpoint semantics
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().p50 == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().quantile(-0.1)
+
+    def test_beyond_cap_estimate_is_bounded_and_sane(self):
+        rng = np.random.default_rng(3)
+        vals = rng.exponential(scale=0.01, size=QUANTILE_SAMPLE_CAP + 5000)
+        h = Histogram()
+        for v in vals:
+            h.observe(v)
+        assert h.count > QUANTILE_SAMPLE_CAP  # estimation regime
+        for q in (0.50, 0.95, 0.99):
+            est = h.quantile(q)
+            ref = float(np.percentile(vals, q * 100))
+            assert h.min <= est <= h.max
+            # Bucket interpolation lands in the right decade bucket, so
+            # the estimate is order-of-magnitude correct; with skewed
+            # mass inside a decade-wide bucket it can be a few-x off.
+            assert ref / 4 <= est <= ref * 4, (q, est, ref)
+        # Quantiles are monotone in q even in the estimation regime.
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_reset_clears_samples(self):
+        h = Histogram()
+        h.observe(5.0)
+        h.reset()
+        assert h.samples == [] and h.p50 == 0.0
+
+    def test_snapshot_and_report_carry_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = reg.snapshot()["lat"]
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p95"] == pytest.approx(95.05)
+        assert snap["p99"] == pytest.approx(99.01)
+        text = reg.report("m").render()
+        assert "p50" in text and "p95" in text and "p99" in text
 
 
 class TestLifecycle:

@@ -1,10 +1,11 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_budget, build_parser, main
 from repro.harness import ALL_EXPERIMENTS
 
 
@@ -82,6 +83,92 @@ class TestTrace:
         assert code == 2
 
 
+class TestBench:
+    """CLI surface of the benchmark harness and regression gate."""
+
+    # The cheapest quick-tier spec (~0.1s); everything run-based below
+    # filters down to it so the CLI tests stay fast.
+    SPEC = "monitor.scan"
+
+    def _bench(self, *argv):
+        return run_cli("bench", "--no-trajectory", *argv)
+
+    def test_list_names_specs_with_tier(self):
+        code, out = run_cli("bench", "--list")
+        assert code == 0
+        assert "cmd.null" in out and "[quick]" in out
+        assert "hotpaths.collective_scan.1m" in out and "[full]" in out
+
+    def test_selftest_trips_gate_and_exits_1(self):
+        code, out = run_cli("bench", "--selftest")
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_filter_without_match_exits_2(self):
+        code, _out = self._bench("--quick", "--filter", "zzz-no-such")
+        assert code == 2
+
+    def test_quick_run_appends_schema_valid_trajectory(self, tmp_path):
+        traj = tmp_path / "traj.json"
+        code, out = run_cli("bench", "--quick", "--filter", self.SPEC,
+                            "--trajectory", str(traj))
+        assert code == 0
+        assert self.SPEC in out
+        doc = json.loads(traj.read_text())
+        assert doc["schema"] == 1
+        (rec,) = doc["records"]
+        assert rec["name"] == self.SPEC
+        assert rec["metrics"]
+        for key in ("python", "numpy", "machine", "git_sha"):
+            assert key in rec["env"]
+
+    def test_compare_missing_baseline_fails_fast(self, tmp_path):
+        code, out = self._bench("--quick", "--compare",
+                                str(tmp_path / "nope.json"))
+        assert code == 2
+        assert "benchmark(s)" not in out  # failed before running anything
+
+    def test_compare_malformed_baseline_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, _out = self._bench("--quick", "--compare", str(bad))
+        assert code == 2
+
+    def test_compare_old_schema_baseline_exits_2(self, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps({"schema": 0, "records": []}))
+        code, _out = self._bench("--quick", "--compare", str(old))
+        assert code == 2
+
+    def test_write_baseline_then_compare_passes(self, tmp_path):
+        base = tmp_path / "base.json"
+        code, _out = self._bench("--quick", "--filter", self.SPEC,
+                                 "--write-baseline", str(base))
+        assert code == 0
+        code, out = self._bench("--quick", "--filter", self.SPEC,
+                                "--compare", str(base))
+        assert code == 0
+        assert "[gate: OK" in out
+
+    def test_doctored_baseline_trips_gate(self, tmp_path):
+        base = tmp_path / "base.json"
+        code, _out = self._bench("--quick", "--filter", self.SPEC,
+                                 "--write-baseline", str(base))
+        assert code == 0
+        # Doctor every gated metric so the fresh run looks 2x worse.
+        doc = json.loads(base.read_text())
+        for rec in doc["records"]:
+            for m in rec["metrics"].values():
+                if m["gated"]:
+                    m["value"] = (m["value"] * 2 if m["higher_is_better"]
+                                  else m["value"] / 2)
+        base.write_text(json.dumps(doc))
+        code, out = self._bench("--quick", "--filter", self.SPEC,
+                                "--compare", str(base), "--budget", "25%")
+        assert code == 1
+        assert "REGRESSION" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -90,3 +177,14 @@ class TestParser:
     def test_run_requires_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
+
+    def test_budget_formats(self):
+        assert _parse_budget("25%") == pytest.approx(0.25)
+        assert _parse_budget("0.25") == pytest.approx(0.25)
+        assert _parse_budget("30") == pytest.approx(0.30)
+
+    def test_budget_invalid(self):
+        with pytest.raises(SystemExit):
+            _parse_budget("abc")
+        with pytest.raises(SystemExit):
+            _parse_budget("-5%")
