@@ -12,6 +12,8 @@ Usage::
     python -m repro bench --quick            # seconds-scale benchmark tier
     python -m repro bench --quick --compare baselines/ci.json --budget 25%
     python -m repro bench --selftest         # prove the regression gate trips
+    python -m repro serve --clients 16 --duration 0.5   # serving frontend
+    python -m repro serve --closed --verify-cache --expect-coalescing
 
 ``bench`` appends one schema-versioned record per spec to
 ``BENCH_trajectory.json`` and, with ``--compare``, exits 1 when a gated
@@ -101,6 +103,47 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--selftest", action="store_true",
                     help="inject a synthetic 2x slowdown and verify the "
                          "gate trips (exits 1 when it does — armed)")
+
+    sv = sub.add_parser(
+        "serve", help="drive simulated client traffic through the "
+                      "query-serving frontend (docs/SERVING.md)")
+    sv.add_argument("--clients", type=int, default=16,
+                    help="simulated clients (default: 16)")
+    sv.add_argument("--duration", type=float, default=0.5,
+                    help="simulated seconds of traffic (default: 0.5)")
+    sv.add_argument("--nodes", type=int, default=4,
+                    help="cluster size (default: 4)")
+    sv.add_argument("--pages", type=int, default=256,
+                    help="pages per entity in the traced workload "
+                         "(default: 256)")
+    sv.add_argument("--closed", action="store_true",
+                    help="closed-loop clients (default: open-loop Poisson)")
+    sv.add_argument("--rate", type=float, default=2000.0,
+                    help="open-loop submits/s per client (default: 2000)")
+    sv.add_argument("--think", type=float, default=0.0,
+                    help="closed-loop think time in seconds (default: 0)")
+    sv.add_argument("--zipf", type=float, default=1.2,
+                    help="hot-key popularity skew (default: 1.2)")
+    sv.add_argument("--population", type=int, default=128,
+                    help="hot content hashes queried (default: 128)")
+    sv.add_argument("--churn", type=float, default=0.0,
+                    help="client replacements per second (default: 0)")
+    sv.add_argument("--queue-limit", type=int, default=256,
+                    help="bounded admission queue per QoS class "
+                         "(default: 256)")
+    sv.add_argument("--rate-limit", type=float, default=None,
+                    help="token-bucket admission limit, total qps "
+                         "(default: off)")
+    sv.add_argument("--no-cache", action="store_true",
+                    help="disable the update-epoch result cache")
+    sv.add_argument("--verify-cache", action="store_true",
+                    help="shadow-execute every cache hit; exit 1 on any "
+                         "correctness violation")
+    sv.add_argument("--expect-coalescing", action="store_true",
+                    help="exit 1 unless at least one request coalesced "
+                         "(CI smoke assertion)")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="workload and traffic seed (default: 0)")
     return p
 
 
@@ -290,6 +333,54 @@ def _cmd_bench(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.core.concord import ConCORD
+    from repro.core.config import ConCORDConfig
+    from repro.serve.config import ServeConfig
+    from repro.sim.cluster import Cluster
+    from repro.workloads import TrafficSpec, instantiate, moldy
+
+    try:
+        cfg = ServeConfig(queue_limit=args.queue_limit,
+                          rate_limit_qps=args.rate_limit,
+                          cache=not args.no_cache,
+                          verify_cache=args.verify_cache)
+        spec = TrafficSpec(
+            n_clients=args.clients, duration_s=args.duration,
+            arrival="closed" if args.closed else "poisson",
+            rate_per_client=args.rate, think_time_s=args.think,
+            zipf_s=args.zipf, population=args.population,
+            churn_rate=args.churn, seed=args.seed)
+        if args.nodes < 2:
+            raise ValueError("--nodes must be >= 2")
+        if args.pages < 1:
+            raise ValueError("--pages must be >= 1")
+    except ValueError as e:
+        print(f"error: {e}", file=out)
+        return 2
+
+    cluster = Cluster(n_nodes=args.nodes, cost="new-cluster", seed=args.seed)
+    instantiate(cluster, moldy(args.nodes, args.pages, seed=args.seed))
+    concord = ConCORD(cluster, ConCORDConfig(use_network=False, serve=cfg))
+    concord.initial_scan()
+    report = concord.serve(spec)
+    print(report.summary_table().render(), file=out)
+
+    status = 0
+    if args.verify_cache:
+        if report.cache_violations:
+            print(f"FAIL: {report.cache_violations} cache correctness "
+                  f"violation(s)", file=out)
+            status = 1
+        else:
+            print("cache verify: every hit matched fresh execution",
+                  file=out)
+    if args.expect_coalescing and report.coalesced == 0:
+        print("FAIL: expected request coalescing, saw none", file=out)
+        status = 1
+    return status
+
+
 def _cmd_info(out) -> int:
     for name, cm in TESTBEDS.items():
         print(f"{name}: {cm.n_nodes} nodes, "
@@ -316,6 +407,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_trace(args.experiment, args.out, args.profile, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
     except BrokenPipeError:  # e.g. `repro run all | head`
         return 0
     raise AssertionError("unreachable")  # pragma: no cover

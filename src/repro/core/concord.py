@@ -32,7 +32,9 @@ from repro.sim.cluster import Cluster
 from repro.util.stats import Table
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.frontend import QueryFrontend, ServeReport
     from repro.sim.faults import FaultInjector, FaultPlan
+    from repro.workloads.traffic import TrafficSpec
 
 __all__ = ["ConCORD"]
 
@@ -105,6 +107,8 @@ class ConCORD:
         self.executor = ServiceCommandExecutor(cluster, self.tracing,
                                                cfg.n_represented,
                                                obs=self.obs)
+        self._frontend: QueryFrontend | None = None
+        self._last_traffic = None
         for entity in cluster.entities.values():
             self.attach_entity(entity)
         if cap is not None:
@@ -125,8 +129,7 @@ class ConCORD:
         """Stop tracking an entity and purge it from every shard."""
         node = self.cluster.node_of(entity_id)
         self.nsms[node].detach_entity(entity_id)
-        for shard in self.tracing.shards:
-            shard.remove_entity(entity_id)
+        self.tracing.remove_entity(entity_id)
 
     # -- memory update interface ---------------------------------------------------------
 
@@ -222,6 +225,39 @@ class ConCORD:
 
     def degree_of_sharing(self, entity_ids: list[int], **kw) -> QueryResult:
         return self.queries.degree_of_sharing(entity_ids, **kw)
+
+    # -- query serving (docs/SERVING.md) ------------------------------------------------------
+
+    def frontend(self, cfg=None) -> "QueryFrontend":
+        """The query-serving frontend (admission control, batching, and
+        the update-epoch result cache) in front of :attr:`queries`.
+
+        One frontend per instance, created on first use from
+        ``config.serve`` (or the ``cfg`` override on the first call); it
+        shares the platform registry/tracer, so ``serve.*`` metrics land
+        in :meth:`metrics_report`.
+        """
+        from repro.serve.frontend import QueryFrontend
+        if self._frontend is None:
+            self._frontend = QueryFrontend(
+                self.cluster, self.queries,
+                cfg if cfg is not None else self.config.serve, obs=self.obs)
+        elif cfg is not None and cfg != self._frontend.cfg:
+            raise ValueError("frontend already built with a different "
+                             "ServeConfig")
+        return self._frontend
+
+    def serve(self, spec: "TrafficSpec", cfg=None,
+              keep_responses: bool = False) -> "ServeReport":
+        """Drive a :class:`~repro.workloads.traffic.TrafficSpec` request
+        stream through :meth:`frontend` to completion; returns the
+        :class:`~repro.serve.frontend.ServeReport`."""
+        from repro.workloads.traffic import TrafficDriver
+        driver = TrafficDriver(self.frontend(cfg), spec,
+                               keep_responses=keep_responses)
+        report = driver.run()
+        self._last_traffic = driver
+        return report
 
     # -- command controller (Fig 1) ------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.memory.monitor import MonitorMode
 from repro.obs import ObsConfig
+from repro.serve.config import ServeConfig
 
 __all__ = ["ConCORDConfig"]
 
@@ -48,6 +49,10 @@ class ConCORDConfig:
         Observability section (:class:`~repro.obs.ObsConfig`): the metrics
         registry is always on; ``obs.trace`` turns on sim-time span tracing
         (see docs/OBSERVABILITY.md).
+    serve:
+        Query-serving section (:class:`~repro.serve.config.ServeConfig`):
+        admission control, batching windows, and the update-epoch result
+        cache used by ``ConCORD.frontend()`` (see docs/SERVING.md).
     """
 
     use_network: bool = False
@@ -58,6 +63,7 @@ class ConCORDConfig:
     update_batch_size: int | None = None
     update_transport: str = "udp"
     obs: ObsConfig = field(default_factory=ObsConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
 
     def replace(self, **changes) -> ConCORDConfig:
         """Functional update (`dataclasses.replace` as a method)."""

@@ -127,8 +127,44 @@ class ContentTracingEngine:
         # Per-primary-range data availability: range r (hashes whose
         # primary node is r) is intact while a live shard holds its data.
         self._intact = np.ones(cluster.n_nodes, dtype=bool)
+        # Update epochs (docs/SERVING.md): one per shard, bumped on every
+        # mutation of that shard's content, plus a global epoch bumped on
+        # every mutation anywhere.  Routing/coverage changes (failover,
+        # rejoin, repair) bump *all* shards — they can re-home any hash
+        # and move `coverage`, both of which change answers that never
+        # touched the mutated shard.  The serve-layer result cache keys
+        # answers on these epochs and is thereby invalidated precisely
+        # when a covering shard advances.
+        self._epochs = np.zeros(cluster.n_nodes, dtype=np.int64)
+        self._global_epoch = 0
         for node, shard in zip(cluster.nodes, self.shards):
             node.dht = shard
+
+    # -- update epochs (docs/SERVING.md) ----------------------------------------------
+
+    def bump_epoch(self, shard: int) -> None:
+        """Record a content mutation of one shard."""
+        self._epochs[shard] += 1
+        self._global_epoch += 1
+
+    def bump_all_epochs(self) -> None:
+        """Record an event that may change any answer (failover, rejoin,
+        repair, wholesale clear): every shard's epoch advances."""
+        self._epochs += 1
+        self._global_epoch += 1
+
+    def shard_epoch(self, node: int) -> int:
+        """Epoch of one shard's content (monotone per mutation)."""
+        return int(self._epochs[node])
+
+    @property
+    def global_epoch(self) -> int:
+        """Monotone counter covering every shard mutation site-wide."""
+        return self._global_epoch
+
+    def epoch_vector(self) -> np.ndarray:
+        """Copy of the per-shard epoch vector (index = node id)."""
+        return self._epochs.copy()
 
     # -- update path -------------------------------------------------------------
 
@@ -200,6 +236,7 @@ class ContentTracingEngine:
                 shard.bulk_insert(hashes[idxs], eids[idxs])
             else:
                 shard.bulk_remove(hashes[idxs], eids[idxs])
+            self.bump_epoch(dst)
 
     def _apply_batch(self, batch: UpdateBatch) -> None:
         shard = self.shards[batch.dst_node]
@@ -218,6 +255,7 @@ class ContentTracingEngine:
                 np.fromiter((u[1] for u in batch.removes), dtype=np.int64,
                             count=n))
         self._c_applied.inc(len(batch.inserts) + len(batch.removes))
+        self.bump_epoch(batch.dst_node)
 
     # -- failure detection / failover (docs/FAULTS.md) ---------------------------------
 
@@ -236,6 +274,7 @@ class ContentTracingEngine:
         self._intact[lost] = False
         self.shards[node].clear()
         self.partition.set_alive(node, False)
+        self.bump_all_epochs()
         self._c_failovers.inc()
         tr = self.obs.tracer
         if tr.enabled:
@@ -259,6 +298,7 @@ class ContentTracingEngine:
             self._purge_ranges_at(int(owner), moved_ranges)
         self._intact[moved] = False
         self.shards[node].clear()
+        self.bump_all_epochs()
         self._c_rejoins.inc()
         tr = self.obs.tracer
         if tr.enabled:
@@ -364,6 +404,7 @@ class ContentTracingEngine:
                     self.shards[dst].bulk_insert(hs[idxs], entity.entity_id)
                     copies += len(idxs)
         self._intact[targets] = True
+        self.bump_all_epochs()
         self._c_repairs.inc()
         tr = self.obs.tracer
         if tr.enabled:
@@ -431,6 +472,15 @@ class ContentTracingEngine:
     def shard_sizes(self) -> list[int]:
         return [s.n_hashes for s in self.shards]
 
+    def remove_entity(self, entity_id: int) -> int:
+        """Purge an entity's entries from every shard (detach path);
+        returns rows touched.  Bumps every epoch — the entity's content
+        may have lived anywhere."""
+        touched = sum(s.remove_entity(entity_id) for s in self.shards)
+        self.bump_all_epochs()
+        return touched
+
     def clear(self) -> None:
         for s in self.shards:
             s.clear()
+        self.bump_all_epochs()

@@ -309,6 +309,64 @@ def _bench_update_network(ctx: BenchContext, _state) -> None:
     ctx.sim("sim_elapsed_s", cluster.engine.now)
 
 
+def _bench_serve_throughput(ctx: BenchContext, _state) -> None:
+    """Open-loop traffic through the serving frontend (docs/SERVING.md)."""
+    from repro.serve.config import ServeConfig
+    from repro.workloads import TrafficSpec
+
+    p = ctx.params
+    cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=3)
+    workloads.instantiate(cluster, workloads.moldy(p["n_nodes"],
+                                                   p["sim_pages"], seed=3))
+    concord = ConCORD(cluster, ConCORDConfig(use_network=False,
+                                             serve=ServeConfig()))
+    concord.initial_scan()
+    rep = concord.serve(TrafficSpec(
+        n_clients=p["clients"], duration_s=p["duration_s"],
+        arrival="poisson", rate_per_client=p["rate"], zipf_s=1.2,
+        population=128, seed=7))
+    ctx.sim("qps", rep.qps, unit="qps", higher_is_better=True)
+    ctx.count("completed", rep.completed)
+    ctx.count("coalesced", rep.coalesced)
+    ctx.sim("cache_hit_rate", rep.hit_rate, unit="frac",
+            higher_is_better=True)
+    ctx.sim("p95_interactive_s", rep.p95_latency_s.get("interactive", 0.0))
+
+
+def _bench_serve_cached_qps(ctx: BenchContext, _state) -> None:
+    """Closed-loop Zipfian traffic, cache off vs. on — the epoch cache's
+    simulated-throughput win (the PR 5 >= 5x acceptance claim)."""
+    from repro.serve.config import ServeConfig
+    from repro.workloads import TrafficSpec
+
+    p = ctx.params
+
+    def run(cache: bool):
+        cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=3)
+        workloads.instantiate(cluster, workloads.moldy(p["n_nodes"],
+                                                       p["sim_pages"],
+                                                       seed=3))
+        cfg = ServeConfig(cache=cache, interactive_window_s=5e-6,
+                          batch_window_s=5e-6)
+        concord = ConCORD(cluster, ConCORDConfig(use_network=False,
+                                                 serve=cfg))
+        concord.initial_scan()
+        return concord.serve(TrafficSpec(
+            n_clients=p["clients"], duration_s=p["duration_s"],
+            arrival="closed", zipf_s=1.5, population=64,
+            nodewise_frac=0.8, seed=7))
+
+    off = run(False)
+    on = run(True)
+    ctx.sim("uncached_qps", off.qps, unit="qps", higher_is_better=True)
+    ctx.sim("cached_qps", on.qps, unit="qps", higher_is_better=True)
+    ctx.sim("speedup", on.qps / off.qps if off.qps else 0.0, unit="x",
+            higher_is_better=True)
+    ctx.sim("cache_hit_rate", on.hit_rate, unit="frac",
+            higher_is_better=True)
+    ctx.count("coalesced", on.coalesced)
+
+
 # ---------------------------------------------------------------------------
 # Figure specs: the paper's evaluation through the same runner
 # ---------------------------------------------------------------------------
@@ -412,6 +470,17 @@ def build_default_runner() -> BenchRunner:
         "net.update_scan", _bench_update_network,
         params={"n_nodes": 16, "sim_pages": 1024, "R": 1024}, tier="full",
         doc="initial full scan over the simulated network (Fig 7 point)"))
+    r.register(BenchSpec(
+        "serve.throughput", _bench_serve_throughput,
+        params={"n_nodes": 4, "sim_pages": 256, "clients": 16,
+                "duration_s": 0.2, "rate": 2000.0}, tier="quick",
+        doc="open-loop client traffic through the serving frontend"))
+    r.register(BenchSpec(
+        "serve.cached_qps", _bench_serve_cached_qps,
+        params={"n_nodes": 4, "sim_pages": 256, "clients": 16,
+                "duration_s": 0.2}, tier="quick",
+        doc="epoch-cache throughput win, closed-loop Zipfian "
+            "(cache off vs on)"))
 
     for spec in FIGURE_SPECS.values():
         r.register(spec)

@@ -21,7 +21,7 @@ from repro.dht.engine import ContentTracingEngine
 from repro.sim.costmodel import CostModel
 
 __all__ = ["num_copies", "entities", "num_copies_batch", "entities_batch",
-           "NodewiseAnswer"]
+           "NodewiseAnswer", "answer_latency"]
 
 
 @dataclass(frozen=True)
@@ -35,8 +35,11 @@ class NodewiseAnswer:
     degraded: bool = False  # True when the answer may undercount
 
 
-def _latency(cost: CostModel, compute: float, issuing_node: int,
-             home_node: int, resp_bytes: int) -> float:
+def answer_latency(cost: CostModel, compute: float, issuing_node: int,
+                   home_node: int, resp_bytes: int) -> float:
+    """Modelled node-wise response latency (one request/response to the
+    home shard); public so the serving batcher can synthesize per-request
+    answers identical to the individual path."""
     if issuing_node == home_node:
         return compute
     return cost.rtt() + cost.tx_time(resp_bytes + 74) + compute
@@ -49,7 +52,7 @@ def num_copies(engine: ContentTracingEngine, cost: CostModel,
     shard = engine.shards[home]
     value = shard.num_copies(content_hash)
     compute = cost.query_compute_base
-    return NodewiseAnswer(value, _latency(cost, compute, issuing_node, home, 8),
+    return NodewiseAnswer(value, answer_latency(cost, compute, issuing_node, home, 8),
                           compute, coverage=engine.coverage,
                           degraded=not engine.range_intact(content_hash))
 
@@ -64,7 +67,7 @@ def entities(engine: ContentTracingEngine, cost: CostModel,
     compute = cost.query_compute_base * 1.6
     resp_bytes = 4 * len(ids) + 8
     return NodewiseAnswer(set(ids),
-                          _latency(cost, compute, issuing_node, home, resp_bytes),
+                          answer_latency(cost, compute, issuing_node, home, resp_bytes),
                           compute, coverage=engine.coverage,
                           degraded=not engine.range_intact(content_hash))
 
@@ -89,7 +92,7 @@ def num_copies_batch(engine: ContentTracingEngine, cost: CostModel,
         compute = cost.query_compute_base \
             + cost.query_scan_per_entry * (len(idx) - 1)
         total_compute += compute
-        latency = max(latency, _latency(cost, compute, issuing_node, home,
+        latency = max(latency, answer_latency(cost, compute, issuing_node, home,
                                         8 * len(idx)))
     return NodewiseAnswer(values, latency, total_compute,
                           coverage=engine.coverage,
@@ -123,7 +126,7 @@ def entities_batch(engine: ContentTracingEngine, cost: CostModel,
         compute = cost.query_compute_base * 1.6 \
             + cost.query_scan_per_entry * (len(idx) - 1)
         total_compute += compute
-        latency = max(latency, _latency(cost, compute, issuing_node, home,
+        latency = max(latency, answer_latency(cost, compute, issuing_node, home,
                                         4 * n_ids + 8))
     return NodewiseAnswer(values, latency, total_compute,
                           coverage=engine.coverage,

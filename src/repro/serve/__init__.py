@@ -1,0 +1,35 @@
+"""Query-serving frontend: admission control, batching/coalescing, and
+the update-epoch result cache (docs/SERVING.md).
+
+The passive :class:`~repro.queries.interface.QueryInterface` answers one
+query per call; this package turns it into a *service* for N simulated
+clients on the sim clock:
+
+* :mod:`repro.serve.admission` — token-bucket rate limiting and bounded
+  per-QoS queues; overload sheds with a typed :class:`Rejected` answer;
+* :mod:`repro.serve.batcher` — compatible node-wise queries coalesce onto
+  the bulk shard APIs, identical in-flight requests share one execution;
+* :mod:`repro.serve.cache` — answers keyed on (query, args, shard-epoch)
+  and invalidated precisely when a covering shard's epoch advances;
+* :mod:`repro.serve.frontend` — the event-driven frontend tying it all
+  together, with ``serve.*`` metrics and ``serve.batch`` spans.
+
+Entry points: ``ConCORD.frontend()`` / ``ConCORD.serve(traffic)`` on the
+facade, and ``repro serve`` on the CLI.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.batcher import bulk_answers
+from repro.serve.cache import CachedQueries, CacheViolation, EpochCache
+from repro.serve.config import ServeConfig
+from repro.serve.frontend import QueryFrontend, ServeReport
+from repro.serve.request import (ALL_OPS, COLLECTIVE_OPS, NODEWISE_OPS,
+                                 QoSClass, Rejected, RejectReason, Request,
+                                 Response)
+
+__all__ = [
+    "ServeConfig", "QoSClass", "RejectReason", "Rejected", "Request",
+    "Response", "NODEWISE_OPS", "COLLECTIVE_OPS", "ALL_OPS",
+    "TokenBucket", "AdmissionController", "EpochCache", "CachedQueries",
+    "CacheViolation", "bulk_answers", "QueryFrontend", "ServeReport",
+]

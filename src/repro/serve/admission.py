@@ -1,0 +1,90 @@
+"""Admission control: token-bucket rate limiting and bounded queues.
+
+The frontend admits a request only if (a) the token bucket — refilled on
+the *sim* clock, so behaviour is deterministic — has a token, and (b) the
+request's QoS queue has room.  Everything else is shed immediately with a
+typed :class:`~repro.serve.request.Rejected` answer; a loaded service that
+answers "no" in constant time beats one that melts (the backpressure story
+fine-grain data services need at scale).
+"""
+
+from __future__ import annotations
+
+from repro.serve.config import ServeConfig
+from repro.serve.request import (ALL_OPS, QoSClass, Rejected, RejectReason,
+                                 Request)
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Deterministic token bucket on an external clock.
+
+    ``rate`` tokens/second accrue continuously up to ``burst``; a take at
+    time *t* first credits the elapsed interval.  With ``rate=None`` the
+    bucket is disabled and every take succeeds.
+    """
+
+    def __init__(self, rate: float | None, burst: int) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available at sim time ``now``."""
+        if self.rate is None:
+            return True
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def time_to_token(self, now: float) -> float:
+        """Seconds from ``now`` until one token will be available."""
+        if self.rate is None:
+            return 0.0
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Decides admit / shed for each submitted request."""
+
+    def __init__(self, cfg: ServeConfig) -> None:
+        self.cfg = cfg
+        self.bucket = TokenBucket(cfg.rate_limit_qps, cfg.rate_burst)
+
+    def admit(self, req: Request, queue_depth: int,
+              now: float) -> Rejected | None:
+        """``None`` admits; otherwise the typed shed answer.
+
+        Queue capacity is checked before the rate limit so a full queue
+        does not consume tokens it cannot use.
+        """
+        if req.op not in ALL_OPS:
+            return Rejected(RejectReason.BAD_REQUEST)
+        if queue_depth >= self.cfg.queue_limit:
+            # Earliest useful retry: one batching window from now, when
+            # the queue has had a chance to drain.
+            window = (self.cfg.interactive_window_s
+                      if req.qos is QoSClass.INTERACTIVE
+                      else self.cfg.batch_window_s)
+            return Rejected(RejectReason.QUEUE_FULL, retry_after_s=window)
+        if not self.bucket.try_take(now):
+            return Rejected(RejectReason.RATE_LIMITED,
+                            retry_after_s=self.bucket.time_to_token(now))
+        return None

@@ -1,0 +1,92 @@
+"""Batching/coalescing of node-wise queries onto the bulk DHT APIs.
+
+The frontend drains a QoS queue as one batch.  Identical requests are
+deduplicated (one execution fans out to every waiter), and the distinct
+node-wise lookups are pushed through the columnar ``bulk_num_copies`` /
+``bulk_masks`` shard APIs — one grouped scan per home shard instead of a
+Python-level lookup per request (the PR 1 bulk paths, now on the serving
+hot path).
+
+Answer fidelity: the bulk value arrays are observationally equivalent to
+per-item lookups (pinned by the PR 1 property suite), and the per-request
+latency/coverage/degraded fields are synthesized with exactly the formulas
+of :mod:`repro.queries.nodewise` — so a batched answer is byte-identical
+to the answer an individual ``QueryInterface`` call would have produced at
+the same instant (pinned by ``tests/serve/test_batcher.py``).  That is
+what lets batch-filled results go straight into the epoch cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.engine import ContentTracingEngine
+from repro.queries.interface import QueryResult
+from repro.queries.nodewise import answer_latency
+from repro.sim.costmodel import CostModel
+
+__all__ = ["bulk_answers"]
+
+
+def _decode_mask(mask: int) -> set[int]:
+    ids: set[int] = set()
+    while mask:
+        low = mask & -mask
+        ids.add(low.bit_length() - 1)
+        mask ^= low
+    return ids
+
+
+def bulk_answers(engine: ContentTracingEngine, cost: CostModel, op: str,
+                 pairs: list[tuple[int, int]]) -> list[QueryResult]:
+    """Answer ``(content_hash, issuing_node)`` node-wise requests in bulk.
+
+    One ``bulk_num_copies``/``bulk_masks`` call per home shard over the
+    *distinct* hashes; every pair gets its own :class:`QueryResult` equal
+    to the individual query's.  ``op`` is ``"num_copies"`` or
+    ``"entities"``.
+    """
+    if op not in ("num_copies", "entities"):
+        raise ValueError(f"op {op!r} is not a batchable node-wise query")
+    if not pairs:
+        return []
+    uniq = sorted({int(h) for h, _n in pairs})
+    # Resolve homes first: home_node performs the same lazy failure
+    # detection (and failover) the individual lookups would.
+    homes = {h: engine.home_node(h) for h in uniq}
+    q = np.fromiter(uniq, dtype=np.uint64, count=len(uniq))
+    by_home: dict[int, list[int]] = {}
+    for i, h in enumerate(uniq):
+        by_home.setdefault(homes[h], []).append(i)
+
+    values: dict[int, object] = {}
+    if op == "num_copies":
+        for home, idxs in by_home.items():
+            sub = q[np.asarray(idxs, dtype=np.int64)]
+            counts = engine.shards[home].bulk_num_copies(sub)
+            for h, c in zip(sub.tolist(), counts.tolist()):
+                values[h] = int(c)
+    else:
+        for home, idxs in by_home.items():
+            sub = q[np.asarray(idxs, dtype=np.int64)]
+            masks_lo, wide = engine.shards[home].bulk_masks(sub)
+            for row, h in enumerate(sub.tolist()):
+                values[h] = _decode_mask(wide.get(h, int(masks_lo[row])))
+
+    coverage = engine.coverage
+    intact = {h: bool(f) for h, f in zip(uniq, engine.hashes_intact(q))}
+    out: list[QueryResult] = []
+    for h, issuing in pairs:
+        h = int(h)
+        value = values[h]
+        if op == "num_copies":
+            compute = cost.query_compute_base
+            resp_bytes = 8
+        else:
+            compute = cost.query_compute_base * 1.6
+            resp_bytes = 4 * len(value) + 8
+        out.append(QueryResult(
+            value, answer_latency(cost, compute, issuing, homes[h],
+                                  resp_bytes),
+            compute, coverage=coverage, degraded=not intact[h]))
+    return out

@@ -1,0 +1,239 @@
+"""The update-epoch result cache (docs/SERVING.md).
+
+Content-awareness is a caching lever: identical content means identical
+answers *until the tracked content changes*.  The DHT engine stamps a
+per-shard epoch on every insert/remove (and bumps every epoch on
+failover/rejoin/repair, which can re-home hashes and move coverage), so a
+cached answer is valid exactly while its covering epochs stand still:
+
+* node-wise queries cover one shard — the hash's current home — and are
+  keyed on ``(op, hash, issuing_node)`` with that shard's epoch, so
+  updates landing on *other* shards leave the entry hot;
+* collective queries scan every live shard, so they are keyed on the
+  global epoch.
+
+Correctness pin (tests/properties/test_props_serve.py): under arbitrary
+interleavings of memory updates, node kills/repairs, and queries, a
+cache-enabled answer is byte-identical to the uncached answer at the same
+instant.  To keep that exact, each cached op performs the *same* lazy
+failure detection its uncached path performs (``home_node`` for node-wise,
+``refresh_failed`` for collective) before consulting the cache — detection
+bumps epochs, so a fault observed by the uncached path forces a miss on
+the cached one.  Fault-path integration falls out: failover and repair
+bump epochs, so degraded answers are never served as fresh (nor fresh ones
+as degraded).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.command import ExecMode
+from repro.obs import Observability
+from repro.queries.interface import QueryInterface, QueryResult
+from repro.serve.request import COLLECTIVE_OPS, NODEWISE_OPS
+
+__all__ = ["EpochCache", "CachedQueries", "CacheViolation"]
+
+
+@dataclass(frozen=True)
+class CacheViolation:
+    """One verify-mode mismatch: what the cache said vs. fresh execution."""
+
+    key: tuple
+    cached: QueryResult
+    fresh: QueryResult
+
+
+class EpochCache:
+    """LRU map of ``key -> (epoch token, result)``.
+
+    A ``get`` with a different token than the stored one is an
+    *invalidation*: the entry is dropped and the lookup misses.  Counters
+    live in the provided registry (``serve.cache.*``) — the metrics
+    report is the single source of truth, never parallel bookkeeping.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 obs: Observability | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.obs = obs if obs is not None else Observability()
+        reg = self.obs.registry
+        self._c_hits = reg.counter("serve.cache.hits")
+        self._c_misses = reg.counter("serve.cache.misses")
+        self._c_invalidations = reg.counter("serve.cache.invalidations")
+        self._c_evictions = reg.counter("serve.cache.evictions")
+        self._g_size = reg.gauge("serve.cache.size")
+        self._map: OrderedDict[tuple, tuple[tuple, QueryResult]] = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._c_invalidations.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    def get(self, key: tuple, token: tuple) -> QueryResult | None:
+        entry = self._map.get(key)
+        if entry is None:
+            self._c_misses.inc()
+            return None
+        stored_token, result = entry
+        if stored_token != token:
+            # A covering shard advanced: precise invalidation.
+            del self._map[key]
+            self._g_size.set(len(self._map))
+            self._c_invalidations.inc()
+            self._c_misses.inc()
+            return None
+        self._map.move_to_end(key)
+        self._c_hits.inc()
+        return result
+
+    def put(self, key: tuple, token: tuple, result: QueryResult) -> None:
+        self._map[key] = (token, result)
+        self._map.move_to_end(key)
+        while len(self._map) > self.capacity:
+            self._map.popitem(last=False)
+            self._c_evictions.inc()
+        self._g_size.set(len(self._map))
+
+    def clear(self) -> None:
+        self._map.clear()
+        self._g_size.set(0)
+
+
+class CachedQueries:
+    """A :class:`~repro.queries.interface.QueryInterface` with the epoch
+    cache in front.  Every op returns ``(QueryResult, cache_hit)``; with
+    ``verify=True`` each hit is shadow-executed and compared, recording
+    ``serve.cache.violations`` (and the mismatch detail in
+    :attr:`violations`) — the CI smoke job asserts this stays zero.
+    """
+
+    def __init__(self, queries: QueryInterface, capacity: int = 65536,
+                 verify: bool = False,
+                 obs: Observability | None = None) -> None:
+        self.queries = queries
+        self.engine = queries.engine
+        self.verify = verify
+        self.obs = obs if obs is not None else Observability()
+        self.cache = EpochCache(capacity, obs=self.obs)
+        self._c_violations = self.obs.registry.counter(
+            "serve.cache.violations")
+        self.violations: list[CacheViolation] = []
+
+    # -- epoch tokens ------------------------------------------------------------
+
+    def nodewise_token(self, content_hash: int) -> tuple:
+        """(home shard, its epoch) — ``home_node`` performs the same lazy
+        failure detection the uncached lookup would."""
+        home = self.engine.home_node(content_hash)
+        return (home, self.engine.shard_epoch(home))
+
+    def collective_token(self) -> tuple:
+        """Global epoch, after the same eager detection ``live_shards``
+        does on the uncached path."""
+        self.engine.refresh_failed()
+        return (self.engine.global_epoch,)
+
+    # -- the cached execution core -----------------------------------------------
+
+    def _serve(self, key: tuple, token: tuple,
+               execute) -> tuple[QueryResult, bool]:
+        cached = self.cache.get(key, token)
+        if cached is None:
+            result = execute()
+            self.cache.put(key, token, result)
+            return result, False
+        if self.verify:
+            fresh = execute()
+            if fresh != cached:
+                self._c_violations.inc()
+                self.violations.append(CacheViolation(key, cached, fresh))
+                self.cache.put(key, token, fresh)
+                return fresh, False
+        return cached, True
+
+    # -- node-wise ops -----------------------------------------------------------
+
+    def num_copies(self, content_hash: int,
+                   issuing_node: int = 0) -> tuple[QueryResult, bool]:
+        h = int(content_hash)
+        return self._serve(
+            ("num_copies", h, issuing_node), self.nodewise_token(h),
+            lambda: self.queries.num_copies(h, issuing_node))
+
+    def entities(self, content_hash: int,
+                 issuing_node: int = 0) -> tuple[QueryResult, bool]:
+        h = int(content_hash)
+        return self._serve(
+            ("entities", h, issuing_node), self.nodewise_token(h),
+            lambda: self.queries.entities(h, issuing_node))
+
+    # -- collective ops ----------------------------------------------------------
+
+    def _collective(self, op: str, entity_ids, exec_mode,
+                    k: int | None = None) -> tuple[QueryResult, bool]:
+        eids = tuple(int(e) for e in entity_ids)
+        mode = ExecMode.coerce(exec_mode)
+        fn = getattr(self.queries, op)
+        if k is None:
+            key = (op, eids, mode)
+            execute = lambda: fn(list(eids), exec_mode=mode)  # noqa: E731
+        else:
+            key = (op, eids, int(k), mode)
+            execute = lambda: fn(list(eids), k, exec_mode=mode)  # noqa: E731
+        return self._serve(key, self.collective_token(), execute)
+
+    def sharing(self, entity_ids, exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("sharing", entity_ids, exec_mode)
+
+    def intra_sharing(self, entity_ids, exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("intra_sharing", entity_ids, exec_mode)
+
+    def inter_sharing(self, entity_ids, exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("inter_sharing", entity_ids, exec_mode)
+
+    def degree_of_sharing(self, entity_ids, exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("degree_of_sharing", entity_ids, exec_mode)
+
+    def num_shared_content(self, entity_ids, k: int,
+                           exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("num_shared_content", entity_ids, exec_mode,
+                                k=k)
+
+    def shared_content(self, entity_ids, k: int,
+                       exec_mode=ExecMode.DISTRIBUTED):
+        return self._collective("shared_content", entity_ids, exec_mode, k=k)
+
+    # -- generic dispatch (the frontend's entry point) ---------------------------
+
+    def query(self, op: str, args: tuple,
+              issuing_node: int = 0) -> tuple[QueryResult, bool]:
+        """Dispatch by op name with the frontend's args convention:
+        node-wise ``(hash,)``; collective ``(entity_ids,)`` or
+        ``(entity_ids, k)``, always ``ExecMode.DISTRIBUTED``."""
+        if op in NODEWISE_OPS:
+            return getattr(self, op)(args[0], issuing_node)
+        if op in COLLECTIVE_OPS:
+            if op in ("num_shared_content", "shared_content"):
+                return getattr(self, op)(args[0], args[1])
+            return getattr(self, op)(args[0])
+        raise ValueError(f"unknown query op {op!r}")

@@ -1,0 +1,83 @@
+"""Configuration of the query-serving frontend (docs/SERVING.md).
+
+One frozen dataclass, carried as the ``serve`` section of
+:class:`~repro.core.config.ConCORDConfig` — the same arrangement as the
+``obs`` section.  This module is import-leaf (no repro imports), so the
+core config can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything configurable about a :class:`~repro.serve.QueryFrontend`.
+
+    Fields
+    ------
+    frontend_node:
+        Node the frontend process runs on; its CPU is the serial resource
+        requests serialize over.
+    queue_limit:
+        Bounded admission queue depth *per QoS class*; a full queue sheds
+        load with a typed ``Rejected(QUEUE_FULL)`` answer.
+    rate_limit_qps / rate_burst:
+        Token-bucket admission rate over all classes (tokens refill on the
+        sim clock).  ``None`` disables rate limiting.
+    interactive_window_s / batch_window_s:
+        Batching windows: how long an admitted request may wait for
+        companions before its class's queue is drained.  Interactive
+        queries trade little latency for coalescing; batch commands trade
+        more for bigger bulk lookups.
+    max_batch:
+        Requests drained per batch, after which a fresh drain is scheduled
+        immediately (prevents unbounded batches under overload).
+    cache / cache_capacity:
+        The update-epoch result cache (docs/SERVING.md): answers keyed on
+        ``(query, args, shard-epoch)`` and invalidated precisely when a
+        covering shard's epoch advances.  Capacity is entries, evicted LRU.
+    cache_hit_cost_s:
+        Modelled service time of answering from cache (a dict hit plus
+        serialization) — the denominator of the cached-throughput win.
+    verify_cache:
+        Shadow mode: every cache hit *also* executes the query and
+        compares answers, counting ``serve.cache.violations``.  Slow;
+        meant for CI smoke runs and debugging, not serving.
+    """
+
+    frontend_node: int = 0
+    queue_limit: int = 256
+    rate_limit_qps: float | None = None
+    rate_burst: int = 64
+    interactive_window_s: float = 100e-6
+    batch_window_s: float = 2e-3
+    max_batch: int = 128
+    cache: bool = True
+    cache_capacity: int = 65536
+    cache_hit_cost_s: float = 2e-6
+    verify_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.rate_limit_qps is not None and self.rate_limit_qps <= 0:
+            raise ValueError("rate_limit_qps must be positive (or None)")
+        if self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1")
+        if self.interactive_window_s < 0 or self.batch_window_s < 0:
+            raise ValueError("batching windows must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.cache_hit_cost_s < 0:
+            raise ValueError("cache_hit_cost_s must be non-negative")
+
+    def replace(self, **changes) -> ServeConfig:
+        """Functional update (`dataclasses.replace` as a method)."""
+        return dataclasses.replace(self, **changes)

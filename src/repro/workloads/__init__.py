@@ -11,6 +11,7 @@ with the measured redundancy character of each application.
 """
 
 from repro.workloads.churn import ChurnDriver, ChurnStats
+from repro.workloads.traffic import TrafficDriver, TrafficSpec
 from repro.workloads.synthetic import (
     WorkloadSpec,
     generate_pages,
@@ -24,6 +25,8 @@ from repro.workloads.synthetic import (
 __all__ = [
     "ChurnDriver",
     "ChurnStats",
+    "TrafficDriver",
+    "TrafficSpec",
     "WorkloadSpec",
     "generate_pages",
     "instantiate",

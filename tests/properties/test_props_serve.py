@@ -1,0 +1,104 @@
+"""Property-based test for the update-epoch result cache (docs/SERVING.md).
+
+The serving cache's contract: under ANY interleaving of memory updates,
+node kills/restarts/repairs, and queries, a cache-enabled answer is
+byte-identical to the answer the uncached query path would produce at the
+same instant.  Hypothesis drives arbitrary schedules against a cached and
+an uncached view of the *same* system and compares every answer —
+including the modelled latency, coverage, and degraded flag, not just the
+value.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ConCORD, ConCORDConfig, Entity
+from repro.queries.interface import QueryInterface
+from repro.serve import CachedQueries
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+N_NODES = 4
+ENTITY_NODES = (0, 1)          # entities pinned here; their memory survives
+FAULTY_NODES = (2, 3)          # kills/restarts only ever touch these
+
+# One step of a schedule: a fault action, a memory update, or a query.
+step_strategy = st.one_of(
+    st.tuples(st.just("kill"), st.sampled_from(FAULTY_NODES)),
+    st.tuples(st.just("restart"), st.sampled_from(FAULTY_NODES)),
+    st.tuples(st.just("repair"), st.just(0)),
+    st.tuples(st.just("write"), st.integers(0, 200)),   # new content id
+    st.tuples(st.just("remove"), st.integers(0, 200)),
+    st.tuples(st.just("q_num_copies"), st.integers(0, 220)),
+    st.tuples(st.just("q_entities"), st.integers(0, 220)),
+    st.tuples(st.just("q_sharing"), st.integers(0, 3)),
+    st.tuples(st.just("q_degree"), st.integers(0, 3)),
+    st.tuples(st.just("q_shared_k"), st.integers(1, 3)),
+)
+
+schedule_strategy = st.lists(step_strategy, min_size=1, max_size=30)
+
+
+def build(seed: int):
+    cluster = Cluster(N_NODES, seed=seed)
+    rng = np.random.default_rng(seed)
+    ents = [Entity.create(cluster, node,
+                          rng.integers(0, 150, size=48).astype(np.uint64))
+            for node in ENTITY_NODES]
+    concord = ConCORD(cluster, ConCORDConfig(use_network=False))
+    concord.initial_scan()
+    return cluster, ents, concord
+
+
+class TestCacheEquivalence:
+    @SLOW
+    @given(schedule_strategy, st.integers(0, 3))
+    def test_cached_answers_equal_uncached(self, schedule, seed):
+        cluster, ents, concord = build(seed)
+        queries = QueryInterface(cluster, concord.tracing)
+        cached = CachedQueries(queries)
+        eids = [e.entity_id for e in ents]
+        down = set()
+        for action, arg in schedule:
+            if action == "kill" and arg not in down:
+                concord.fail_node(arg)
+                down.add(arg)
+            elif action == "restart" and arg in down:
+                concord.restart_node(arg)
+                down.discard(arg)
+            elif action == "repair":
+                concord.repair()
+            elif action == "write":
+                ents[arg % len(ents)].write_pages(
+                    np.array([arg % 48]),
+                    np.array([arg + 1000], dtype=np.uint64))
+                concord.sync()
+            elif action == "remove":
+                ents[arg % len(ents)].write_pages(
+                    np.array([arg % 48]),
+                    np.array([arg % 150], dtype=np.uint64))
+                concord.sync()
+            elif action == "q_num_copies":
+                got, _hit = cached.num_copies(arg, arg % N_NODES)
+                assert got == queries.num_copies(arg, arg % N_NODES)
+            elif action == "q_entities":
+                got, _hit = cached.entities(arg, arg % N_NODES)
+                assert got == queries.entities(arg, arg % N_NODES)
+            elif action == "q_sharing":
+                got, _hit = cached.sharing(eids)
+                assert got == queries.sharing(eids)
+            elif action == "q_degree":
+                got, _hit = cached.degree_of_sharing(eids)
+                assert got == queries.degree_of_sharing(eids)
+            elif action == "q_shared_k":
+                got, _hit = cached.num_shared_content(eids, arg)
+                assert got == queries.num_shared_content(eids, arg)
+        # Final sweep: every hot key answers identically after the dust
+        # settles (and a second pass hits without changing the answer).
+        for h in range(0, 220, 7):
+            got, _ = cached.num_copies(h, h % N_NODES)
+            assert got == queries.num_copies(h, h % N_NODES)
+            again, hit = cached.num_copies(h, h % N_NODES)
+            assert hit and again == got

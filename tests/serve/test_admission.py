@@ -1,0 +1,90 @@
+"""Unit tests for admission control (token bucket + bounded queues)."""
+
+import pytest
+
+from repro.serve import (AdmissionController, QoSClass, Rejected,
+                         RejectReason, Request, ServeConfig, TokenBucket)
+
+
+def req(op="num_copies", qos=QoSClass.INTERACTIVE):
+    return Request(op, (1,), qos=qos)
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        b = TokenBucket(rate=10.0, burst=3)
+        assert [b.try_take(0.0) for _ in range(4)] == [True, True, True,
+                                                      False]
+
+    def test_refills_on_sim_clock(self):
+        b = TokenBucket(rate=10.0, burst=1)
+        assert b.try_take(0.0)
+        assert not b.try_take(0.05)   # half a token accrued
+        assert b.try_take(0.1)        # one full token at t=0.1
+
+    def test_caps_at_burst(self):
+        b = TokenBucket(rate=100.0, burst=2)
+        b.try_take(0.0)
+        # A long idle period cannot bank more than `burst` tokens.
+        assert [b.try_take(100.0) for _ in range(3)] == [True, True, False]
+
+    def test_time_to_token(self):
+        b = TokenBucket(rate=10.0, burst=1)
+        assert b.time_to_token(0.0) == 0.0
+        b.try_take(0.0)
+        assert b.time_to_token(0.0) == pytest.approx(0.1)
+        assert b.time_to_token(0.05) == pytest.approx(0.05)
+
+    def test_disabled_bucket_always_admits(self):
+        b = TokenBucket(rate=None, burst=1)
+        assert all(b.try_take(0.0) for _ in range(100))
+        assert b.time_to_token(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_deterministic_sequence(self):
+        def run():
+            b = TokenBucket(rate=1000.0, burst=4)
+            return [b.try_take(i * 0.0007) for i in range(50)]
+        assert run() == run()
+
+
+class TestAdmissionController:
+    def test_admits_when_room(self):
+        ac = AdmissionController(ServeConfig())
+        assert ac.admit(req(), queue_depth=0, now=0.0) is None
+
+    def test_unknown_op_is_bad_request(self):
+        ac = AdmissionController(ServeConfig())
+        verdict = ac.admit(req(op="frobnicate"), queue_depth=0, now=0.0)
+        assert isinstance(verdict, Rejected)
+        assert verdict.reason is RejectReason.BAD_REQUEST
+
+    def test_full_queue_sheds_with_retry_hint(self):
+        cfg = ServeConfig(queue_limit=2)
+        ac = AdmissionController(cfg)
+        verdict = ac.admit(req(), queue_depth=2, now=0.0)
+        assert verdict.reason is RejectReason.QUEUE_FULL
+        assert verdict.retry_after_s == cfg.interactive_window_s
+        batch = ac.admit(req(qos=QoSClass.BATCH), queue_depth=2, now=0.0)
+        assert batch.retry_after_s == cfg.batch_window_s
+
+    def test_full_queue_does_not_burn_tokens(self):
+        ac = AdmissionController(ServeConfig(queue_limit=1,
+                                             rate_limit_qps=1000.0,
+                                             rate_burst=1))
+        assert ac.admit(req(), queue_depth=1, now=0.0) is not None
+        # The queue-full rejection above must not have consumed the token.
+        assert ac.admit(req(), queue_depth=0, now=0.0) is None
+
+    def test_rate_limit_sheds_with_eta(self):
+        ac = AdmissionController(ServeConfig(rate_limit_qps=10.0,
+                                             rate_burst=1))
+        assert ac.admit(req(), queue_depth=0, now=0.0) is None
+        verdict = ac.admit(req(), queue_depth=0, now=0.0)
+        assert verdict.reason is RejectReason.RATE_LIMITED
+        assert verdict.retry_after_s == pytest.approx(0.1)

@@ -1,0 +1,73 @@
+"""Batched node-wise answers must be byte-identical to individual ones."""
+
+import pytest
+
+from repro.queries.interface import QueryInterface
+from repro.serve import bulk_answers
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def system():
+    cluster, ents, concord = make_system(seed=13)
+    return cluster, concord, QueryInterface(cluster, concord.tracing)
+
+
+def sample_hashes(concord, n=12):
+    out = []
+    for shard in concord.tracing.shards:
+        for h in shard.hashes():
+            out.append(int(h))
+            if len(out) >= n:
+                return out
+    return out
+
+
+class TestBulkAnswers:
+    @pytest.mark.parametrize("op", ["num_copies", "entities"])
+    def test_matches_individual_queries(self, system, op):
+        cluster, concord, q = system
+        pairs = [(h, i % cluster.n_nodes)
+                 for i, h in enumerate(sample_hashes(concord))]
+        batched = bulk_answers(concord.tracing, cluster.cost, op, pairs)
+        for (h, node), got in zip(pairs, batched):
+            assert got == getattr(q, op)(h, node), (op, h, node)
+
+    def test_duplicate_hashes_fan_out(self, system):
+        cluster, concord, q = system
+        h = sample_hashes(concord, 1)[0]
+        pairs = [(h, 0), (h, 1), (h, 0)]
+        batched = bulk_answers(concord.tracing, cluster.cost, "num_copies",
+                               pairs)
+        assert batched[0] == batched[2] == q.num_copies(h, 0)
+        assert batched[1] == q.num_copies(h, 1)
+        # Remote and local issuers see different modelled latency.
+        home = concord.tracing.home_node(h)
+        lats = {node: r.latency for (_h, node), r in zip(pairs, batched)}
+        assert (lats[home] < lats[1 - home] if home in (0, 1)
+                else lats[0] == lats[1])
+
+    def test_absent_hashes(self, system):
+        cluster, concord, q = system
+        pairs = [(0xFEED, 2), (0xF00D, 3)]
+        for op in ("num_copies", "entities"):
+            batched = bulk_answers(concord.tracing, cluster.cost, op, pairs)
+            for (h, node), got in zip(pairs, batched):
+                assert got == getattr(q, op)(h, node)
+
+    def test_matches_after_failover(self, system):
+        cluster, concord, q = system
+        hashes = sample_hashes(concord)
+        concord.fail_node(2)
+        pairs = [(h, 0) for h in hashes]
+        for op in ("num_copies", "entities"):
+            batched = bulk_answers(concord.tracing, cluster.cost, op, pairs)
+            for (h, _n), got in zip(pairs, batched):
+                assert got == getattr(q, op)(h, 0)
+
+    def test_empty_and_bad_op(self, system):
+        cluster, concord, _q = system
+        assert bulk_answers(concord.tracing, cluster.cost,
+                            "num_copies", []) == []
+        with pytest.raises(ValueError):
+            bulk_answers(concord.tracing, cluster.cost, "sharing", [(1, 0)])

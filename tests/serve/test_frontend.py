@@ -1,0 +1,179 @@
+"""End-to-end tests of the query-serving frontend."""
+
+import pytest
+
+from repro.obs import ObsConfig, Observability
+from repro.queries.interface import QueryInterface
+from repro.serve import QoSClass, QueryFrontend, RejectReason, ServeConfig
+from tests.conftest import make_system
+
+
+def build(serve_cfg=None, seed=17, trace=False):
+    cluster, ents, concord = make_system(seed=seed)
+    q = QueryInterface(cluster, concord.tracing)
+    obs = Observability(clock=lambda: cluster.engine.now,
+                        config=ObsConfig(trace=trace))
+    fe = QueryFrontend(cluster, q, serve_cfg or ServeConfig(), obs=obs)
+    h = int(next(iter(concord.tracing.shards[0].hashes())))
+    return cluster, concord, q, fe, h
+
+
+def drain(cluster, fe, submits):
+    """Submit [(op, args, kwargs)] at t=now, run the engine, return responses."""
+    got = []
+    for op, args, kw in submits:
+        fe.submit(op, args, on_done=got.append, **kw)
+    cluster.engine.run()
+    return got
+
+
+class TestServing:
+    def test_single_request_answer_matches_uncached(self):
+        cluster, _c, q, fe, h = build()
+        (resp,) = drain(cluster, fe, [("num_copies", (h,),
+                                       {"issuing_node": 1})])
+        assert not resp.rejected
+        assert resp.answer == q.num_copies(h, 1)
+        assert resp.latency_s >= fe.cfg.interactive_window_s
+
+    def test_identical_requests_coalesce(self):
+        cluster, _c, _q, fe, h = build()
+        got = drain(cluster, fe,
+                    [("num_copies", (h,), {"client_id": i})
+                     for i in range(5)])
+        assert len(got) == 5
+        assert sum(r.coalesced for r in got) == 4
+        assert len({r.value for r in got}) == 1
+        assert fe.obs.registry.value("serve.coalesced") == 4
+
+    def test_second_round_hits_cache(self):
+        cluster, _c, _q, fe, h = build()
+        drain(cluster, fe, [("num_copies", (h,), {})])
+        got = drain(cluster, fe, [("num_copies", (h,), {})])
+        assert got[0].cache_hit
+        # Hits occupy the CPU for the hit cost, not the query latency.
+        assert got[0].latency_s == pytest.approx(
+            fe.cfg.interactive_window_s + fe.cfg.cache_hit_cost_s)
+
+    def test_cache_disabled_never_hits(self):
+        cluster, _c, _q, fe, h = build(ServeConfig(cache=False))
+        drain(cluster, fe, [("num_copies", (h,), {})])
+        got = drain(cluster, fe, [("num_copies", (h,), {})])
+        assert not got[0].cache_hit
+        assert fe.obs.registry.value("serve.cache.hits") == 0
+
+    def test_mixed_batch_nodewise_and_collective(self):
+        cluster, concord, q, fe, h = build()
+        eids = tuple(sorted(cluster.all_entity_ids()))
+        got = drain(cluster, fe, [
+            ("num_copies", (h,), {}),
+            ("entities", (h,), {"issuing_node": 2}),
+            ("sharing", (eids,), {}),
+            ("num_shared_content", (eids, 2), {}),
+        ])
+        by_op = {r.request.op: r for r in got}
+        assert by_op["num_copies"].answer == q.num_copies(h, 0)
+        assert by_op["entities"].answer == q.entities(h, 2)
+        assert by_op["sharing"].answer == q.sharing(list(eids))
+        assert by_op["num_shared_content"].answer == \
+            q.num_shared_content(list(eids), 2)
+
+    def test_qos_classes_have_separate_windows(self):
+        cfg = ServeConfig(interactive_window_s=1e-5, batch_window_s=1e-3)
+        cluster, _c, _q, fe, h = build(cfg)
+        got = drain(cluster, fe, [
+            ("num_copies", (h,), {"qos": QoSClass.INTERACTIVE}),
+            ("num_copies", (h,), {"qos": QoSClass.BATCH}),
+        ])
+        lat = {r.request.qos: r.latency_s for r in got}
+        assert lat[QoSClass.INTERACTIVE] < lat[QoSClass.BATCH]
+
+    def test_unknown_op_rejected_synchronously(self):
+        cluster, _c, _q, fe, _h = build()
+        got = []
+        fe.submit("frobnicate", (1,), on_done=got.append)
+        assert len(got) == 1  # before the engine even runs
+        assert got[0].rejected
+        assert got[0].answer.reason is RejectReason.BAD_REQUEST
+
+    def test_queue_full_sheds(self):
+        cluster, _c, _q, fe, h = build(ServeConfig(queue_limit=3))
+        got = drain(cluster, fe,
+                    [("num_copies", (h,), {}) for _ in range(6)])
+        shed = [r for r in got if r.rejected]
+        assert len(shed) == 3
+        assert all(r.answer.reason is RejectReason.QUEUE_FULL for r in shed)
+        assert fe.obs.registry.value("serve.rejected",
+                                     reason="queue_full") == 3
+
+    def test_rate_limit_sheds(self):
+        cluster, _c, _q, fe, h = build(
+            ServeConfig(rate_limit_qps=100.0, rate_burst=2))
+        got = drain(cluster, fe,
+                    [("num_copies", (h,), {}) for _ in range(5)])
+        limited = [r for r in got if r.rejected]
+        assert len(limited) == 3
+        assert all(r.answer.reason is RejectReason.RATE_LIMITED
+                   for r in limited)
+        assert all(r.answer.retry_after_s > 0 for r in limited)
+
+    def test_max_batch_splits_into_batches(self):
+        cluster, _c, _q, fe, h = build(ServeConfig(max_batch=4))
+        got = drain(cluster, fe,
+                    [("num_copies", (h,), {}) for _ in range(10)])
+        assert len(got) == 10
+        assert fe.obs.registry.value("serve.batches") == 3
+
+    def test_verify_mode_clean_run(self):
+        cluster, _c, _q, fe, h = build(ServeConfig(verify_cache=True))
+        for _ in range(3):
+            drain(cluster, fe, [("num_copies", (h,), {}),
+                                ("entities", (h,), {})])
+        assert fe.obs.registry.value("serve.cache.violations") == 0
+
+    def test_batch_span_traced(self):
+        cluster, _c, _q, fe, h = build(trace=True)
+        drain(cluster, fe, [("num_copies", (h,), {})])
+        spans = [s for s in fe.obs.tracer.spans if s.name == "serve.batch"]
+        assert len(spans) == 1
+        assert spans[0].t1 > spans[0].t0
+
+    def test_report_accounts_everything(self):
+        cluster, _c, _q, fe, h = build()
+        drain(cluster, fe, [("num_copies", (h,), {}) for _ in range(4)]
+              + [("frobnicate", (1,), {})])
+        rep = fe.report()
+        assert rep.submitted == 5
+        assert rep.admitted == 4
+        assert rep.rejected == 1
+        assert rep.completed == 4
+        assert rep.coalesced == 3
+        assert rep.qps > 0
+        assert rep.coalesce_rate == pytest.approx(3 / 4)
+        table = rep.summary_table().render()
+        assert "coalesce_rate" in table and "cache_hit_rate" in table
+
+    def test_pending_drains_to_zero(self):
+        cluster, _c, _q, fe, h = build()
+        fe.submit("num_copies", (h,))
+        assert fe.pending == 1
+        cluster.engine.run()
+        assert fe.pending == 0
+
+
+class TestFacade:
+    def test_concord_frontend_shares_registry(self):
+        _cl, _e, concord = make_system(seed=5)
+        fe = concord.frontend()
+        assert fe is concord.frontend()  # memoized
+        h = int(next(iter(concord.tracing.shards[0].hashes())))
+        fe.submit("num_copies", (h,))
+        _cl.engine.run()
+        report = concord.metrics_report().render()
+        assert "serve.admitted" in report
+
+    def test_frontend_config_conflict_raises(self):
+        _cl, _e, concord = make_system(seed=5)
+        concord.frontend()
+        with pytest.raises(ValueError):
+            concord.frontend(ServeConfig(queue_limit=7))

@@ -1,0 +1,114 @@
+"""Tests for the traffic workload driver (workloads/traffic.py)."""
+
+import pytest
+
+from repro.queries.interface import QueryInterface
+from repro.serve import QueryFrontend, ServeConfig
+from repro.workloads import TrafficDriver, TrafficSpec
+from tests.conftest import make_system
+
+
+def build_frontend(serve_cfg=None, seed=23):
+    cluster, ents, concord = make_system(seed=seed)
+    q = QueryInterface(cluster, concord.tracing)
+    return QueryFrontend(cluster, q, serve_cfg or ServeConfig(),
+                         obs=concord.obs), concord
+
+
+class TestTrafficSpec:
+    def test_defaults_valid(self):
+        TrafficSpec()
+
+    @pytest.mark.parametrize("kw", [
+        {"n_clients": 0}, {"duration_s": 0.0}, {"arrival": "carrier-pigeon"},
+        {"rate_per_client": 0.0}, {"think_time_s": -1.0}, {"zipf_s": -0.1},
+        {"population": 0}, {"nodewise_frac": 1.5}, {"batch_frac": -0.2},
+        {"n_groups": 0}, {"collective_k": 0}, {"churn_rate": -1.0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kw)
+
+    def test_replace(self):
+        assert TrafficSpec().replace(n_clients=3).n_clients == 3
+
+
+class TestOpenLoop:
+    def test_poisson_run_completes_all_admitted(self):
+        fe, _c = build_frontend()
+        spec = TrafficSpec(n_clients=4, duration_s=0.05, arrival="poisson",
+                           rate_per_client=2000.0, seed=1)
+        drv = TrafficDriver(fe, spec)
+        rep = drv.run()
+        assert rep.submitted > 0
+        assert rep.completed == rep.admitted
+        assert drv.n_responses == rep.submitted
+        assert rep.duration_s == spec.duration_s
+
+    def test_same_seed_is_deterministic(self):
+        def run():
+            fe, _c = build_frontend()
+            spec = TrafficSpec(n_clients=4, duration_s=0.05, seed=9)
+            rep = TrafficDriver(fe, spec).run()
+            return (rep.submitted, rep.completed, rep.coalesced,
+                    rep.cache_hits, rep.qps)
+        assert run() == run()
+
+    def test_different_seed_differs(self):
+        def run(seed):
+            fe, _c = build_frontend()
+            rep = TrafficDriver(fe, TrafficSpec(n_clients=4,
+                                                duration_s=0.05,
+                                                seed=seed)).run()
+            return (rep.submitted, rep.qps)
+        assert run(1) != run(2)
+
+    def test_zipf_traffic_hits_cache(self):
+        fe, _c = build_frontend()
+        spec = TrafficSpec(n_clients=8, duration_s=0.1, zipf_s=1.5,
+                           population=32, seed=3)
+        rep = TrafficDriver(fe, spec).run()
+        assert rep.hit_rate > 0.5
+        assert rep.cache_violations == 0
+
+    def test_churn_replaces_clients(self):
+        fe, _c = build_frontend()
+        spec = TrafficSpec(n_clients=4, duration_s=0.1, churn_rate=100.0,
+                           seed=4)
+        drv = TrafficDriver(fe, spec)
+        rep = drv.run()
+        assert drv._next_client_id > spec.n_clients  # replacements happened
+        assert rep.completed == rep.admitted
+
+
+class TestClosedLoop:
+    def test_closed_loop_completes(self):
+        fe, _c = build_frontend()
+        spec = TrafficSpec(n_clients=4, duration_s=0.02, arrival="closed",
+                           think_time_s=1e-4, seed=5)
+        rep = TrafficDriver(fe, spec).run()
+        assert rep.completed > 0
+        assert rep.completed == rep.admitted
+
+    def test_closed_loop_backs_off_on_rejection(self):
+        # One-slot queue + zero think time: clients must survive sheds.
+        fe, _c = build_frontend(ServeConfig(queue_limit=1))
+        spec = TrafficSpec(n_clients=8, duration_s=0.01, arrival="closed",
+                           seed=6)
+        drv = TrafficDriver(fe, spec, keep_responses=True)
+        rep = drv.run()
+        assert rep.rejected > 0
+        assert rep.completed > 0
+        assert drv.n_rejected == rep.rejected
+
+    def test_cache_speedup_on_repeated_queries(self):
+        def run(cache):
+            cfg = ServeConfig(cache=cache, interactive_window_s=5e-6,
+                              batch_window_s=5e-6)
+            fe, _c = build_frontend(cfg)
+            spec = TrafficSpec(n_clients=8, duration_s=0.05,
+                               arrival="closed", zipf_s=1.5, population=32,
+                               nodewise_frac=0.8, seed=7)
+            return TrafficDriver(fe, spec).run()
+        off, on = run(False), run(True)
+        assert on.qps > 2.0 * off.qps

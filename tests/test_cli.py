@@ -169,6 +169,60 @@ class TestBench:
         assert "REGRESSION" in out
 
 
+class TestServe:
+    """CLI surface of the query-serving frontend (docs/SERVING.md)."""
+
+    ARGS = ("serve", "--clients", "4", "--duration", "0.05",
+            "--population", "32", "--zipf", "1.4")
+
+    def test_summary_table_and_exit_zero(self):
+        code, out = run_cli(*self.ARGS)
+        assert code == 0
+        for row in ("submitted", "completed", "throughput_qps",
+                    "coalesce_rate", "cache_hit_rate"):
+            assert row in out
+
+    def test_verify_cache_clean_run(self):
+        code, out = run_cli(*self.ARGS, "--verify-cache")
+        assert code == 0
+        assert "every hit matched fresh execution" in out
+
+    def test_expect_coalescing_holds_on_hot_keys(self):
+        code, _out = run_cli(*self.ARGS, "--expect-coalescing")
+        assert code == 0
+
+    def test_expect_coalescing_fails_without_any(self):
+        # A single client at a trickle rate cannot coalesce anything.
+        code, out = run_cli("serve", "--clients", "1", "--duration", "0.01",
+                            "--rate", "100", "--expect-coalescing")
+        assert code == 1
+        assert "expected request coalescing" in out
+
+    def test_no_cache_disables_hits(self):
+        code, out = run_cli(*self.ARGS, "--no-cache")
+        assert code == 0
+        for line in out.splitlines():
+            if "cache_hits" in line:
+                assert line.split()[-1] == "0"
+
+    def test_closed_loop_runs(self):
+        code, out = run_cli("serve", "--closed", "--clients", "4",
+                            "--duration", "0.02", "--think", "1e-4")
+        assert code == 0
+        assert "completed" in out
+
+    def test_bad_args_exit_2(self):
+        assert run_cli("serve", "--clients", "0")[0] == 2
+        assert run_cli("serve", "--nodes", "1")[0] == 2
+        assert run_cli("serve", "--duration", "0")[0] == 2
+
+    def test_rate_limit_sheds_and_reports(self):
+        code, out = run_cli("serve", "--clients", "8", "--duration", "0.05",
+                            "--rate", "2000", "--rate-limit", "1000")
+        assert code == 0
+        assert "rejected[rate_limited]" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
