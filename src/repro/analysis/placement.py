@@ -19,11 +19,11 @@ KSM would reclaim after co-location.
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
 
 import networkx as nx
 
 from repro.core.concord import ConCORD
+from repro.exec import ops as _ops
 
 __all__ = ["sharing_graph", "suggest_colocation", "placement_sharing_score"]
 
@@ -35,19 +35,11 @@ def _pairwise_shared(concord: ConCORD,
     for eid in entity_ids:
         mask |= 1 << eid
     shared: dict[tuple[int, int], int] = defaultdict(int)
-    for shard in concord.tracing.live_shards():
-        for _h, holders in shard.items():
-            in_s = holders & mask
-            if in_s.bit_count() < 2:
-                continue
-            members = []
-            m = in_s
-            while m:
-                low = m & -m
-                members.append(low.bit_length() - 1)
-                m ^= low
-            for a, b in combinations(members, 2):
-                shared[(a, b)] += 1
+    # MapReduce over shards (docs/PARALLEL.md): each shard counts its own
+    # pair co-occurrences; the partial dicts sum centrally in shard order.
+    for part in concord.map_shards(_ops.pairwise_shared, (mask,)):
+        for pair, w in part.items():
+            shared[pair] += w
     return dict(shared)
 
 

@@ -1,9 +1,10 @@
 """Redundancy profiling over the query interface.
 
-Everything here consumes only public ConCORD queries (plus shard
-iteration for the copy distribution, which a real deployment would expose
-as one more collective query) — the platform-service thesis in action:
-tools need no monitor or tracking code of their own.
+Everything here consumes only public ConCORD queries (plus
+``ConCORD.map_shards`` for the copy distribution — the MapReduce layer of
+docs/PARALLEL.md, which a real deployment would expose as one more
+collective query) — the platform-service thesis in action: tools need no
+monitor or tracking code of their own.
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.concord import ConCORD
+from repro.exec import ops as _ops
 from repro.util.stats import Table
 
 __all__ = ["RedundancySnapshot", "RedundancyProfiler", "copy_distribution",
@@ -110,17 +112,10 @@ def copy_distribution(concord: ConCORD, entity_ids: list[int]) -> Counter:
     for eid in entity_ids:
         mask |= 1 << eid
     dist: Counter = Counter()
-    for shard in concord.tracing.live_shards():
-        for h, holders in shard.items():
-            in_s = holders & mask
-            if not in_s:
-                continue
-            copies = in_s.bit_count()
-            extra = shard.extra_copies(h)
-            if extra:
-                copies += sum(c for e, c in extra.items()
-                              if mask & (1 << e))
-            dist[copies] += 1
+    # MapReduce over shards (docs/PARALLEL.md): one columnar histogram
+    # kernel per shard, merged centrally in shard order.
+    for hist in concord.map_shards(_ops.copy_histogram, (mask,)):
+        dist.update(hist)
     return dist
 
 
@@ -131,16 +126,7 @@ def top_shared_content(concord: ConCORD, entity_ids: list[int],
     for eid in entity_ids:
         mask |= 1 << eid
     best: list[tuple[int, int]] = []
-    for shard in concord.tracing.live_shards():
-        for h, holders in shard.items():
-            in_s = holders & mask
-            if not in_s:
-                continue
-            copies = in_s.bit_count()
-            extra = shard.extra_copies(h)
-            if extra:
-                copies += sum(c for e, c in extra.items()
-                              if mask & (1 << e))
-            best.append((h, copies))
+    for hs, copies in concord.map_shards(_ops.copy_counts, (mask,)):
+        best.extend(zip(hs.tolist(), copies.tolist()))
     best.sort(key=lambda hc: (-hc[1], hc[0]))
     return best[:n]

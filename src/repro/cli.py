@@ -26,6 +26,7 @@ from shell scripts and CI.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -103,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--selftest", action="store_true",
                     help="inject a synthetic 2x slowdown and verify the "
                          "gate trips (exits 1 when it does — armed)")
+    be.add_argument("--workers", type=int, default=None,
+                    help="ShardPool size for the exec.* specs (default: "
+                         "host CPU count; recorded in the env fingerprint)")
 
     sv = sub.add_parser(
         "serve", help="drive simulated client traffic through the "
@@ -144,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(CI smoke assertion)")
     sv.add_argument("--seed", type=int, default=0,
                     help="workload and traffic seed (default: 0)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="ShardPool worker processes for query execution "
+                         "(default: $CONCORD_WORKERS or 1 — serial)")
     return p
 
 
@@ -276,7 +283,13 @@ def _cmd_bench(args, out) -> int:
               "not trip the gate", file=sys.stderr)
         return 2
 
-    runner = build_default_runner()
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    runner = build_default_runner(workers=args.workers)
+    # The workers the exec.* specs actually fanned out over: part of the
+    # environment, so trajectory points are comparable only like-for-like.
+    env_extra = {"workers": args.workers or (os.cpu_count() or 1)}
     if args.list_specs:
         names = runner.names("figure") if args.filter == "figure" \
             else runner.names()
@@ -299,6 +312,7 @@ def _cmd_bench(args, out) -> int:
     t0 = time.perf_counter()
     records = runner.run(
         tier=tier, filter_substr=args.filter, profiler=profiler,
+        env_extra=env_extra,
         progress=lambda n, rec: print(
             f"[{n}: {rec['runtime_s']:.3f}s, "
             f"{len(rec['metrics'])} metrics]", file=out))
@@ -355,15 +369,23 @@ def _cmd_serve(args, out) -> int:
             raise ValueError("--nodes must be >= 2")
         if args.pages < 1:
             raise ValueError("--pages must be >= 1")
+        if args.workers is not None and args.workers < 1:
+            raise ValueError("--workers must be >= 1")
     except ValueError as e:
         print(f"error: {e}", file=out)
         return 2
 
+    # None = keep the config default ($CONCORD_WORKERS or 1).
+    core_kw = {} if args.workers is None else {"workers": args.workers}
     cluster = Cluster(n_nodes=args.nodes, cost="new-cluster", seed=args.seed)
     instantiate(cluster, moldy(args.nodes, args.pages, seed=args.seed))
-    concord = ConCORD(cluster, ConCORDConfig(use_network=False, serve=cfg))
+    concord = ConCORD(cluster, ConCORDConfig(use_network=False, serve=cfg,
+                                             **core_kw))
     concord.initial_scan()
-    report = concord.serve(spec)
+    try:
+        report = concord.serve(spec)
+    finally:
+        concord.close()  # terminate pool workers before the process exits
     print(report.summary_table().render(), file=out)
 
     status = 0

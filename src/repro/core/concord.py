@@ -23,6 +23,7 @@ from repro.core.config import ConCORDConfig
 from repro.core.executor import CommandResult, ServiceCommandExecutor
 from repro.core.scope import ServiceScope
 from repro.dht.engine import ContentTracingEngine, RepairReport
+from repro.exec import ShardMapReduce, ShardPool
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor
 from repro.memory.nsm import NodeSpecificModule
@@ -83,6 +84,10 @@ class ConCORD:
                                  config=obs_cfg)
         cluster.network.use_registry(self.obs.registry)
         cluster.network.tracer = self.obs.tracer
+        # The parallel execution backend (docs/PARALLEL.md): one pool
+        # shared by the tracing engine, the query layers, and the command
+        # executor.  workers=1 never spawns a process.
+        self.pool = ShardPool(cfg.workers)
         engine_kw = {}
         if cfg.update_batch_size is not None:
             engine_kw["batch_size"] = cfg.update_batch_size
@@ -91,7 +96,9 @@ class ConCORD:
                                             n_represented=cfg.n_represented,
                                             transport=cfg.update_transport,
                                             obs=self.obs,
+                                            pool=self.pool,
                                             **engine_kw)
+        self._mapreduce = ShardMapReduce(self.tracing, self.pool)
         self.nsms: list[NodeSpecificModule] = []
         self.monitors: list[MemoryUpdateMonitor] = []
         for node in cluster.nodes:
@@ -103,10 +110,11 @@ class ConCORD:
                 mode=cfg.monitor_mode, hash_algo=cfg.hash_algo,
                 throttle_updates_per_s=cfg.throttle_updates_per_s,
                 n_represented=cfg.n_represented, obs=self.obs))
-        self.queries = QueryInterface(cluster, self.tracing, cfg.n_represented)
+        self.queries = QueryInterface(cluster, self.tracing, cfg.n_represented,
+                                      pool=self.pool)
         self.executor = ServiceCommandExecutor(cluster, self.tracing,
                                                cfg.n_represented,
-                                               obs=self.obs)
+                                               obs=self.obs, pool=self.pool)
         self._frontend: QueryFrontend | None = None
         self._last_traffic = None
         for entity in cluster.entities.values():
@@ -272,6 +280,30 @@ class ConCORD:
         """
         return self.executor.execute(service, scope, mode=mode, config=config,
                                      seed=seed, tracer=tracer)
+
+    # -- MapReduce analytics (docs/PARALLEL.md) -----------------------------------------------
+
+    def map_shards(self, map_fn, args: tuple = (), *, shard_filter=None,
+                   reduce_fn=None, initial=None, live_only: bool = True):
+        """MapReduce over the DHT shards through the shared pool.
+
+        ``map_fn(shard, *args)`` must be a pure per-shard kernel
+        (module-level, e.g. from :mod:`repro.exec.ops`); results return
+        as a list in shard order, or folded through ``reduce_fn`` in
+        that order.  The analysis jobs in :mod:`repro.analysis` are the
+        main consumers.
+        """
+        return self._mapreduce.map_shards(
+            map_fn, args, shard_filter=shard_filter, reduce_fn=reduce_fn,
+            initial=initial, live_only=live_only)
+
+    def close(self) -> None:
+        """Release the parallel backend (workers + shared segments).
+
+        Safe to skip at workers=1 (nothing was ever spawned) and safe to
+        call twice; a garbage-collected instance cleans up on its own.
+        """
+        self.pool.close()
 
     # -- introspection -----------------------------------------------------------------------------
 

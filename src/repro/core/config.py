@@ -14,6 +14,7 @@ accepts them for one release with a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from repro.memory.monitor import MonitorMode
@@ -21,6 +22,20 @@ from repro.obs import ObsConfig
 from repro.serve.config import ServeConfig
 
 __all__ = ["ConCORDConfig"]
+
+
+def _default_workers() -> int:
+    """Default worker count: the ``CONCORD_WORKERS`` env var, else 1.
+
+    The env override lets CI (and users) run an entire existing test or
+    serve workload under the parallel backend without touching call
+    sites; an unset/invalid value keeps today's single-core behavior.
+    """
+    raw = os.environ.get("CONCORD_WORKERS", "")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -45,6 +60,13 @@ class ConCORDConfig:
         Hash updates per wire message (None = engine default).
     update_transport:
         ``"udp"`` (best-effort, paper default) or ``"reliable"``.
+    workers:
+        Worker processes of the parallel execution backend
+        (docs/PARALLEL.md).  1 (the default, or any unset
+        ``CONCORD_WORKERS`` env var) keeps every shard operation inline —
+        byte-for-byte today's behavior; N > 1 fans shard scans,
+        collective-phase reductions, and repair routing across N
+        processes while keeping answers byte-identical.
     obs:
         Observability section (:class:`~repro.obs.ObsConfig`): the metrics
         registry is always on; ``obs.trace`` turns on sim-time span tracing
@@ -62,6 +84,7 @@ class ConCORDConfig:
     n_represented: int = 1
     update_batch_size: int | None = None
     update_transport: str = "udp"
+    workers: int = field(default_factory=_default_workers)
     obs: ObsConfig = field(default_factory=ObsConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
 

@@ -40,6 +40,8 @@ from repro.core.command import (
 from repro.core.events import CommandTracer, EventKind
 from repro.core.scope import ServiceScope
 from repro.dht.engine import ContentTracingEngine
+from repro.exec import ops as _ops
+from repro.exec.pool import ShardPool
 from repro.obs import Observability, Span
 from repro.sim.cluster import Cluster
 from repro.util.records import ENTITY_ID_BYTES, HASH_BYTES, UDP_HEADER_BYTES
@@ -160,12 +162,16 @@ class ServiceCommandExecutor:
 
     def __init__(self, cluster: Cluster, tracing: ContentTracingEngine,
                  n_represented: int = 1,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 pool: ShardPool | None = None) -> None:
         self.cluster = cluster
         self.tracing = tracing
         self.cost = cluster.cost
         self.n_represented = n_represented
         self.obs = obs if obs is not None else Observability()
+        # Parallel backend for the shard-scan fan-outs (docs/PARALLEL.md);
+        # workers=1 = inline, exactly the previous behavior.
+        self.pool = pool if pool is not None else ShardPool(1)
 
     # -- accounting -----------------------------------------------------------------
 
@@ -405,31 +411,25 @@ class ServiceCommandExecutor:
         1/n slice of e's believed content.
         """
         cluster = self.cluster
+        tracing = self.tracing
         by_node: dict[int, list[int]] = defaultdict(list)
         for eid in scope.all_entities():
             by_node[cluster.node_of(eid)].append(eid)
-        out: dict[int, np.ndarray] = {}
-        for node, eids in by_node.items():
-            shard = self.tracing.shards[node]
-            node_mask = 0
-            for eid in eids:
-                node_mask |= 1 << eid
+        nodes = list(by_node)
+        shards = [tracing.shards[n] for n in nodes]
+        for node, shard in zip(nodes, shards):
             self._charge(node, shard.n_hashes * self.cost.query_scan_per_entry
                          * self.n_represented)
-            hashes, lo, wide = shard.se_scan(node_mask)
-            if not len(hashes):
-                continue
-            for eid in eids:
-                if eid < 64:
-                    # se_scan keeps low-64 bits in the mask column even for
-                    # wide rows, so one bit-test covers every row.
-                    hs = hashes[((lo >> _U64(eid)) & _ONE) != 0]
-                else:
-                    bit = 1 << eid
-                    hs = np.asarray(sorted(hh for hh, m in wide.items()
-                                           if m & bit), dtype=np.uint64)
-                if len(hs):
-                    out[eid] = hs[:sample_cap]
+        # One sampling kernel per involved shard; dispatched through the
+        # pool (inline at workers=1) and merged in node order, so the
+        # result dict is identical at any worker count.
+        samples = self.pool.map_shards(
+            shards, _ops.hash_samples,
+            args_per_shard=[(by_node[n], sample_cap) for n in nodes],
+            versions=[tracing.shard_epoch(n) for n in nodes])
+        out: dict[int, np.ndarray] = {}
+        for m in samples:
+            out.update(m)
         return out
 
     def _collective_phase(self, service: ServiceCallbacks, scope: ServiceScope,
@@ -462,12 +462,19 @@ class ServiceCommandExecutor:
         # Only the live shards can answer: holed ranges contribute nothing
         # here, and the local phase covers whatever this misses (§4.3's
         # staleness argument extends unchanged to failure-induced holes).
-        for shard in self.tracing.live_shards():
+        # The scans themselves — the CPU-heavy part — are prefetched
+        # through the pool (inline at workers=1); the protocol below then
+        # walks the results in shard order on the coordinator, so charges,
+        # selection, and retries happen in exactly the serial order.
+        live = self.tracing.live_shards()
+        scans = self.pool.map_shards(
+            live, _ops.se_scan, (se_mask,),
+            versions=[self.tracing.shard_epoch(s.node_id) for s in live])
+        for shard, (hashes, lo, wide) in zip(live, scans):
             shard_node = shard.node_id
             # The shard scans its slice for hashes believed in the SEs.
             self._charge(shard_node,
                          shard.n_hashes * cost.query_scan_per_entry * R)
-            hashes, lo, wide = shard.se_scan(se_mask)
             nrow = len(hashes)
             if nrow == 0:
                 continue

@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.dht.partition import Partition
 from repro.dht.table import LocalDHT
+from repro.exec import ops as _ops
+from repro.exec.pool import ShardPool
 from repro.obs import Observability
 from repro.sim.cluster import Cluster
 from repro.sim.network import DeliveryError
@@ -99,7 +101,8 @@ class ContentTracingEngine:
     def __init__(self, cluster: Cluster, use_network: bool = True,
                  batch_size: int = DEFAULT_UPDATE_BATCH,
                  n_represented: int = 1, transport: str = "udp",
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 pool: ShardPool | None = None) -> None:
         """``transport``: "udp" (default) sends updates as datagrams the
         receiver must process; "rdma" models the paper's envisioned
         one-sided path — "because the originator of an update in principle
@@ -116,6 +119,9 @@ class ContentTracingEngine:
         self.n_represented = n_represented
         self.transport = transport
         self.obs = obs if obs is not None else Observability()
+        # Parallel backend for repair routing (docs/PARALLEL.md);
+        # workers=1 = inline, exactly the previous behavior.
+        self.pool = pool if pool is not None else ShardPool(1)
         reg = self.obs.registry
         self._c_routed = reg.counter("dht.updates_routed")
         self._c_applied = reg.counter("dht.updates_applied")
@@ -385,6 +391,14 @@ class ContentTracingEngine:
         copies = 0
         nodes_scanned = 0
         net = self.cluster.network
+        # Routing (select hashes in repaired ranges, group by current
+        # home) is pure and fans out through the pool — one task per
+        # (node, entity), gathered in collection order; the bulk_insert
+        # replay below runs on the coordinator in that same order, so
+        # repaired shards are byte-identical at any worker count.
+        tasks: list[tuple[np.ndarray, Partition, np.ndarray]] = []
+        task_eids: list[int] = []
+        work = 0
         for node in range(n):
             if not net.node_up[node]:
                 continue
@@ -396,13 +410,16 @@ class ContentTracingEngine:
                 hashes = nsm.scanned_hashes_of(entity.entity_id)
                 if hashes is None or not len(hashes):
                     continue
-                sel = np.isin(self.partition.primary_nodes(hashes), targets)
-                if not sel.any():
-                    continue
-                hs = hashes[sel]
-                for dst, idxs in self.partition.group_by_home(hs).items():
-                    self.shards[dst].bulk_insert(hs[idxs], entity.entity_id)
-                    copies += len(idxs)
+                tasks.append((hashes, self.partition, targets))
+                task_eids.append(entity.entity_id)
+                work += len(hashes)
+        routed = self.pool.run_tasks(_ops.repair_route, tasks, work=work)
+        for eid, groups in zip(task_eids, routed):
+            if not groups:
+                continue
+            for dst, hs in groups.items():
+                self.shards[dst].bulk_insert(hs, eid)
+                copies += len(hs)
         self._intact[targets] = True
         self.bump_all_epochs()
         self._c_repairs.inc()

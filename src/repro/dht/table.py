@@ -32,10 +32,11 @@ for interleaved sequences including the wide-mask spill path.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LocalDHT"]
+__all__ = ["LocalDHT", "ShardColumns"]
 
 _U64 = np.uint64
 _M64 = (1 << 64) - 1
@@ -50,6 +51,57 @@ _COMPACT_SHIFT = 3
 # Below this many updates the per-pair NumPy machinery costs more than the
 # scalar path; batches this small fall back to per-item insert/remove.
 _BULK_MIN = 8
+
+
+@dataclass(frozen=True)
+class ShardColumns:
+    """Picklable snapshot of one shard's columnar state.
+
+    The export/attach pair behind the parallel execution backend
+    (docs/PARALLEL.md): the coordinator writes the packed columns to a
+    shared segment file (``path``), ships this small descriptor to a
+    worker process, and the worker :meth:`attach`-es a *read-only*
+    :class:`LocalDHT` over an ``np.memmap`` of the same bytes — zero-copy
+    for the bulk columns, while the sparse side tables (wide spill,
+    extra-copy overflow) travel inline (they are tiny by construction).
+
+    With ``path=None`` the columns themselves travel inline instead
+    (used for empty shards and in tests); the descriptor pickles either
+    way.
+    """
+
+    node_id: int
+    n_rows: int
+    path: str | None          # segment file: [hashes | masks], 2*n_rows u64
+    hashes: np.ndarray | None  # inline fallback when path is None
+    masks: np.ndarray | None
+    wide: dict                # hash -> mask >> 64
+    extra: dict               # hash -> {entity: extra copies}
+    n_hashes: int
+    n_copies: int
+
+    def attach(self) -> LocalDHT:
+        """Reconstruct a read-only LocalDHT over the snapshot.
+
+        The result answers every read/scan API (``se_scan``,
+        ``bulk_masks``, ``items_arrays``, ...) identically to the source
+        shard at export time; mutating it is undefined (and a memmap-
+        backed one raises, since the maps are opened read-only).
+        """
+        t = LocalDHT(node_id=self.node_id)
+        n = self.n_rows
+        if self.path is not None and n:
+            buf = np.memmap(self.path, dtype=_U64, mode="r", shape=(2 * n,))
+            t._ph = buf[:n]
+            t._pm = buf[n:]
+        elif self.hashes is not None:
+            t._ph = self.hashes
+            t._pm = self.masks
+        t._pw = dict(self.wide)
+        t._extra = {h: dict(ex) for h, ex in self.extra.items()}
+        t._n_hashes = self.n_hashes
+        t._total_copies = self.n_copies
+        return t
 
 
 class LocalDHT:
@@ -517,6 +569,32 @@ class LocalDHT:
         """
         self._compact()
         return self._ph, self._pm, self._pw
+
+    def export_columns(self, path: str | None = None) -> ShardColumns:
+        """Snapshot the shard as a picklable :class:`ShardColumns`.
+
+        With ``path`` the packed columns are written there as raw bytes
+        (``[hashes | masks]``, ``2 * n_rows`` little-endian uint64) so a
+        worker process can attach them zero-copy via ``np.memmap``;
+        without, copies of the arrays travel inline.  The overlay is
+        compacted first, so the snapshot is exact.
+        """
+        self._compact()
+        n = len(self._ph)
+        if path is not None and n:
+            buf = np.empty(2 * n, dtype=_U64)
+            buf[:n] = self._ph
+            buf[n:] = self._pm
+            buf.tofile(path)
+            hashes = masks = None
+        else:
+            path = None
+            hashes, masks = self._ph.copy(), self._pm.copy()
+        return ShardColumns(
+            node_id=self.node_id, n_rows=n, path=path,
+            hashes=hashes, masks=masks, wide=dict(self._pw),
+            extra={h: dict(ex) for h, ex in self._extra.items()},
+            n_hashes=self._n_hashes, n_copies=self._total_copies)
 
     def se_scan(self, se_mask: int) \
             -> tuple[np.ndarray, np.ndarray, dict[int, int]]:

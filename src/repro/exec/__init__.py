@@ -1,0 +1,12 @@
+"""Parallel execution backend: ShardPool + MapReduce over shards.
+
+See docs/PARALLEL.md.  Per-shard kernels live in :mod:`repro.exec.ops`
+(import-leaf, worker-safe); :class:`ShardPool` fans them out across
+processes over shared-memory shard views; :class:`ShardMapReduce` binds
+the pool to a tracing engine for analytics jobs.
+"""
+
+from repro.exec.mapreduce import ShardMapReduce
+from repro.exec.pool import DEFAULT_MIN_ROWS, ShardPool
+
+__all__ = ["ShardPool", "ShardMapReduce", "DEFAULT_MIN_ROWS"]

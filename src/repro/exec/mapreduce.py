@@ -1,0 +1,45 @@
+"""MapReduce over DHT shards (docs/PARALLEL.md).
+
+The analytics shape from the telemetry-server pattern — filter the shard
+set, map a kernel per shard, reduce centrally — bound to a tracing
+engine and a :class:`~repro.exec.pool.ShardPool`.  Shard epochs version
+the published segment files, so back-to-back jobs over an unchanged
+shard reuse its export instead of re-copying the columns.
+
+The engine is duck-typed (``live_shards``/``shards``/``shard_epoch``) to
+keep this module off the engine's import path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exec.pool import ShardPool
+
+__all__ = ["ShardMapReduce"]
+
+
+class ShardMapReduce:
+    """``map_shards(filter, map_fn, reduce_fn)`` over an engine's shards."""
+
+    def __init__(self, engine, pool: ShardPool) -> None:
+        self.engine = engine
+        self.pool = pool
+
+    def map_shards(self, map_fn: Callable, args: tuple = (), *,
+                   shard_filter: Callable | None = None,
+                   reduce_fn: Callable | None = None, initial=None,
+                   live_only: bool = True):
+        """Run ``map_fn(shard, *args)`` over the (live) shards.
+
+        Results come back as a list in shard order, or folded through
+        ``reduce_fn`` in that order — never completion order, so answers
+        are byte-identical at any worker count.
+        """
+        eng = self.engine
+        shards = (eng.live_shards() if live_only else list(eng.shards))
+        versions = [eng.shard_epoch(s.node_id) for s in shards]
+        return self.pool.map_shards(shards, map_fn, args,
+                                    versions=versions,
+                                    shard_filter=shard_filter,
+                                    reduce_fn=reduce_fn, initial=initial)

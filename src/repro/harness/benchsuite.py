@@ -21,6 +21,7 @@ pytest port use one implementation.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.core.concord import ConCORD
 from repro.core.config import ConCORDConfig
 from repro.core.scope import ServiceScope
 from repro.dht.table import LocalDHT
+from repro.exec import ShardPool
+from repro.exec import ops as _ops
 from repro.obs.bench import BenchContext, BenchRunner, BenchSpec
 from repro.services.checkpoint import CheckpointStore, CollectiveCheckpoint
 from repro.services.null import NullService
@@ -216,6 +219,119 @@ def _hotpath_single_op(ctx: BenchContext, _state) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Parallel execution backend (docs/PARALLEL.md): ShardPool fan-out vs serial
+# ---------------------------------------------------------------------------
+
+_EXEC_N_ENTITIES = 8
+
+
+def _exec_setup(params: dict) -> list[LocalDHT]:
+    """``n_shards`` independent shard tables, ``size`` rows each, compacted
+    (publish/scan work, not build work, is what these specs time)."""
+    rng = np.random.default_rng(params.get("seed", 0))
+    shards = []
+    for node in range(params["n_shards"]):
+        keys = rng.integers(0, 2**63, size=params["size"], dtype=np.uint64)
+        eids = rng.integers(0, _EXEC_N_ENTITIES, size=params["size"],
+                            dtype=np.int64)
+        t = LocalDHT(node_id=node)
+        t.bulk_insert(keys, eids)
+        t.items_arrays()  # force compaction out of the timed region
+        shards.append(t)
+    return shards
+
+
+def _scan_results_equal(a: list, b: list) -> bool:
+    """Byte-identity of two per-shard se_scan result lists."""
+    return len(a) == len(b) and all(
+        np.array_equal(x[0], y[0]) and np.array_equal(x[1], y[1])
+        and x[2] == y[2] for x, y in zip(a, b))
+
+
+def _merge_breakdown(a, b):
+    a.merge(b)
+    return a
+
+
+def _exec_node_masks(n_shards: int) -> dict[int, int]:
+    """Synthetic placement: entity ``e`` lives on node ``e % n_shards``."""
+    masks: dict[int, int] = {}
+    for e in range(_EXEC_N_ENTITIES):
+        node = e % n_shards
+        masks[node] = masks.get(node, 0) | (1 << e)
+    return masks
+
+
+def _exec_scan(ctx: BenchContext, shards) -> None:
+    """se_scan fan-out: the collective-phase discovery scan through a
+    multi-worker ShardPool vs the inline serial path, byte-checked."""
+    p = ctx.params
+    rows = sum(s.n_hashes for s in shards)
+    versions = [0] * len(shards)  # static tables: publish once, reuse
+    serial = ShardPool(1)
+    para = ShardPool(p["workers"], min_rows=0)
+    try:
+        out_s = serial.map_shards(shards, _ops.se_scan, (_SCOPE_MASK,))
+        # Warm the parallel pool (process spawn + segment publish) so the
+        # timed region measures scan throughput, not one-time setup.
+        out_p = para.map_shards(shards, _ops.se_scan, (_SCOPE_MASK,),
+                                versions=versions)
+        assert _scan_results_equal(out_s, out_p), \
+            "parallel se_scan diverged from serial"
+        t_ser, _ = _best_of(
+            lambda: serial.map_shards(shards, _ops.se_scan, (_SCOPE_MASK,)))
+        t_par, _ = _best_of(
+            lambda: para.map_shards(shards, _ops.se_scan, (_SCOPE_MASK,),
+                                    versions=versions))
+        ctx.count("rows", rows)
+        ctx.count("deterministic", 1)
+        ctx.wall("serial_entries_per_s", rows / t_ser, unit="1/s",
+                 higher_is_better=True)
+        ctx.wall("parallel_entries_per_s", rows / t_par, unit="1/s",
+                 higher_is_better=True)
+        ctx.wall("speedup", t_ser / t_par, unit="x", higher_is_better=True)
+    finally:
+        serial.close()
+        para.close()
+
+
+def _exec_collective(ctx: BenchContext, shards) -> None:
+    """Collective-phase reduction fan-out: per-shard sharing breakdowns
+    merged in shard order, parallel vs serial, byte-checked."""
+    p = ctx.params
+    rows = sum(s.n_hashes for s in shards)
+    versions = [0] * len(shards)
+    s_mask = (1 << _EXEC_N_ENTITIES) - 1
+    node_masks = _exec_node_masks(len(shards))
+    serial = ShardPool(1)
+    para = ShardPool(p["workers"], min_rows=0)
+
+    def run(pool, v):
+        return pool.map_shards(
+            shards, _ops.shard_breakdown, (s_mask, node_masks), versions=v,
+            reduce_fn=_merge_breakdown, initial=_ops.SharingBreakdown())
+
+    try:
+        out_s = run(serial, None)
+        out_p = run(para, versions)  # also warms spawn + publish
+        assert out_s == out_p, \
+            "parallel breakdown reduction diverged from serial"
+        t_ser, _ = _best_of(lambda: run(serial, None))
+        t_par, _ = _best_of(lambda: run(para, versions))
+        ctx.count("rows", rows)
+        ctx.count("distinct", out_s.distinct)
+        ctx.count("deterministic", 1)
+        ctx.wall("serial_entries_per_s", rows / t_ser, unit="1/s",
+                 higher_is_better=True)
+        ctx.wall("parallel_entries_per_s", rows / t_par, unit="1/s",
+                 higher_is_better=True)
+        ctx.wall("speedup", t_ser / t_par, unit="x", higher_is_better=True)
+    finally:
+        serial.close()
+        para.close()
+
+
+# ---------------------------------------------------------------------------
 # Macro benchmarks: sim-time metrics over the real protocol (deterministic)
 # ---------------------------------------------------------------------------
 
@@ -375,23 +491,34 @@ def _bench_serve_cached_qps(ctx: BenchContext, _state) -> None:
 _WALL_FIGURES = frozenset({"fig05", "fig08"})
 
 
-def figure_runner(name: str):
+class _FigureRunner:
     """``fn(ctx, state)`` wrapping one ALL_EXPERIMENTS runner: records one
-    ``<series>.mean`` metric per table series and returns the Table."""
-    kind = "wall" if name in _WALL_FIGURES else "sim"
+    ``<series>.mean`` metric per table series and returns the Table.
 
-    def fn(ctx: BenchContext, _state):
+    A module-level class rather than a closure so the ``BenchSpec``
+    instances built from it pickle cleanly (spawn-method worker pools,
+    round-trip tests) — a nested ``fn`` would fail with
+    ``AttributeError: Can't pickle local object``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.kind = "wall" if name in _WALL_FIGURES else "sim"
+        self.__name__ = f"figure_{name}"
+
+    def __call__(self, ctx: BenchContext, _state):
         from repro.harness.experiments import ALL_EXPERIMENTS
 
-        table = ALL_EXPERIMENTS[name](**ctx.params)
+        table = ALL_EXPERIMENTS[self.name](**ctx.params)
         for s in table.series:
             if s.values:
                 ctx.record(f"{s.name}.mean", float(np.mean(s.values)),
-                           kind=kind)
+                           kind=self.kind)
         return table
 
-    fn.__name__ = f"figure_{name}"
-    return fn
+
+def figure_runner(name: str) -> _FigureRunner:
+    """Build the (picklable) runner for one registered experiment."""
+    return _FigureRunner(name)
 
 
 def _figure_specs() -> dict[str, BenchSpec]:
@@ -415,8 +542,17 @@ FIGURE_SPECS = _figure_specs()
 # ---------------------------------------------------------------------------
 
 
-def build_default_runner() -> BenchRunner:
-    """Every registered benchmark: quick + full + figure tiers."""
+def build_default_runner(workers: int | None = None) -> BenchRunner:
+    """Every registered benchmark: quick + full + figure tiers.
+
+    ``workers`` sizes the ShardPool the ``exec.*`` specs fan out over
+    (default: the host's CPU count — record it in the trajectory env
+    fingerprint via ``environment_fingerprint({"workers": ...})`` so
+    points from different hosts are never read as like-for-like).
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, int(workers))
     r = BenchRunner()
 
     # Hot paths, quick (250k) and full (1M) sizes.
@@ -438,6 +574,20 @@ def build_default_runner() -> BenchRunner:
         "hotpaths.single_op.100k", _hotpath_single_op,
         params={"size": 100_000, "reps": 20_000}, repeats=3, tier="quick",
         doc="single insert/remove latency at 100k-hash table (Fig 5 shape)"))
+
+    # Parallel execution backend (docs/PARALLEL.md).  Wall-only speedups —
+    # they scale with the host's cores, so the gate never pins them; the
+    # count metrics (rows, byte-identity) stay deterministic.
+    r.register(BenchSpec(
+        "exec.scan", _exec_scan,
+        params={"size": 120_000, "n_shards": 8, "workers": workers},
+        setup=_exec_setup, tier="quick",
+        doc="se_scan fan-out over the ShardPool vs inline serial"))
+    r.register(BenchSpec(
+        "exec.collective_phase", _exec_collective,
+        params={"size": 120_000, "n_shards": 8, "workers": workers},
+        setup=_exec_setup, tier="quick",
+        doc="collective-phase breakdown reduction, parallel vs serial"))
 
     # Macro sim benchmarks (deterministic; these are what the gate pins).
     r.register(BenchSpec(

@@ -76,8 +76,13 @@ class BaselineError(ValueError):
     """A baseline/trajectory file is missing, malformed, or wrong-schema."""
 
 
-def environment_fingerprint() -> dict:
-    """Where a record was produced: interpreter, numpy, machine, git sha."""
+def environment_fingerprint(extra: dict | None = None) -> dict:
+    """Where a record was produced: interpreter, numpy, machine, cpu
+    count, git sha — plus caller-supplied keys (e.g. the worker count a
+    parallel benchmark ran with, so trajectory points from differently
+    provisioned hosts never get compared as like-for-like)."""
+    import os
+
     import numpy as np
 
     try:
@@ -87,12 +92,16 @@ def environment_fingerprint() -> dict:
             cwd=Path(__file__).resolve().parent).stdout.strip() or "unknown"
     except (OSError, subprocess.SubprocessError):
         sha = "unknown"
-    return {
+    fp = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
         "git_sha": sha,
     }
+    if extra:
+        fp.update(extra)
+    return fp
 
 
 class BenchContext:
@@ -206,6 +215,7 @@ class BenchRunner:
         return out
 
     def run_spec(self, spec: BenchSpec, profiler=None,
+                 env_extra: dict | None = None,
                  **param_overrides) -> tuple[dict, object]:
         """Run one spec; returns ``(record, payload)``."""
         if param_overrides:
@@ -240,12 +250,13 @@ class BenchRunner:
             "metrics": metrics,
             "runtime_s": round(t_best, 6),
             "unix_time": round(time.time(), 3),
-            "env": environment_fingerprint(),
+            "env": environment_fingerprint(env_extra),
         }
         return record, payload
 
     def run(self, names: Iterable[str] | None = None, tier: str | None = None,
             filter_substr: str | None = None, profiler=None,
+            env_extra: dict | None = None,
             progress: Callable[[str, dict], None] | None = None) -> list[dict]:
         """Run a selection of specs and return their records."""
         selected = list(names) if names is not None else self.names(tier)
@@ -257,7 +268,8 @@ class BenchRunner:
             if spec is None:
                 raise KeyError(f"unknown benchmark {name!r}; "
                                f"choose from {self.names()}")
-            record, _payload = self.run_spec(spec, profiler=profiler)
+            record, _payload = self.run_spec(spec, profiler=profiler,
+                                             env_extra=env_extra)
             records.append(record)
             if progress is not None:
                 progress(name, record)

@@ -22,6 +22,7 @@ them) never go stale.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from collections.abc import Iterator, Sequence
 
 from repro.util.stats import Table
@@ -127,11 +128,12 @@ class Histogram:
             self.max = v
         if len(self.samples) < QUANTILE_SAMPLE_CAP:
             self.samples.append(v)
-        for i, bound in enumerate(self.bounds):
-            if v <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # bisect_left(bounds, v) is the first i with bounds[i] >= v — the
+        # bucket the old linear `v <= bound` scan picked — and returns
+        # len(bounds) (the overflow bucket) past the last bound.  NaN
+        # compares False against every bound, so it overflows explicitly.
+        idx = len(self.bounds) if v != v else bisect_left(self.bounds, v)
+        self.bucket_counts[idx] += 1
 
     @property
     def mean(self) -> float:

@@ -42,6 +42,12 @@ import numpy as np
 
 from repro.core.command import ExecMode
 from repro.dht.engine import ContentTracingEngine
+from repro.exec import ops as _ops
+from repro.exec.pool import ShardPool
+# Re-exported for compatibility: SharingBreakdown moved to repro.exec.ops
+# (an import leaf) so worker processes can unpickle it without importing
+# the query layer.
+from repro.exec.ops import SharingBreakdown
 from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
 
@@ -61,31 +67,29 @@ class CollectiveAnswer:
     degraded: bool = False
 
 
-@dataclass
-class SharingBreakdown:
-    """Partial sums a shard contributes to sharing queries."""
-
-    total_copies: int = 0
-    distinct: int = 0
-    intra_dup: int = 0
-    inter_dup: int = 0
-
-    def merge(self, other: SharingBreakdown) -> None:
-        self.total_copies += other.total_copies
-        self.distinct += other.distinct
-        self.intra_dup += other.intra_dup
-        self.inter_dup += other.inter_dup
+def _merge_breakdown(a: SharingBreakdown,
+                     b: SharingBreakdown) -> SharingBreakdown:
+    a.merge(b)
+    return a
 
 
 class CollectiveQueryEngine:
-    """Executes collective queries over the tracing engine's shards."""
+    """Executes collective queries over the tracing engine's shards.
+
+    Shard scans dispatch through a :class:`~repro.exec.pool.ShardPool`
+    (docs/PARALLEL.md): at ``workers=1`` they run inline exactly as
+    before; with workers the per-shard kernels fan out across processes
+    and partial results merge in shard-index order, so the answers are
+    byte-identical at any worker count.
+    """
 
     def __init__(self, cluster: Cluster, engine: ContentTracingEngine,
-                 n_represented: int = 1) -> None:
+                 n_represented: int = 1, pool: ShardPool | None = None) -> None:
         self.cluster = cluster
         self.engine = engine
         self.cost: CostModel = cluster.cost
         self.n_represented = n_represented
+        self.pool = pool if pool is not None else ShardPool(1)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -102,56 +106,18 @@ class CollectiveQueryEngine:
 
     def _shard_in_s_copies(self, shard, s_mask: int) \
             -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
-        """Columnar scan of one shard against an entity-set mask.
-
-        Returns ``(hashes, in_s_lo, copies, wide)``: the believed hashes
-        intersecting S, their low-64 in-S holder bits, the exact per-hash
-        copy count inside S (extras and wide holders folded in), and the
-        full-mask dict for wide rows.
-        """
-        hashes, lo, wide = shard.se_scan(s_mask)
-        n = len(hashes)
-        if n == 0:
-            return hashes, lo, np.empty(0, dtype=np.int64), wide
-        in_s_lo = lo & _U64(s_mask & _M64)
-        copies = np.bitwise_count(in_s_lo).astype(np.int64)
-        if wide:
-            for h, full in wide.items():
-                i = int(np.searchsorted(hashes, _U64(h)))
-                copies[i] = (full & s_mask).bit_count()
-        for h, ex in shard.extra_items():
-            i = int(np.searchsorted(hashes, _U64(h)))
-            if i >= n or int(hashes[i]) != h:
-                continue
-            in_s = (wide[h] if h in wide else int(in_s_lo[i])) & s_mask
-            copies[i] += sum(c for eid, c in ex.items()
-                             if in_s & (1 << eid))
-        return hashes, in_s_lo, copies, wide
+        """One shard's in-S scan (kernel body in :mod:`repro.exec.ops`)."""
+        return _ops.shard_in_s_copies(shard, s_mask)
 
     def _shard_breakdown(self, shard, s_mask: int,
                          node_masks: dict[int, int]) -> SharingBreakdown:
-        out = SharingBreakdown()
-        hashes, in_s_lo, copies, wide = self._shard_in_s_copies(shard, s_mask)
-        n = len(hashes)
-        if n == 0:
-            return out
-        # Each copy inside S belongs to exactly one node, so per hash
-        # intra = copies - nodes_holding and inter = nodes_holding - 1 —
-        # the same split the per-node loop used to compute entry by entry.
-        nodes_holding = np.zeros(n, dtype=np.int64)
-        for _node, nmask in node_masks.items():
-            nodes_holding += (in_s_lo & _U64(nmask & _M64)) != 0
-        if wide:
-            for h, full in wide.items():
-                i = int(np.searchsorted(hashes, _U64(h)))
-                in_s = full & s_mask
-                nodes_holding[i] = sum(1 for _node, nmask in node_masks.items()
-                                       if in_s & nmask)
-        out.total_copies = int(copies.sum())
-        out.distinct = n
-        out.intra_dup = int(copies.sum()) - int(nodes_holding.sum())
-        out.inter_dup = int(nodes_holding.sum()) - n
-        return out
+        """One shard's partial sums (kernel in :mod:`repro.exec.ops`)."""
+        return _ops.shard_breakdown(shard, s_mask, node_masks)
+
+    def _live_shards_versioned(self) -> tuple[list, list[int]]:
+        """The live shards plus their epochs (segment-reuse versions)."""
+        shards = self.engine.live_shards()
+        return shards, [self.engine.shard_epoch(s.node_id) for s in shards]
 
     # -- latency model -------------------------------------------------------------
 
@@ -196,10 +162,11 @@ class CollectiveQueryEngine:
         ranges contribute nothing (the callers annotate coverage).
         """
         s_mask, node_masks = self._entity_masks(entity_ids)
-        out = SharingBreakdown()
-        for shard in self.engine.live_shards():
-            out.merge(self._shard_breakdown(shard, s_mask, node_masks))
-        return out
+        shards, versions = self._live_shards_versioned()
+        return self.pool.map_shards(shards, _ops.shard_breakdown,
+                                    (s_mask, node_masks), versions=versions,
+                                    reduce_fn=_merge_breakdown,
+                                    initial=SharingBreakdown())
 
     def sharing(self, entity_ids: list[int],
                 exec_mode: ExecMode | str = ExecMode.DISTRIBUTED,
@@ -241,10 +208,10 @@ class CollectiveQueryEngine:
         if k < 1:
             raise ValueError("k must be >= 1")
         s_mask, _ = self._entity_masks(entity_ids)
-        count = 0
-        for shard in self.engine.live_shards():
-            _hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
-            count += int((copies >= k).sum())
+        shards, versions = self._live_shards_versioned()
+        count = self.pool.map_shards(shards, _ops.count_at_least,
+                                     (s_mask, k), versions=versions,
+                                     reduce_fn=lambda a, b: a + b, initial=0)
         return self._answer(count * self.n_represented, exec_mode)
 
     def shared_content(self, entity_ids: list[int], k: int,
@@ -253,10 +220,11 @@ class CollectiveQueryEngine:
         if k < 1:
             raise ValueError("k must be >= 1")
         s_mask, _ = self._entity_masks(entity_ids)
+        shards, versions = self._live_shards_versioned()
         hashes: set[int] = set()
-        for shard in self.engine.live_shards():
-            hs, _lo, copies, _w = self._shard_in_s_copies(shard, s_mask)
+        for hs in self.pool.map_shards(shards, _ops.hashes_at_least,
+                                       (s_mask, k), versions=versions):
             if len(hs):
-                hashes.update(hs[copies >= k].tolist())
+                hashes.update(hs.tolist())
         return self._answer(hashes, exec_mode,
                             result_bytes=8 * len(hashes) * self.n_represented)

@@ -38,11 +38,11 @@ class QueryInterface:
     """Issue the paper's node-wise and collective queries."""
 
     def __init__(self, cluster: Cluster, engine: ContentTracingEngine,
-                 n_represented: int = 1) -> None:
+                 n_represented: int = 1, pool=None) -> None:
         self.cluster = cluster
         self.engine = engine
         self._collective = _collective.CollectiveQueryEngine(
-            cluster, engine, n_represented)
+            cluster, engine, n_represented, pool=pool)
 
     # -- node-wise (paper Fig 3, top) --------------------------------------------
 

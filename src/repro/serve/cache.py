@@ -53,12 +53,16 @@ class EpochCache:
     *invalidation*: the entry is dropped and the lookup misses.  Counters
     live in the provided registry (``serve.cache.*``) — the metrics
     report is the single source of truth, never parallel bookkeeping.
+
+    ``capacity=0`` is a true bypass: nothing is ever stored, every get
+    misses, and no eviction is counted (an insert-then-evict would
+    inflate ``serve.cache.evictions`` on every call).
     """
 
     def __init__(self, capacity: int = 65536,
                  obs: Observability | None = None) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self.obs = obs if obs is not None else Observability()
         reg = self.obs.registry
@@ -107,6 +111,8 @@ class EpochCache:
         return result
 
     def put(self, key: tuple, token: tuple, result: QueryResult) -> None:
+        if self.capacity == 0:
+            return  # bypass: no insert, no eviction accounting
         self._map[key] = (token, result)
         self._map.move_to_end(key)
         while len(self._map) > self.capacity:

@@ -40,7 +40,9 @@ class ServeConfig:
     cache / cache_capacity:
         The update-epoch result cache (docs/SERVING.md): answers keyed on
         ``(query, args, shard-epoch)`` and invalidated precisely when a
-        covering shard's epoch advances.  Capacity is entries, evicted LRU.
+        covering shard's epoch advances.  Capacity is entries, evicted
+        LRU; capacity 0 is a true bypass (nothing stored, every lookup
+        misses, no evictions counted).
     cache_hit_cost_s:
         Modelled service time of answering from cache (a dict hit plus
         serialization) — the denominator of the cached-throughput win.
@@ -73,8 +75,8 @@ class ServeConfig:
             raise ValueError("batching windows must be non-negative")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        if self.cache_capacity < 1:
-            raise ValueError("cache_capacity must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
         if self.cache_hit_cost_s < 0:
             raise ValueError("cache_hit_cost_s must be non-negative")
 

@@ -1,0 +1,70 @@
+"""Pin the bisect bucket selection against the old linear scan.
+
+``Histogram.observe`` used to walk the bounds tuple per observation
+(O(bounds) on the hot path); it now bisects.  The two must place every
+float — bound-exact values, infinities, NaN, negatives — in the same
+bucket, so the old loop lives on here as the reference implementation.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.registry import DEFAULT_BOUNDS, Histogram
+
+
+def reference_bucket(bounds: tuple, v: float) -> int:
+    """The pre-bisect linear scan, verbatim."""
+    for i, bound in enumerate(bounds):
+        if v <= bound:
+            return i
+    return len(bounds)
+
+
+def bucket_of(bounds: tuple, v: float) -> int:
+    h = Histogram(bounds)
+    h.observe(v)
+    return h.bucket_counts.index(1)
+
+
+EDGE_VALUES = [
+    0.0, -0.0, -1.0, -1e300, 1e300,
+    float("inf"), float("-inf"), float("nan"),
+    *DEFAULT_BOUNDS,                       # exactly on each bound
+    *(b * (1 - 1e-12) for b in DEFAULT_BOUNDS),
+    *(b * (1 + 1e-12) for b in DEFAULT_BOUNDS),
+]
+
+
+class TestBucketEquivalence:
+    def test_edge_values_match_reference(self):
+        for v in EDGE_VALUES:
+            want = reference_bucket(DEFAULT_BOUNDS, v)
+            assert bucket_of(DEFAULT_BOUNDS, v) == want, v
+
+    def test_nan_lands_in_overflow(self):
+        # The one spot bisect and the loop could diverge: every `NaN <=
+        # bound` is False, so the loop overflowed; bisect_left would
+        # return 0 without the explicit guard.
+        assert bucket_of(DEFAULT_BOUNDS, float("nan")) == len(DEFAULT_BOUNDS)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_any_float_matches_reference(self, v):
+        assert bucket_of(DEFAULT_BOUNDS, v) == \
+            reference_bucket(DEFAULT_BOUNDS, v)
+
+    @given(st.lists(st.floats(min_value=1e-9, max_value=1e4,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.integers(0, 2**32 - 1))
+    def test_random_streams_produce_identical_buckets(self, bounds_src, seed):
+        bounds = tuple(sorted(set(bounds_src)))
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-1.0, 2e4, size=200).tolist() \
+            + list(bounds)                  # hit every bound exactly
+        h = Histogram(bounds)
+        want = [0] * (len(bounds) + 1)
+        for v in values:
+            h.observe(v)
+            want[reference_bucket(bounds, float(v))] += 1
+        assert h.bucket_counts == want
+        assert h.count == len(values)

@@ -49,7 +49,23 @@ class TestEpochCache:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            EpochCache(capacity=0)
+            EpochCache(capacity=-1)
+
+    def test_capacity_zero_is_a_true_bypass(self):
+        c = EpochCache(capacity=0)
+        c.put(("k",), (1,), result(7))
+        assert len(c) == 0           # nothing stored
+        assert c.evictions == 0      # and no insert-then-evict accounting
+        assert c.get(("k",), (1,)) is None
+        assert c.misses == 1 and c.hits == 0 and c.invalidations == 0
+
+    def test_capacity_zero_size_gauge_stays_zero(self):
+        obs = Observability()
+        c = EpochCache(capacity=0, obs=obs)
+        for i in range(5):
+            c.put(("k", i), (1,), result(i))
+        assert obs.registry.value("serve.cache.size") == 0
+        assert obs.registry.value("serve.cache.evictions") == 0
 
 
 class TestCachedQueries:
@@ -143,6 +159,33 @@ class TestCachedQueries:
         assert fresh.value == r.value       # self-healed
         assert len(cq.violations) == 1
         assert cq.obs.registry.value("serve.cache.violations") == 1
+
+
+class TestCapacityZeroBypass:
+    def setup_method(self):
+        self.cluster, self.ents, self.concord = make_system(seed=11)
+        self.queries = QueryInterface(self.cluster, self.concord.tracing)
+        self.cq = CachedQueries(self.queries, capacity=0)
+        h = next(iter(self.concord.tracing.shards[0].hashes()))
+        self.h = int(h)
+        self.eids = sorted(self.cluster.all_entity_ids())
+
+    def test_never_hits_but_answers_match_uncached(self):
+        for _ in range(2):
+            r, hit = self.cq.num_copies(self.h, 0)
+            assert not hit
+            assert r == self.queries.num_copies(self.h, 0)
+            r, hit = self.cq.sharing(self.eids)
+            assert not hit
+            assert r == self.queries.sharing(self.eids)
+        assert len(self.cq.cache) == 0
+        assert self.cq.cache.evictions == 0
+
+    def test_serve_config_accepts_zero(self):
+        from repro.serve.config import ServeConfig
+        assert ServeConfig(cache_capacity=0).cache_capacity == 0
+        with pytest.raises(ValueError):
+            ServeConfig(cache_capacity=-1)
 
 
 class TestCacheIsolation:
