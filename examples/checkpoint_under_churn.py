@@ -42,22 +42,22 @@ def main() -> None:
     cluster = Cluster(8, cost="old-cluster", seed=21)
     entities = workloads.instantiate(cluster, spec)
     eids = [e.entity_id for e in entities]
-    concord = ConCORD(cluster)
-    concord.initial_scan()
-    print(f"tracking {len(entities)} processes on {cluster.n_nodes} nodes; "
-          f"{concord.total_tracked_hashes} hashes in the DHT")
+    with ConCORD.from_config(cluster) as concord:
+        concord.initial_scan()
+        print(f"tracking {len(entities)} processes on {cluster.n_nodes} "
+              f"nodes; {concord.total_tracked_hashes} hashes in the DHT")
 
-    # -- the application keeps running: churn after the scan -------------------
-    rng = np.random.default_rng(22)
-    for e in entities:
-        e.mutate_random(0.3, rng)
-    print("application mutated 30% of its pages since the last scan "
-          "(the DHT does not know)")
+        # -- the application keeps running: churn after the scan ---------------
+        rng = np.random.default_rng(22)
+        for e in entities:
+            e.mutate_random(0.3, rng)
+        print("application mutated 30% of its pages since the last scan "
+              "(the DHT does not know)")
 
-    # -- checkpoint through the service command --------------------------------
-    store = CheckpointStore()
-    result = concord.execute_command(CollectiveCheckpoint(store),
-                                     ServiceScope.of(eids))
+        # -- checkpoint through the service command ----------------------------
+        store = CheckpointStore()
+        result = concord.execute_command(CollectiveCheckpoint(store),
+                                         ServiceScope.of(eids))
     s = result.stats
     print(f"\ncheckpoint completed in {fmt_time_s(result.wall_time)} "
           f"(simulated old-cluster time)")

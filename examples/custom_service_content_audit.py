@@ -72,19 +72,19 @@ def main() -> None:
     cluster = Cluster(8, cost="new-cluster", seed=41)
     entities = workloads.instantiate(cluster, workloads.moldy(8, 2048, seed=41))
     eids = [e.entity_id for e in entities]
-    concord = ConCORD(cluster)
-    concord.initial_scan()
+    with ConCORD.from_config(cluster) as concord:
+        concord.initial_scan()
 
-    # Blacklist a few content IDs that actually occur (one from the shared
-    # pool, so many entities hold it).
-    rng = np.random.default_rng(42)
-    bad = {int(entities[0].read_page(5)), int(entities[3].read_page(100))}
-    # Plant one *after* the scan, so the DHT doesn't know about it.
-    entities[1].write_page(7, 0xBAD0BAD0)
-    bad.add(0xBAD0BAD0)
+        # Blacklist a few content IDs that actually occur (one from the
+        # shared pool, so many entities hold it).
+        rng = np.random.default_rng(42)
+        bad = {int(entities[0].read_page(5)), int(entities[3].read_page(100))}
+        # Plant one *after* the scan, so the DHT doesn't know about it.
+        entities[1].write_page(7, 0xBAD0BAD0)
+        bad.add(0xBAD0BAD0)
 
-    svc = ContentAuditService(bad)
-    result = concord.execute_command(svc, ServiceScope.of(eids))
+        svc = ContentAuditService(bad)
+        result = concord.execute_command(svc, ServiceScope.of(eids))
 
     total_pages = sum(e.n_pages for e in entities)
     deep = sum(c.state.deep_scans for c in result.contexts.values()

@@ -59,53 +59,54 @@ def main() -> None:
         make_family_vm(cluster, 3, image_b, 6, rng),
     ]
     eids = [vm.entity_id for vm in vms]
-    concord = ConCORD(cluster)
-    concord.initial_scan()
-    print(f"6 VMs ({fmt_bytes(sum(vm.memory_bytes for vm in vms))}) on 4 "
-          f"nodes; two guest images, interleaved placement")
+    with ConCORD.from_config(cluster) as concord:
+        concord.initial_scan()
+        print(f"6 VMs ({fmt_bytes(sum(vm.memory_bytes for vm in vms))}) on 4 "
+              f"nodes; two guest images, interleaved placement")
 
-    # -- churn + periodic profiling on the simulated clock ---------------------
-    profiler = RedundancyProfiler(concord, eids)
-    profiler.snapshot(time=0.0)
-    ChurnDriver(vms, pages_per_tick=8, pattern="hotspot",
-                seed=55).run_on(cluster.engine, period=1.0, horizon=6.0)
-    profiler.run_on(cluster.engine, period=2.0, horizon=6.0)
-    cluster.engine.run()
-    print("\nredundancy under churn:")
-    print(profiler.report().render(float_fmt="{:.3f}"))
+        # -- churn + periodic profiling on the simulated clock -----------------
+        profiler = RedundancyProfiler(concord, eids)
+        profiler.snapshot(time=0.0)
+        ChurnDriver(vms, pages_per_tick=8, pattern="hotspot",
+                    seed=55).run_on(cluster.engine, period=1.0, horizon=6.0)
+        profiler.run_on(cluster.engine, period=2.0, horizon=6.0)
+        cluster.engine.run()
+        print("\nredundancy under churn:")
+        print(profiler.report().render(float_fmt="{:.3f}"))
 
-    top = top_shared_content(concord, eids, n=3)
-    print("\nmost replicated content: "
-          + ", ".join(f"0x{h:012x} x{c}" for h, c in top))
+        top = top_shared_content(concord, eids, n=3)
+        print("\nmost replicated content: "
+              + ", ".join(f"0x{h:012x} x{c}" for h, c in top))
 
-    # -- sharing-aware placement ------------------------------------------------
-    g = sharing_graph(concord, eids)
-    current = {vm.entity_id: vm.node_id for vm in vms}
-    suggestion = suggest_colocation(g, n_nodes=3, capacity=2)
-    print(f"\nplacement advisor: intra-node shared hashes "
-          f"{placement_sharing_score(g, current)} now -> "
-          f"{placement_sharing_score(g, suggestion)} if applied")
+        # -- sharing-aware placement -------------------------------------------
+        g = sharing_graph(concord, eids)
+        current = {vm.entity_id: vm.node_id for vm in vms}
+        suggestion = suggest_colocation(g, n_nodes=3, capacity=2)
+        print(f"\nplacement advisor: intra-node shared hashes "
+              f"{placement_sharing_score(g, current)} now -> "
+              f"{placement_sharing_score(g, suggestion)} if applied")
 
-    # -- act on it with collective migration --------------------------------------
-    moves = {eid: node for eid, node in suggestion.items()
-             if node != current[eid]}
-    print(f"migrating {len(moves)} VMs to realise the suggestion")
-    svc = CollectiveMigration(MigrationPlan(moves))
-    pes = [e for e in eids if e not in moves]
-    result = concord.execute_command(svc, ServiceScope.of(list(moves), pes))
-    sent = sum(c.state.bytes_sent for c in result.contexts.values()
-               if c.state)
-    raw = CollectiveMigration.raw_bytes(cluster, list(moves))
-    print(f"  moved {fmt_bytes(sent)} over the wire "
-          f"({sent / raw:.0%} of a naive migration)")
-    svc.finish(concord)
-    concord.sync()
+        # -- act on it with collective migration -------------------------------
+        moves = {eid: node for eid, node in suggestion.items()
+                 if node != current[eid]}
+        print(f"migrating {len(moves)} VMs to realise the suggestion")
+        svc = CollectiveMigration(MigrationPlan(moves))
+        pes = [e for e in eids if e not in moves]
+        result = concord.execute_command(svc,
+                                         ServiceScope.of(list(moves), pes))
+        sent = sum(c.state.bytes_sent for c in result.contexts.values()
+                   if c.state)
+        raw = CollectiveMigration.raw_bytes(cluster, list(moves))
+        print(f"  moved {fmt_bytes(sent)} over the wire "
+              f"({sent / raw:.0%} of a naive migration)")
+        svc.finish(concord)
+        concord.sync()
 
-    before = profiler.history[-1].intra_sharing
-    after = profiler.snapshot().intra_sharing
-    print(f"\nintra-node sharing: {before:.3f} -> {after:.3f} "
-          f"(local dedup potential unlocked by co-location)")
-    assert after > before
+        before = profiler.history[-1].intra_sharing
+        after = profiler.snapshot().intra_sharing
+        print(f"\nintra-node sharing: {before:.3f} -> {after:.3f} "
+              f"(local dedup potential unlocked by co-location)")
+        assert after > before
 
 
 if __name__ == "__main__":

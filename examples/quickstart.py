@@ -37,47 +37,51 @@ def main() -> None:
     print(f"cluster: {cluster.n_nodes} nodes ({cluster.cost.name}), "
           f"{len(entities)} processes, {fmt_bytes(total)} of memory")
 
-    # -- 2. bring up the platform service ------------------------------------
-    concord = ConCORD(cluster)
-    n_updates = concord.initial_scan()
-    print(f"initial scan: {n_updates} updates, "
-          f"{concord.total_tracked_hashes} distinct hashes tracked")
+    # -- 2. bring up the platform service (context manager = clean teardown) --
+    with ConCORD.from_config(cluster) as concord:
+        n_updates = concord.initial_scan()
+        print(f"initial scan: {n_updates} updates, "
+              f"{concord.total_tracked_hashes} distinct hashes tracked")
 
-    # -- 3. queries ------------------------------------------------------------
-    sharing = concord.sharing(eids)
-    print(f"\nsharing({len(eids)} entities)      = {sharing.value:.3f} "
-          f"(latency {fmt_time_s(sharing.latency)})")
-    print(f"intra_sharing              = {concord.intra_sharing(eids).value:.3f}")
-    print(f"inter_sharing              = {concord.inter_sharing(eids).value:.3f}")
-    print(f"degree of sharing (DoS)    = {concord.degree_of_sharing(eids).value:.3f}")
-    k = 4
-    print(f"num_shared_content(k={k})    = "
-          f"{concord.num_shared_content(eids, k).value} hashes with >= {k} copies")
+        # -- 3. queries --------------------------------------------------------
+        sharing = concord.sharing(eids)
+        print(f"\nsharing({len(eids)} entities)      = {sharing.value:.3f} "
+              f"(latency {fmt_time_s(sharing.latency)})")
+        print(f"intra_sharing              = "
+              f"{concord.intra_sharing(eids).value:.3f}")
+        print(f"inter_sharing              = "
+              f"{concord.inter_sharing(eids).value:.3f}")
+        print(f"degree of sharing (DoS)    = "
+              f"{concord.degree_of_sharing(eids).value:.3f}")
+        k = 4
+        print(f"num_shared_content(k={k})    = "
+              f"{concord.num_shared_content(eids, k).value} hashes "
+              f"with >= {k} copies")
 
-    some_hash = int(entities[0].content_hashes()[0])
-    print(f"num_copies(0x{some_hash:016x}) = "
-          f"{concord.num_copies(some_hash).value}, held by entities "
-          f"{sorted(concord.entities(some_hash).value)}")
+        some_hash = int(entities[0].content_hashes()[0])
+        print(f"num_copies(0x{some_hash:016x}) = "
+              f"{concord.num_copies(some_hash).value}, held by entities "
+              f"{sorted(concord.entities(some_hash).value)}")
 
-    # -- 4. the collective checkpoint service command ---------------------------
-    store = CheckpointStore()
-    result = concord.execute_command(CollectiveCheckpoint(store),
-                                     ServiceScope.of(eids))
-    s = result.stats
-    print(f"\ncollective checkpoint: success={result.success} in "
-          f"{fmt_time_s(result.wall_time)} (simulated)")
-    print(f"  collective phase handled {s.handled} distinct blocks "
-          f"({s.retries} retries, {s.stale_unhandled} stale)")
-    print(f"  local phase: {s.covered_blocks}/{s.local_blocks} blocks "
-          f"were pointers ({s.coverage:.1%} coverage)")
-    print(f"  raw size     {fmt_bytes(store.raw_size_bytes)}")
-    print(f"  ConCORD size {fmt_bytes(store.concord_size_bytes)} "
-          f"(ratio {store.compression_ratio:.1%})")
+        # -- 4. the collective checkpoint service command ----------------------
+        store = CheckpointStore()
+        result = concord.execute_command(CollectiveCheckpoint(store),
+                                         ServiceScope.of(eids))
+        s = result.stats
+        print(f"\ncollective checkpoint: success={result.success} in "
+              f"{fmt_time_s(result.wall_time)} (simulated)")
+        print(f"  collective phase handled {s.handled} distinct blocks "
+              f"({s.retries} retries, {s.stale_unhandled} stale)")
+        print(f"  local phase: {s.covered_blocks}/{s.local_blocks} blocks "
+              f"were pointers ({s.coverage:.1%} coverage)")
+        print(f"  raw size     {fmt_bytes(store.raw_size_bytes)}")
+        print(f"  ConCORD size {fmt_bytes(store.concord_size_bytes)} "
+              f"(ratio {store.compression_ratio:.1%})")
 
-    # -- 5. restore and verify ----------------------------------------------------
-    for e in entities:
-        assert (restore_entity(store, e.entity_id) == e.pages).all()
-    print("restore: all entities verified bit-for-bit")
+        # -- 5. restore and verify ---------------------------------------------
+        for e in entities:
+            assert (restore_entity(store, e.entity_id) == e.pages).all()
+        print("restore: all entities verified bit-for-bit")
 
     # -- 6. the paper's Fig 13 example ---------------------------------------------
     print("\nFig 13 worked example (2 SEs, 4 pages each):")
@@ -85,14 +89,14 @@ def main() -> None:
     A, B, C, E = 0xA0, 0xB0, 0xC0, 0xE0
     se1 = Entity.create(c2, 0, np.array([A, E, 0x100, B], dtype=np.uint64))
     se2 = Entity.create(c2, 1, np.array([B, C, E, 0x200], dtype=np.uint64))
-    k2 = ConCORD(c2)
-    k2.initial_scan()
-    # Content written after the scan is unknown to ConCORD (the paper's X).
-    se1.write_page(2, 0x101)
-    se2.write_page(3, 0x201)
-    st2 = CheckpointStore()
-    k2.execute_command(CollectiveCheckpoint(st2),
-                       ServiceScope.of([se1.entity_id, se2.entity_id]))
+    with ConCORD.from_config(c2) as k2:
+        k2.initial_scan()
+        # Content written after the scan is unknown to ConCORD (paper's X).
+        se1.write_page(2, 0x101)
+        se2.write_page(3, 0x201)
+        st2 = CheckpointStore()
+        k2.execute_command(CollectiveCheckpoint(st2),
+                           ServiceScope.of([se1.entity_id, se2.entity_id]))
     for se in (se1, se2):
         f = st2.se_files[se.entity_id]
         recs = []

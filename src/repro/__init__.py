@@ -12,15 +12,15 @@ Quickstart::
 
     cluster = Cluster(n_nodes=4, cost="new-cluster")
     entities = workloads.instantiate(cluster, workloads.moldy(4, 2048))
-    concord = ConCORD(cluster)
-    concord.initial_scan()
+    with ConCORD.from_config(cluster) as concord:
+        concord.initial_scan()
 
-    print(concord.sharing([e.entity_id for e in entities]).value)
+        print(concord.sharing([e.entity_id for e in entities]).value)
 
-    store = CheckpointStore()
-    result = concord.execute_command(
-        CollectiveCheckpoint(store),
-        ServiceScope.of([e.entity_id for e in entities]))
+        store = CheckpointStore()
+        result = concord.execute_command(
+            CollectiveCheckpoint(store),
+            ServiceScope.of([e.entity_id for e in entities]))
     assert (restore_entity(store, entities[0].entity_id)
             == entities[0].pages).all()
 
@@ -40,6 +40,7 @@ from repro.core import (
     ServiceScope,
 )
 from repro.dht.engine import RepairReport
+from repro.dht.storage import BACKENDS, StorageConfig
 from repro.memory import (Entity, EntityKind, MonitorMode,
                           VirtualMachine)
 from repro.obs import (MetricsRegistry, Observability, ObsConfig, SpanTracer,
@@ -74,6 +75,8 @@ __all__ = [
     "MonitorMode",
     "ConCORD",
     "ConCORDConfig",
+    "StorageConfig",
+    "BACKENDS",
     "ObsConfig",
     "Observability",
     "MetricsRegistry",

@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--workers", type=int, default=None,
                     help="ShardPool size for the exec.* specs (default: "
                          "host CPU count; recorded in the env fingerprint)")
+    be.add_argument("--storage", default=None,
+                    choices=["memory", "mmap", "sqlite"],
+                    help="shard storage backend the benchmark systems use "
+                         "(default: $CONCORD_STORAGE or memory; recorded "
+                         "in the env fingerprint)")
+    be.add_argument("--storage-dir", type=Path, default=None,
+                    help="root directory for durable shard files "
+                         "(default: $CONCORD_STORAGE_DIR or a temp dir)")
 
     sv = sub.add_parser(
         "serve", help="drive simulated client traffic through the "
@@ -151,6 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--workers", type=int, default=None,
                     help="ShardPool worker processes for query execution "
                          "(default: $CONCORD_WORKERS or 1 — serial)")
+    sv.add_argument("--storage", default=None,
+                    choices=["memory", "mmap", "sqlite"],
+                    help="shard storage backend (default: $CONCORD_STORAGE "
+                         "or memory)")
+    sv.add_argument("--storage-dir", type=Path, default=None,
+                    help="root directory for durable shard files; a second "
+                         "serve run on the same directory warm-restarts "
+                         "from it (default: $CONCORD_STORAGE_DIR or a "
+                         "temp dir)")
+    sv.add_argument("--expect-warm", action="store_true",
+                    help="exit 1 unless the instance warm-restarted from "
+                         "persistent storage (CI smoke assertion)")
     return p
 
 
@@ -187,19 +207,20 @@ def _cmd_run(experiment: str, out_dir: Path | None, out) -> int:
 
 def _cmd_demo(out) -> int:
     from repro import (CheckpointStore, Cluster, CollectiveCheckpoint,
-                       ConCORD, ServiceScope, restore_entity, workloads)
+                       ConCORD, ConCORDConfig, ServiceScope, restore_entity,
+                       workloads)
 
     cluster = Cluster(4, cost="new-cluster", seed=1)
     ents = workloads.instantiate(cluster, workloads.moldy(4, 1024, seed=1))
     eids = [e.entity_id for e in ents]
-    concord = ConCORD(cluster)
-    concord.initial_scan()
-    print(f"4-node cluster, {len(ents)} processes, "
-          f"{fmt_bytes(sum(e.memory_bytes for e in ents))} traced; "
-          f"sharing={concord.sharing(eids).value:.3f}", file=out)
-    store = CheckpointStore()
-    result = concord.execute_command(CollectiveCheckpoint(store),
-                                     ServiceScope.of(eids))
+    with ConCORD.from_config(cluster, ConCORDConfig()) as concord:
+        concord.initial_scan()
+        print(f"4-node cluster, {len(ents)} processes, "
+              f"{fmt_bytes(sum(e.memory_bytes for e in ents))} traced; "
+              f"sharing={concord.sharing(eids).value:.3f}", file=out)
+        store = CheckpointStore()
+        result = concord.execute_command(CollectiveCheckpoint(store),
+                                         ServiceScope.of(eids))
     for e in ents:
         assert (restore_entity(store, e.entity_id) == e.pages).all()
     print(f"collective checkpoint: {fmt_time_s(result.wall_time)} simulated, "
@@ -286,10 +307,22 @@ def _cmd_bench(args, out) -> int:
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    # The storage flags flow through the env so every system a spec
+    # builds with a default StorageConfig picks the backend up; saved
+    # here and restored after the run so one invocation cannot leak its
+    # backend choice into the next caller in the same process.
+    env_override = {}
+    if args.storage is not None:
+        env_override["CONCORD_STORAGE"] = args.storage
+    if args.storage_dir is not None:
+        env_override["CONCORD_STORAGE_DIR"] = str(args.storage_dir)
+    env_saved = {k: os.environ.get(k) for k in env_override}
     runner = build_default_runner(workers=args.workers)
     # The workers the exec.* specs actually fanned out over: part of the
     # environment, so trajectory points are comparable only like-for-like.
-    env_extra = {"workers": args.workers or (os.cpu_count() or 1)}
+    env_extra = {"workers": args.workers or (os.cpu_count() or 1),
+                 "storage": args.storage
+                 or os.environ.get("CONCORD_STORAGE", "memory")}
     if args.list_specs:
         names = runner.names("figure") if args.filter == "figure" \
             else runner.names()
@@ -310,12 +343,20 @@ def _cmd_bench(args, out) -> int:
     tier = "full" if args.full else "quick"
     profiler = ProfileSession() if args.profile else None
     t0 = time.perf_counter()
-    records = runner.run(
-        tier=tier, filter_substr=args.filter, profiler=profiler,
-        env_extra=env_extra,
-        progress=lambda n, rec: print(
-            f"[{n}: {rec['runtime_s']:.3f}s, "
-            f"{len(rec['metrics'])} metrics]", file=out))
+    os.environ.update(env_override)
+    try:
+        records = runner.run(
+            tier=tier, filter_substr=args.filter, profiler=profiler,
+            env_extra=env_extra,
+            progress=lambda n, rec: print(
+                f"[{n}: {rec['runtime_s']:.3f}s, "
+                f"{len(rec['metrics'])} metrics]", file=out))
+    finally:
+        for k, v in env_saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
     if not records:
         print(f"error: no benchmarks match --filter {args.filter!r}",
               file=sys.stderr)
@@ -350,6 +391,7 @@ def _cmd_bench(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     from repro.core.concord import ConCORD
     from repro.core.config import ConCORDConfig
+    from repro.dht.storage import StorageConfig
     from repro.serve.config import ServeConfig
     from repro.sim.cluster import Cluster
     from repro.workloads import TrafficSpec, instantiate, moldy
@@ -365,12 +407,21 @@ def _cmd_serve(args, out) -> int:
             rate_per_client=args.rate, think_time_s=args.think,
             zipf_s=args.zipf, population=args.population,
             churn_rate=args.churn, seed=args.seed)
+        storage_kw = {}
+        if args.storage is not None:
+            storage_kw["backend"] = args.storage
+        if args.storage_dir is not None:
+            storage_kw["root"] = str(args.storage_dir)
+        storage = StorageConfig(**storage_kw)
         if args.nodes < 2:
             raise ValueError("--nodes must be >= 2")
         if args.pages < 1:
             raise ValueError("--pages must be >= 1")
         if args.workers is not None and args.workers < 1:
             raise ValueError("--workers must be >= 1")
+        if args.expect_warm and not storage.persistent:
+            raise ValueError("--expect-warm requires a persistent "
+                             "--storage backend (mmap or sqlite)")
     except ValueError as e:
         print(f"error: {e}", file=out)
         return 2
@@ -379,16 +430,24 @@ def _cmd_serve(args, out) -> int:
     core_kw = {} if args.workers is None else {"workers": args.workers}
     cluster = Cluster(n_nodes=args.nodes, cost="new-cluster", seed=args.seed)
     instantiate(cluster, moldy(args.nodes, args.pages, seed=args.seed))
-    concord = ConCORD(cluster, ConCORDConfig(use_network=False, serve=cfg,
-                                             **core_kw))
-    concord.initial_scan()
-    try:
+    status = 0
+    with ConCORD.from_config(
+            cluster, ConCORDConfig(use_network=False, serve=cfg,
+                                   storage=storage, **core_kw)) as concord:
+        if concord.storage_recovered:
+            rep = concord.warm_restart()
+            print(f"[warm restart from {storage.backend} storage: "
+                  f"{rep.copies_restored + rep.copies_removed} delta op(s) "
+                  f"reconciled]", file=out)
+        else:
+            concord.initial_scan()
+            if args.expect_warm:
+                print("FAIL: expected a warm restart, storage was empty",
+                      file=out)
+                status = 1
         report = concord.serve(spec)
-    finally:
-        concord.close()  # terminate pool workers before the process exits
     print(report.summary_table().render(), file=out)
 
-    status = 0
     if args.verify_cache:
         if report.cache_violations:
             print(f"FAIL: {report.cache_violations} cache correctness "

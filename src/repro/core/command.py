@@ -28,7 +28,6 @@ the real system's C callbacks live under.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -67,11 +66,12 @@ class ExecMode(enum.Enum):
     @classmethod
     def coerce(cls, value: ExecMode | str,
                param: str = "exec_mode") -> ExecMode:
-        """Normalize an ``ExecMode`` or legacy mode string to the enum.
+        """Validate an ``ExecMode`` value.
 
-        Strings are accepted for one release with a
-        :class:`DeprecationWarning`; unknown strings raise ``ValueError``
-        and other types ``TypeError``.
+        The pre-PR 2 mode *strings* finished their deprecation cycle:
+        a string naming a member now raises ``TypeError`` telling the
+        caller which enum member to pass; an unknown string raises
+        ``ValueError``; other types ``TypeError``.
         """
         if isinstance(value, cls):
             return value
@@ -80,11 +80,10 @@ class ExecMode(enum.Enum):
                 member = cls(value)
             except ValueError:
                 raise ValueError(f"unknown {param} {value!r}") from None
-            warnings.warn(
-                f"passing {param}={value!r} as a string is deprecated; "
-                f"use ExecMode.{member.name}",
-                DeprecationWarning, stacklevel=3)
-            return member
+            raise TypeError(
+                f"{param} no longer accepts strings; pass "
+                f"ExecMode.{member.name} instead of {value!r} — the string "
+                "form was deprecated in PR 2 and has been removed")
         raise TypeError(f"{param} must be an ExecMode, not {type(value).__name__}")
 
 

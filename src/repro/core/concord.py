@@ -8,8 +8,13 @@ content-aware collective command controller (§4) — plus the fault
 interface (fail/restart/detect/repair, docs/FAULTS.md).
 
 Configuration lives in one :class:`~repro.core.config.ConCORDConfig`
-value; the legacy keyword arguments are accepted for one release with a
-:class:`DeprecationWarning`.
+value — the pre-PR 2 per-knob keyword arguments finished their
+deprecation cycle and now raise :class:`TypeError` naming the config
+field to use instead.
+
+Instances are context managers: ``with ConCORD.from_config(cluster,
+cfg) as concord: ...`` releases the parallel backend's shared-memory
+segments and the shard storage handles on exit (docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -39,9 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["ConCORD"]
 
-# Legacy ConCORD(...) keyword arguments, each mapping to the identically
-# named ConCORDConfig field (docs/ARCHITECTURE.md has the full table).
-_LEGACY_KWARGS = frozenset(f.name for f in dataclasses.fields(ConCORDConfig))
+# ConCORDConfig field names, used to give the removed per-kwarg calling
+# convention an actionable error (docs/ARCHITECTURE.md has the table).
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(ConCORDConfig))
 
 
 class ConCORD:
@@ -51,27 +56,27 @@ class ConCORD:
 
         concord = ConCORD(cluster, ConCORDConfig(use_network=True))
 
-    or equivalently ``ConCORD.from_config(cluster, cfg)``.  The old
-    per-knob keyword arguments (``use_network=...``, ``hash_algo=...``,
-    ...) still work but warn; they fold into the config via
-    :func:`dataclasses.replace`.
+    or equivalently ``ConCORD.from_config(cluster, cfg)``.  Per-knob
+    keyword arguments were removed after their PR 2 deprecation cycle;
+    passing one raises ``TypeError`` pointing at the config field.
     """
 
     def __init__(self, cluster: Cluster,
                  config: ConCORDConfig | None = None, **legacy: Any) -> None:
         if legacy:
-            unknown = set(legacy) - _LEGACY_KWARGS
-            if unknown:
+            known = sorted(set(legacy) & _CONFIG_FIELDS)
+            if known:
                 raise TypeError(
-                    f"unknown ConCORD argument(s) {sorted(unknown)}; "
-                    f"valid ConCORDConfig fields: {sorted(_LEGACY_KWARGS)}")
-            warnings.warn(
-                "passing ConCORD configuration as keyword arguments "
-                f"({', '.join(sorted(legacy))}) is deprecated; build a "
-                "ConCORDConfig and pass it as `config`",
-                DeprecationWarning, stacklevel=2)
-            config = dataclasses.replace(config or ConCORDConfig(), **legacy)
+                    "ConCORD no longer accepts configuration keyword "
+                    f"arguments ({', '.join(known)}); build a ConCORDConfig "
+                    f"(e.g. ConCORDConfig({known[0]}=...)) and pass it as "
+                    "`config` — the kwarg form was deprecated in PR 2 and "
+                    "has been removed")
+            raise TypeError(
+                f"unknown ConCORD argument(s) {sorted(legacy)}; "
+                f"valid ConCORDConfig fields: {sorted(_CONFIG_FIELDS)}")
         self.config = config or ConCORDConfig()
+        self._closed = False
         cfg = self.config
         self.cluster = cluster
         self.n_represented = cfg.n_represented
@@ -97,6 +102,7 @@ class ConCORD:
                                             transport=cfg.update_transport,
                                             obs=self.obs,
                                             pool=self.pool,
+                                            storage=cfg.storage,
                                             **engine_kw)
         self._mapreduce = ShardMapReduce(self.tracing, self.pool)
         self.nsms: list[NodeSpecificModule] = []
@@ -123,8 +129,10 @@ class ConCORD:
             cap.add(self.obs)
 
     @classmethod
-    def from_config(cls, cluster: Cluster, config: ConCORDConfig) -> ConCORD:
-        """Explicit constructor taking only a config value."""
+    def from_config(cls, cluster: Cluster,
+                    config: ConCORDConfig | None = None) -> ConCORD:
+        """Explicit constructor taking only a config value (defaults apply
+        when ``config`` is omitted)."""
         return cls(cluster, config)
 
     # -- entity lifecycle ------------------------------------------------------------
@@ -173,26 +181,68 @@ class ConCORD:
 
     def fail_node(self, node: int) -> None:
         """Crash-stop ``node`` now: NIC blackholed, DHT shard RAM lost,
-        monitor stopped — and let the tracing engine fail it over."""
+        monitor stopped — and let the tracing engine fail it over.
+        A persistent backend keeps the shard's last committed state on
+        disk (a crash loses RAM, not storage); :meth:`restart_node` with
+        ``warm=True`` can rejoin from it."""
         self.cluster.network.set_node_up(node, False)
-        self.tracing.shards[node].clear()
+        self.tracing.shards[node].crash()
         self.tracing.node_failed(node)
 
-    def restart_node(self, node: int) -> None:
-        """Bring ``node`` back up with an empty shard; its primary ranges
-        route back to it (holed until :meth:`repair`)."""
+    def restart_node(self, node: int,
+                     warm: bool = False) -> RepairReport | None:
+        """Bring ``node`` back up; its primary ranges route back to it
+        (holed until :meth:`repair`).
+
+        Default (cold): the shard rejoins empty.  ``warm=True`` with a
+        persistent backend reloads the last committed segments and then
+        runs a delta repair, so rejoin cost scales with what changed
+        while the node was down, not with total content
+        (docs/STORAGE.md); the delta pass's :class:`RepairReport` is
+        returned.  Warm on a memory backend (or with nothing committed)
+        degrades gracefully to the cold path.
+        """
         self.cluster.network.set_node_up(node, True)
-        self.tracing.node_restarted(node)
+        self.tracing.node_restarted(node, recover=warm)
+        if warm:
+            return self.repair(delta=True)
+        return None
 
     def detect_failures(self, issuing_node: int = 0) -> list[int]:
         """Probe believed-alive peers; fail over any that are down."""
         return self.tracing.detect_failures(issuing_node)
 
-    def repair(self, full: bool = False) -> RepairReport:
+    def repair(self, full: bool = False, delta: bool = False) -> RepairReport:
         """Anti-entropy repair: re-populate holed hash ranges from the
         monitors' ground truth (``full=True`` rebuilds every range, also
-        healing datagram-loss holes)."""
-        return self.tracing.repair(full=full)
+        healing datagram-loss holes; ``delta=True`` reconciles believed
+        state against ground truth instead of purge-and-replay — same
+        final bytes, cost proportional to divergence)."""
+        return self.tracing.repair(full=full, delta=delta)
+
+    def warm_restart(self) -> RepairReport:
+        """Finish a warm process restart: rebase the monitors (ground
+        truth without update replay) and delta-repair the recovered
+        shards against it.
+
+        Call this instead of :meth:`initial_scan` when the instance came
+        up with :attr:`storage_recovered` True — a fresh instance on an
+        already-populated storage root.  The delta pass heals exactly the
+        divergence between the last commit and live memory (plus any
+        un-flushed overlay lost in the crash), so a quiet restart is
+        near-free while a cold rebuild re-routes every copy.  The
+        resulting shards are byte-identical to a cold full rebuild.
+        """
+        for node_id, mon in enumerate(self.monitors):
+            if self._node_up(node_id):
+                mon.rebase()
+        return self.tracing.repair(full=True, delta=True)
+
+    @property
+    def storage_recovered(self) -> bool:
+        """Whether any shard rejoined from persistent storage at bring-up
+        (i.e. a warm restart is in progress; see :meth:`warm_restart`)."""
+        return self.tracing.recovered
 
     @property
     def coverage(self) -> float:
@@ -202,10 +252,11 @@ class ConCORD:
     def inject_faults(self, plan: FaultPlan) -> FaultInjector:
         """Arm a :class:`~repro.sim.faults.FaultPlan` on this instance's
         cluster; events fire as simulation time advances.  Kills lose the
-        node's shard RAM; restarts rejoin the node empty."""
+        node's shard RAM (storage keeps its last commit); restarts rejoin
+        the node empty."""
         return plan.schedule(
             self.cluster.network, self.cluster.engine,
-            on_kill=lambda n: self.tracing.shards[n].clear(),
+            on_kill=lambda n: self.tracing.shards[n].crash(),
             on_restart=self.tracing.node_restarted)
 
     # -- query interface (Fig 3) ------------------------------------------------------------
@@ -298,12 +349,33 @@ class ConCORD:
             initial=initial, live_only=live_only)
 
     def close(self) -> None:
-        """Release the parallel backend (workers + shared segments).
+        """Tear the instance down: flush durable shard storage, release
+        the parallel backend (workers + shared ``/dev/shm`` segments),
+        and close the storage handles.
 
-        Safe to skip at workers=1 (nothing was ever spawned) and safe to
-        call twice; a garbage-collected instance cleans up on its own.
+        Idempotent — calling twice is a no-op — and safe to skip at
+        workers=1 with a memory backend (nothing was ever spawned); a
+        garbage-collected instance cleans up on its own.  Prefer the
+        context-manager form, which cannot forget::
+
+            with ConCORD.from_config(cluster, cfg) as concord:
+                ...
         """
+        if self._closed:
+            return
+        self._closed = True
+        # Flush only when the files outlive us: an ephemeral root is
+        # deleted two lines down, so committing to it is wasted I/O.
+        if self.tracing.persistent and not self.tracing.storage.ephemeral:
+            self.tracing.flush_storage()
         self.pool.close()
+        self.tracing.close()
+
+    def __enter__(self) -> ConCORD:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- introspection -----------------------------------------------------------------------------
 

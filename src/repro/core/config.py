@@ -6,9 +6,10 @@ re-plumb into the tracing engine).  A config value is immutable, hashable,
 and comparable, so experiments can sweep variations with
 :func:`dataclasses.replace` and log the exact configuration they ran.
 
-The legacy keyword arguments map one-to-one onto fields (see
-docs/ARCHITECTURE.md for the table); ``ConCORD(cluster, **legacy)`` still
-accepts them for one release with a :class:`DeprecationWarning`.
+The facade accepts configuration *only* this way: the pre-PR 2 per-knob
+keyword arguments (``ConCORD(cluster, use_network=True)``) completed
+their deprecation cycle and now raise ``TypeError`` naming the field to
+set here instead (docs/ARCHITECTURE.md has the mapping table).
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import dataclasses
 import os
 from dataclasses import dataclass, field
 
+from repro.dht.storage import StorageConfig
 from repro.memory.monitor import MonitorMode
 from repro.obs import ObsConfig
 from repro.serve.config import ServeConfig
@@ -75,6 +77,14 @@ class ConCORDConfig:
         Query-serving section (:class:`~repro.serve.config.ServeConfig`):
         admission control, batching windows, and the update-epoch result
         cache used by ``ConCORD.frontend()`` (see docs/SERVING.md).
+    storage:
+        Shard storage section (:class:`~repro.dht.storage.StorageConfig`):
+        which :class:`~repro.dht.storage.base.ShardStorage` backend the
+        DHT shards persist through (``memory``/``mmap``/``sqlite``,
+        defaulting from ``$CONCORD_STORAGE``) and the root directory for
+        durable files (``$CONCORD_STORAGE_DIR``; None = a private temp
+        dir per instance).  A persistent backend plus a named root is
+        what enables warm restart (docs/STORAGE.md).
     """
 
     use_network: bool = False
@@ -87,6 +97,7 @@ class ConCORDConfig:
     workers: int = field(default_factory=_default_workers)
     obs: ObsConfig = field(default_factory=ObsConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
     def replace(self, **changes) -> ConCORDConfig:
         """Functional update (`dataclasses.replace` as a method)."""

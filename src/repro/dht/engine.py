@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dht.partition import Partition
+from repro.dht.storage import StorageConfig, StorageSet, open_storage
 from repro.dht.table import LocalDHT
 from repro.exec import ops as _ops
 from repro.exec.pool import ShardPool
@@ -87,12 +88,102 @@ class TracingStats:
 
 @dataclass(frozen=True)
 class RepairReport:
-    """What one anti-entropy repair pass rebuilt."""
+    """What one anti-entropy repair pass rebuilt.
+
+    ``copies_removed`` is only nonzero for delta repairs (stale believed
+    copies reconciled away); a purge-and-replay pass reports 0.
+    """
 
     ranges_repaired: int
     hashes_restored: int
     copies_restored: int
     nodes_scanned: int
+    copies_removed: int = 0
+
+
+_U64 = np.uint64
+_ONE = np.uint64(1)
+
+
+def _contains_sorted(sorted_hashes: np.ndarray, h: int) -> bool:
+    i = int(np.searchsorted(sorted_hashes, _U64(h)))
+    return i < len(sorted_hashes) and int(sorted_hashes[i]) == h
+
+
+def _pairs_in_ranges(shard: LocalDHT, partition: Partition,
+                     targets: np.ndarray) \
+        -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One shard's believed copies inside the target ranges, as a
+    (hash, entity, count) multiset — wide holders and extra copies
+    folded in.  The "have" side of the delta-repair reconcile."""
+    hashes, lo, wide = shard.items_arrays()
+    if len(hashes):
+        sel = np.isin(partition.primary_nodes(hashes), targets)
+        hs, ms = hashes[sel], lo[sel]
+    else:
+        hs, ms = hashes, lo
+    out_h: list[np.ndarray] = []
+    out_e: list[np.ndarray] = []
+    out_c: list[np.ndarray] = []
+    for eid in range(64):
+        rows = hs[((ms >> _U64(eid)) & _ONE) != 0]
+        if len(rows):
+            out_h.append(rows)
+            out_e.append(np.full(len(rows), eid, dtype=np.int64))
+            out_c.append(np.ones(len(rows), dtype=np.int64))
+    for h, hi in wide.items():          # holders >= entity 64 (sparse)
+        if not _contains_sorted(hs, h):
+            continue
+        m = hi
+        while m:
+            low = m & -m
+            out_h.append(np.array([h], dtype=_U64))
+            out_e.append(np.array([64 + low.bit_length() - 1],
+                                  dtype=np.int64))
+            out_c.append(np.ones(1, dtype=np.int64))
+            m ^= low
+    for h, ex in shard.extra_items():   # extra copies beyond the first
+        if not _contains_sorted(hs, h):
+            continue
+        for e, c in ex.items():
+            out_h.append(np.array([h], dtype=_U64))
+            out_e.append(np.array([e], dtype=np.int64))
+            out_c.append(np.array([c], dtype=np.int64))
+    if out_h:
+        return (np.concatenate(out_h), np.concatenate(out_e),
+                np.concatenate(out_c))
+    return (np.empty(0, dtype=_U64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64))
+
+
+def _pair_multiset_diff(have_h: np.ndarray, have_e: np.ndarray,
+                        have_c: np.ndarray, want_h: np.ndarray,
+                        want_e: np.ndarray):
+    """Diff two (hash, entity) multisets; ``want`` pairs each count 1
+    (repetition = multiplicity, exactly as a replay would insert them).
+
+    Returns ``((ins_h, ins_e, ins_c), (rem_h, rem_e, rem_c))`` sorted by
+    (hash, entity) — a deterministic apply order at any worker count.
+    """
+    h = np.concatenate([have_h, want_h])
+    e = np.concatenate([have_e, want_e])
+    c = np.concatenate([-have_c, np.ones(len(want_h), dtype=np.int64)])
+    if not len(h):
+        z = (np.empty(0, dtype=_U64), np.empty(0, dtype=np.int64),
+             np.empty(0, dtype=np.int64))
+        return z, z
+    order = np.lexsort((e, h))
+    h, e, c = h[order], e[order], c[order]
+    newpair = np.empty(len(h), dtype=bool)
+    newpair[0] = True
+    newpair[1:] = (h[1:] != h[:-1]) | (e[1:] != e[:-1])
+    starts = np.flatnonzero(newpair)
+    sums = np.add.reduceat(c, starts)
+    uh, ue = h[starts], e[starts]
+    ins = sums > 0
+    rem = sums < 0
+    return ((uh[ins], ue[ins], sums[ins]),
+            (uh[rem], ue[rem], -sums[rem]))
 
 
 class ContentTracingEngine:
@@ -102,18 +193,31 @@ class ContentTracingEngine:
                  batch_size: int = DEFAULT_UPDATE_BATCH,
                  n_represented: int = 1, transport: str = "udp",
                  obs: Observability | None = None,
-                 pool: ShardPool | None = None) -> None:
+                 pool: ShardPool | None = None,
+                 storage: StorageConfig | None = None) -> None:
         """``transport``: "udp" (default) sends updates as datagrams the
         receiver must process; "rdma" models the paper's envisioned
         one-sided path — "because the originator of an update in principle
         knows the target node and address ... the originator could send
         the update via a non-blocking, asynchronous, unreliable RDMA"
-        (§3.4) — removing the receive-side per-packet cost."""
+        (§3.4) — removing the receive-side per-packet cost.
+
+        ``storage`` selects the shard storage backend (docs/STORAGE.md);
+        None reads the env-driven :class:`StorageConfig` default.  With a
+        persistent backend pointed at a prior run's root, the shards load
+        their last committed state at construction (``recovered``) and
+        :meth:`repair` with ``delta=True`` reconciles them against the
+        monitors' ground truth — the warm-restart path.
+        """
         if transport not in ("udp", "rdma"):
             raise ValueError(f"unknown transport {transport!r}")
         self.cluster = cluster
         self.partition = Partition(cluster.n_nodes)
-        self.shards = [LocalDHT(node_id=i) for i in range(cluster.n_nodes)]
+        self.storage: StorageSet = open_storage(storage, cluster.n_nodes)
+        self.shards = [LocalDHT(node_id=i, storage=s)
+                       for i, s in enumerate(self.storage.shards)]
+        #: True when at least one shard loaded a prior run's commit.
+        self.recovered = any(s.recovered for s in self.shards)
         self.use_network = use_network
         self.batch_size = batch_size
         self.n_represented = n_represented
@@ -143,6 +247,12 @@ class ContentTracingEngine:
         # when a covering shard advances.
         self._epochs = np.zeros(cluster.n_nodes, dtype=np.int64)
         self._global_epoch = 0
+        if self.recovered:
+            # Resume the persisted epoch sequence so epochs stay monotone
+            # across a warm restart (docs/STORAGE.md).
+            for i, shard in enumerate(self.shards):
+                self._epochs[i] = shard.epoch
+            self._global_epoch = int(self._epochs.max())
         for node, shard in zip(cluster.nodes, self.shards):
             node.dht = shard
 
@@ -152,12 +262,15 @@ class ContentTracingEngine:
         """Record a content mutation of one shard."""
         self._epochs[shard] += 1
         self._global_epoch += 1
+        self.shards[shard].epoch = int(self._epochs[shard])
 
     def bump_all_epochs(self) -> None:
         """Record an event that may change any answer (failover, rejoin,
         repair, wholesale clear): every shard's epoch advances."""
         self._epochs += 1
         self._global_epoch += 1
+        for i, shard in enumerate(self.shards):
+            shard.epoch = int(self._epochs[i])
 
     def shard_epoch(self, node: int) -> int:
         """Epoch of one shard's content (monotone per mutation)."""
@@ -273,12 +386,15 @@ class ContentTracingEngine:
         marked non-intact; the shared alive view drops the node, so the
         zero-hop successor walk now routes those ranges to the next alive
         node.  The re-homed shards start empty until :meth:`repair`.
+
+        The crash loses the shard's *RAM*; a persistent storage backend
+        keeps its last commit, which a warm rejoin can recover.
         """
         if not self.partition.is_alive(node):
             return
         lost = self.partition.range_homes() == node
         self._intact[lost] = False
-        self.shards[node].clear()
+        self.shards[node].crash()
         self.partition.set_alive(node, False)
         self.bump_all_epochs()
         self._c_failovers.inc()
@@ -287,12 +403,18 @@ class ContentTracingEngine:
             tr.instant("dht.node_failed", node=node,
                        ranges_lost=int(lost.sum()))
 
-    def node_restarted(self, node: int) -> None:
-        """Re-admit a restarted node (it rejoins empty).
+    def node_restarted(self, node: int, recover: bool = False) -> None:
+        """Re-admit a restarted node.
 
         Ranges whose home moves back to ``node`` are purged from their
         failover owners and marked non-intact until repaired — the
         restarted node's RAM-resident shard did not survive the crash.
+
+        By default the node rejoins empty.  With ``recover=True`` (and a
+        persistent storage backend holding a commit) it reloads its local
+        segments first — the warm-rejoin path; the recovered view is
+        stale, so its ranges still need :meth:`repair` (``delta=True``
+        makes that cost scale with the staleness, not the content).
         """
         if self.partition.is_alive(node):
             return
@@ -303,7 +425,16 @@ class ContentTracingEngine:
         for owner in np.unique(old_homes[moved]).tolist():
             self._purge_ranges_at(int(owner), moved_ranges)
         self._intact[moved] = False
-        self.shards[node].clear()
+        if recover and self.shards[node].recover():
+            # The recovered segments may hold ranges that re-homed to
+            # other owners while the node was down; keep only rows this
+            # node homes *now* (all of which are in `moved`, hence
+            # non-intact until repaired) so nothing double-counts.
+            homes = self.partition.range_homes()
+            self._purge_ranges_at(node,
+                                  set(np.flatnonzero(homes != node).tolist()))
+        else:
+            self.shards[node].crash()
         self.bump_all_epochs()
         self._c_rejoins.inc()
         tr = self.obs.tracer
@@ -365,7 +496,7 @@ class ContentTracingEngine:
                                           count=len(ranges)))
         return shard.retain(keep)
 
-    def repair(self, full: bool = False) -> RepairReport:
+    def repair(self, full: bool = False, delta: bool = False) -> RepairReport:
         """Rebuild non-intact ranges from the monitors' ground truth.
 
         Each alive node re-routes its NSM's last-scanned view — restricted
@@ -374,6 +505,14 @@ class ContentTracingEngine:
         node-local content" made operational.  ``full=True`` rebuilds every
         range (a complete anti-entropy pass), which also heals holes left
         by lost update datagrams, not just failover damage.
+
+        ``delta=True`` reconciles instead of purge-and-replaying: the
+        shards' believed (hash, entity) multiset for the target ranges is
+        diffed against the routed ground truth and only the difference is
+        applied, so cost scales with divergence rather than content size.
+        Because the packed representation is canonical after compaction,
+        both modes land on byte-identical shards — delta is what makes a
+        warm restart cheap (docs/STORAGE.md).
 
         Entities hosted on dead nodes contribute nothing (their memory is
         gone), so their entries do not reappear in repaired ranges.
@@ -385,10 +524,12 @@ class ContentTracingEngine:
         if not len(targets):
             return RepairReport(0, 0, 0, 0)
         target_set = set(targets.tolist())
-        for owner in self.partition.alive_nodes().tolist():
-            self._purge_ranges_at(int(owner), target_set)
+        if not delta:
+            for owner in self.partition.alive_nodes().tolist():
+                self._purge_ranges_at(int(owner), target_set)
         before_hashes = self.total_hashes
         copies = 0
+        removed = 0
         nodes_scanned = 0
         net = self.cluster.network
         # Routing (select hashes in repaired ranges, group by current
@@ -414,23 +555,64 @@ class ContentTracingEngine:
                 task_eids.append(entity.entity_id)
                 work += len(hashes)
         routed = self.pool.run_tasks(_ops.repair_route, tasks, work=work)
-        for eid, groups in zip(task_eids, routed):
-            if not groups:
-                continue
-            for dst, hs in groups.items():
-                self.shards[dst].bulk_insert(hs, eid)
-                copies += len(hs)
+        if delta:
+            copies, removed = self._reconcile(targets, task_eids, routed)
+        else:
+            for eid, groups in zip(task_eids, routed):
+                if not groups:
+                    continue
+                for dst, hs in groups.items():
+                    self.shards[dst].bulk_insert(hs, eid)
+                    copies += len(hs)
         self._intact[targets] = True
         self.bump_all_epochs()
         self._c_repairs.inc()
         tr = self.obs.tracer
         if tr.enabled:
             tr.instant("dht.repair", ranges=len(targets),
-                       copies_restored=copies, nodes_scanned=nodes_scanned)
+                       copies_restored=copies, copies_removed=removed,
+                       nodes_scanned=nodes_scanned)
         return RepairReport(ranges_repaired=len(targets),
                             hashes_restored=self.total_hashes - before_hashes,
                             copies_restored=copies,
-                            nodes_scanned=nodes_scanned)
+                            nodes_scanned=nodes_scanned,
+                            copies_removed=removed)
+
+    def _reconcile(self, targets: np.ndarray, task_eids: list[int],
+                   routed: list) -> tuple[int, int]:
+        """Delta-repair apply: per destination shard, diff believed
+        copies against routed ground truth and apply removes-then-inserts
+        in (hash, entity) order.  Returns (copies inserted, removed)."""
+        n = self.cluster.n_nodes
+        want_h: list[list[np.ndarray]] = [[] for _ in range(n)]
+        want_e: list[list[np.ndarray]] = [[] for _ in range(n)]
+        for eid, groups in zip(task_eids, routed):
+            if not groups:
+                continue
+            for dst, hs in groups.items():
+                want_h[dst].append(hs)
+                want_e[dst].append(np.full(len(hs), eid, dtype=np.int64))
+        inserted = removed = 0
+        for dst in self.partition.alive_nodes().tolist():
+            dst = int(dst)
+            shard = self.shards[dst]
+            hh, he, hc = _pairs_in_ranges(shard, self.partition, targets)
+            wh = (np.concatenate(want_h[dst]) if want_h[dst]
+                  else np.empty(0, dtype=_U64))
+            we = (np.concatenate(want_e[dst]) if want_e[dst]
+                  else np.empty(0, dtype=np.int64))
+            ins, rem = _pair_multiset_diff(hh, he, hc, wh, we)
+            rem_h, rem_e, rem_c = rem
+            if len(rem_h):
+                shard.bulk_remove(np.repeat(rem_h, rem_c),
+                                  np.repeat(rem_e, rem_c))
+                removed += int(rem_c.sum())
+            ins_h, ins_e, ins_c = ins
+            if len(ins_h):
+                shard.bulk_insert(np.repeat(ins_h, ins_c),
+                                  np.repeat(ins_e, ins_c))
+                inserted += int(ins_c.sum())
+        return inserted, removed
 
     # -- degraded-mode introspection ---------------------------------------------------
 
@@ -501,3 +683,19 @@ class ContentTracingEngine:
         for s in self.shards:
             s.clear()
         self.bump_all_epochs()
+
+    # -- storage lifecycle (docs/STORAGE.md) -------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        """Whether shards are backed by a durable storage backend."""
+        return self.storage.persistent
+
+    def flush_storage(self) -> None:
+        """Durability barrier: force-commit every shard (overlay included)."""
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Release storage handles; idempotent.  The facade calls this."""
+        self.storage.close()

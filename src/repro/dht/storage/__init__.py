@@ -1,0 +1,81 @@
+"""Pluggable shard storage (docs/STORAGE.md).
+
+``open_storage(StorageConfig(...), n_nodes)`` resolves the configured
+backend into one :class:`~repro.dht.storage.base.ShardStorage` per
+shard, bundled in a :class:`StorageSet` the engine owns for lifecycle
+(close, wholesale wipe, the ephemeral-root cleanup).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import weakref
+
+from repro.dht.storage.base import (BACKENDS, ShardStorage, StorageConfig,
+                                    StorageState)
+from repro.dht.storage.memory import MemoryStorage
+from repro.dht.storage.mmapseg import MmapSegmentStorage
+from repro.dht.storage.sqlitewal import SqliteWalStorage
+
+__all__ = [
+    "BACKENDS", "ShardStorage", "StorageConfig", "StorageState",
+    "MemoryStorage", "MmapSegmentStorage", "SqliteWalStorage",
+    "StorageSet", "open_storage",
+]
+
+
+def _cleanup_root(state: dict) -> None:
+    root = state.pop("ephemeral_root", None)
+    if root is not None:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+class StorageSet:
+    """The per-shard storages of one engine, opened from one config.
+
+    ``ephemeral`` is True when the config named no root: the backend
+    machinery is real but the files live in a private temp dir removed
+    at close — which is what e.g. running a whole test suite under
+    ``CONCORD_STORAGE=sqlite`` wants.  A named root is durable: close
+    leaves it behind for the next process to warm-restart from.
+    """
+
+    def __init__(self, cfg: StorageConfig, n_nodes: int) -> None:
+        self.cfg = cfg
+        self.ephemeral = cfg.persistent and cfg.root is None
+        self._state: dict = {}
+        if not cfg.persistent:
+            self.root = None
+            self.shards: list[ShardStorage] = [
+                MemoryStorage(i) for i in range(n_nodes)]
+        else:
+            if self.ephemeral:
+                self.root = tempfile.mkdtemp(prefix="concord-store-")
+                self._state["ephemeral_root"] = self.root
+            else:
+                self.root = cfg.root
+            cls = (MmapSegmentStorage if cfg.backend == "mmap"
+                   else SqliteWalStorage)
+            self.shards = [cls(self.root, i) for i in range(n_nodes)]
+        self._finalizer = weakref.finalize(self, _cleanup_root, self._state)
+
+    @property
+    def persistent(self) -> bool:
+        return self.cfg.persistent
+
+    def wipe(self) -> None:
+        """Discard every shard's durable state (logical wholesale clear)."""
+        for s in self.shards:
+            s.clear()
+
+    def close(self) -> None:
+        """Release handles; remove the ephemeral root.  Idempotent."""
+        for s in self.shards:
+            s.close()
+        _cleanup_root(self._state)
+
+
+def open_storage(cfg: StorageConfig | None, n_nodes: int) -> StorageSet:
+    """Open per-shard storage for an engine (None = env-driven default)."""
+    return StorageSet(cfg if cfg is not None else StorageConfig(), n_nodes)

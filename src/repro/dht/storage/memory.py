@@ -1,0 +1,35 @@
+"""The RAM-only backend: no durable form, commit is the identity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.storage.base import ShardStorage, StorageState
+
+__all__ = ["MemoryStorage"]
+
+
+class MemoryStorage(ShardStorage):
+    """Today's behavior as a backend: the live arrays *are* the state.
+
+    ``load`` never finds anything (a restarted process starts cold) and
+    ``commit`` hands the arrays straight back, so a table on this
+    backend is byte-for-byte the pre-storage LocalDHT.
+    """
+
+    persistent = False
+
+    def __init__(self, node_id: int = 0) -> None:
+        self.node_id = node_id
+
+    def load(self) -> StorageState | None:
+        return None
+
+    def commit(self, state: StorageState) -> tuple[np.ndarray, np.ndarray]:
+        return state.ph, state.pm
+
+    def clear(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,144 @@
+"""Columnar mmap segment backend: one ShardColumns-layout file per shard.
+
+The segment file is byte-for-byte the PR 6 worker-export format
+(``[hashes | masks]``, ``2 * n_rows`` little-endian uint64), so the
+*same* file serves two masters: the table's live columns are read-only
+``np.memmap`` views of it (dataset bounded by disk, hot rows by page
+cache), and :meth:`~repro.dht.table.LocalDHT.export_columns` can hand
+its path straight to ShardPool workers — publishing a shard to the pool
+costs zero copies and zero writes.
+
+Commits are atomic at file granularity: the new segment is written to a
+temp name, fsynced, renamed to a fresh generation name, and only then
+referenced from the (also atomically replaced) meta JSON; a crash
+mid-commit leaves the previous generation fully intact.  The sparse
+side tables (wide spill, extra-copy overflow, counters, epoch) ride in
+the meta file — they are tiny by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.dht.storage.base import ShardStorage, StorageState
+
+__all__ = ["MmapSegmentStorage"]
+
+_U64 = np.uint64
+
+
+def _fsync_write(path: Path, data: bytes) -> None:
+    """Write bytes to a temp sibling, fsync, and atomically replace."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class MmapSegmentStorage(ShardStorage):
+    """Per-shard columnar segment files under one root directory."""
+
+    persistent = True
+
+    def __init__(self, root: str | Path, node_id: int) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.node_id = node_id
+        self._meta_path = self.root / f"shard{node_id}.meta.json"
+        self._gen = 0
+        self._seg: Path | None = None   # current committed segment
+        self._rows = 0
+
+    def _seg_path(self, gen: int) -> Path:
+        return self.root / f"shard{self.node_id}.{gen}.seg"
+
+    def load(self) -> StorageState | None:
+        try:
+            meta = json.loads(self._meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        self._gen = int(meta["gen"])
+        n = int(meta["n_rows"])
+        self._rows = n
+        if meta["seg"] is not None:
+            self._seg = self.root / meta["seg"]
+            buf = np.memmap(self._seg, dtype=_U64, mode="r", shape=(2 * n,))
+            ph, pm = buf[:n], buf[n:]
+        else:
+            self._seg = None
+            ph = np.empty(0, dtype=_U64)
+            pm = np.empty(0, dtype=_U64)
+        return StorageState(
+            ph=ph, pm=pm,
+            wide={int(h): int(m) for h, m in meta["wide"]},
+            extra={int(h): {int(e): int(c) for e, c in ex}
+                   for h, ex in meta["extra"]},
+            n_hashes=int(meta["n_hashes"]), n_copies=int(meta["n_copies"]),
+            epoch=int(meta.get("epoch", 0)))
+
+    def commit(self, state: StorageState) -> tuple[np.ndarray, np.ndarray]:
+        n = len(state.ph)
+        old_seg = self._seg
+        self._gen += 1
+        if n:
+            buf = np.empty(2 * n, dtype=_U64)
+            buf[:n] = state.ph
+            buf[n:] = state.pm
+            seg = self._seg_path(self._gen)
+            _fsync_write(seg, buf.tobytes())
+        else:
+            seg = None
+        meta = {
+            "gen": self._gen, "n_rows": n,
+            "seg": seg.name if seg is not None else None,
+            "wide": [[int(h), int(m)] for h, m in state.wide.items()],
+            "extra": [[int(h), [[int(e), int(c)] for e, c in ex.items()]]
+                      for h, ex in state.extra.items()],
+            "n_hashes": int(state.n_hashes),
+            "n_copies": int(state.n_copies),
+            "epoch": int(state.epoch),
+        }
+        _fsync_write(self._meta_path,
+                     json.dumps(meta, separators=(",", ":")).encode())
+        self._seg = seg
+        self._rows = n
+        if old_seg is not None and old_seg != seg:
+            try:
+                os.unlink(old_seg)
+            except OSError:
+                pass
+        if seg is None:
+            return (np.empty(0, dtype=_U64), np.empty(0, dtype=_U64))
+        mm = np.memmap(seg, dtype=_U64, mode="r", shape=(2 * n,))
+        return mm[:n], mm[n:]
+
+    def clear(self) -> None:
+        self._seg = None
+        self._rows = 0
+        self._gen = 0
+        try:
+            os.unlink(self._meta_path)
+        except OSError:
+            pass
+        for p in self.root.glob(f"shard{self.node_id}.*.seg"):
+            try:
+                os.unlink(p)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        pass  # memmaps are released with the arrays that hold them
+
+    def segment_path(self) -> str | None:
+        return str(self._seg) if self._seg is not None else None
+
+    @property
+    def committed_rows(self) -> int:
+        """Row count of the current segment (export sanity check)."""
+        return self._rows

@@ -27,6 +27,16 @@ Bulk APIs (:meth:`bulk_insert`, :meth:`bulk_remove`, :meth:`se_scan`,
 observationally equivalent to looping the per-item operations; the
 property suite in ``tests/properties/test_props_columnar.py`` checks this
 for interleaved sequences including the wide-mask spill path.
+
+Storage (docs/STORAGE.md): a shard may be backed by a
+:class:`~repro.dht.storage.base.ShardStorage`.  Every packed-column
+mutation commits the columns + side tables to the backend and adopts the
+views it returns (a file-backed backend keeps the live columns
+memmapped, so the dataset is bounded by disk, not RAM); the delta
+overlay stays RAM-only between commits — :meth:`flush` forces one.
+:meth:`crash` models losing RAM while storage keeps its last commit;
+:meth:`recover` reloads it (warm rejoin); :meth:`clear` is a logical
+wipe that also empties storage.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.dht.storage.base import ShardStorage, StorageState
 
 __all__ = ["LocalDHT", "ShardColumns"]
 
@@ -68,6 +80,11 @@ class ShardColumns:
     With ``path=None`` the columns themselves travel inline instead
     (used for empty shards and in tests); the descriptor pickles either
     way.
+
+    ``shared=True`` marks the segment file as owned by a storage
+    backend rather than by the pool (the mmap backend's current
+    segment doubles as the export — zero copies, zero writes); the
+    pool must never unlink a shared segment.
     """
 
     node_id: int
@@ -79,6 +96,7 @@ class ShardColumns:
     extra: dict               # hash -> {entity: extra copies}
     n_hashes: int
     n_copies: int
+    shared: bool = False      # segment owned by a storage backend
 
     def attach(self) -> LocalDHT:
         """Reconstruct a read-only LocalDHT over the snapshot.
@@ -107,8 +125,12 @@ class ShardColumns:
 class LocalDHT:
     """hash -> (entity bitmask, sparse extra-copy counts), columnar."""
 
-    def __init__(self, node_id: int = 0) -> None:
+    def __init__(self, node_id: int = 0,
+                 storage: ShardStorage | None = None) -> None:
         self.node_id = node_id
+        self._store = storage
+        self.epoch = 0        # last update epoch seen (engine-maintained)
+        self.recovered = False  # True when __init__ loaded a prior commit
         self._ph = np.empty(0, dtype=_U64)   # packed hashes, sorted
         self._pm = np.empty(0, dtype=_U64)   # packed masks, bits 0..63
         self._pw: dict[int, int] = {}        # hash -> mask >> 64 (wide spill)
@@ -117,6 +139,76 @@ class LocalDHT:
         self._extra: dict[int, dict[int, int]] = {}
         self._total_copies = 0
         self._n_hashes = 0
+        if storage is not None and storage.persistent:
+            loaded = storage.load()
+            if loaded is not None:
+                self._adopt(loaded)
+                self.recovered = True
+
+    # -- storage backend (docs/STORAGE.md) ---------------------------------------------
+
+    def _adopt(self, state: StorageState) -> None:
+        """Replace the live state with a loaded/committed snapshot."""
+        self._ph = state.ph
+        self._pm = state.pm
+        self._pw = dict(state.wide)
+        self._delta = {}
+        self._extra = {h: dict(ex) for h, ex in state.extra.items()}
+        self._n_hashes = state.n_hashes
+        self._total_copies = state.n_copies
+        self.epoch = state.epoch
+
+    def _persist(self) -> None:
+        """Commit columns + side tables to the backend (no-op when RAM-
+        only) and adopt the returned views, so a file-backed backend
+        keeps the live columns memmapped."""
+        st = self._store
+        if st is None or not st.persistent:
+            return
+        self._ph, self._pm = st.commit(StorageState(
+            ph=self._ph, pm=self._pm, wide=self._pw, extra=self._extra,
+            n_hashes=self._n_hashes, n_copies=self._total_copies,
+            epoch=self.epoch))
+
+    def flush(self) -> None:
+        """Durability barrier: merge the overlay and commit everything.
+
+        Afterwards the backend holds the complete current state — the
+        state a :meth:`recover` (warm restart) will see.  Point updates
+        between flushes live in the RAM delta overlay and are *not*
+        durable; the warm-restart delta repair heals exactly that gap.
+        """
+        st = self._store
+        if st is None or not st.persistent:
+            return
+        if self._delta:
+            self._compact()      # merges, then persists
+        else:
+            self._persist()      # capture side-table/counter changes
+
+    def crash(self) -> None:
+        """Simulated node crash: all RAM state (including the un-flushed
+        delta overlay) is lost; a persistent backend keeps its last
+        commit.  Contrast :meth:`clear`, the logical wipe."""
+        self._ph = np.empty(0, dtype=_U64)
+        self._pm = np.empty(0, dtype=_U64)
+        self._pw = {}
+        self._delta = {}
+        self._extra = {}
+        self._total_copies = 0
+        self._n_hashes = 0
+
+    def recover(self) -> bool:
+        """Reload the last committed state (warm rejoin); False when
+        there is no persistent backend or nothing was ever committed."""
+        st = self._store
+        if st is None or not st.persistent:
+            return False
+        loaded = st.load()
+        if loaded is None:
+            return False
+        self._adopt(loaded)
+        return True
 
     # -- internal: packed/overlay plumbing --------------------------------------------
 
@@ -161,6 +253,7 @@ class LocalDHT:
                 self._pw.pop(h, None)
         self._merge_sorted(dk, dl, dead)
         delta.clear()
+        self._persist()
 
     def _merge_sorted(self, keys: np.ndarray, lo: np.ndarray,
                       dead: np.ndarray) -> None:
@@ -174,6 +267,8 @@ class LocalDHT:
             exists[in_range] = ph[pos[in_range]] == keys[in_range]
         upd = exists & ~dead
         if upd.any():
+            if not pm.flags.writeable:
+                pm = pm.copy()   # live columns may be a read-only memmap
             pm[pos[upd]] = lo[upd]
         del_rows = pos[exists & dead]
         if len(del_rows):
@@ -422,6 +517,7 @@ class LocalDHT:
                 for i in cur_hi:
                     dead[i] = False
             self._merge_sorted(uh, new_lo, dead)
+            self._persist()
             return
         delta = self._delta
         if cur_hi:
@@ -460,6 +556,7 @@ class LocalDHT:
         self._pm = self._pm[keep]
         self._n_hashes -= len(drop_idx)
         self._total_copies -= copies
+        self._persist()
         return len(drop_idx)
 
     def remove_entity(self, entity_id: int) -> int:
@@ -511,6 +608,8 @@ class LocalDHT:
                     self._extra.pop(h, None)
             self._compact()
         self._total_copies -= removed
+        if removed:
+            self._persist()
         return removed
 
     # -- lookups -----------------------------------------------------------------------
@@ -578,9 +677,25 @@ class LocalDHT:
         worker process can attach them zero-copy via ``np.memmap``;
         without, copies of the arrays travel inline.  The overlay is
         compacted first, so the snapshot is exact.
+
+        A shard on the mmap storage backend skips the write entirely:
+        its current committed segment *is* the export format, so the
+        snapshot references that file (``shared=True``) and workers
+        memmap the storage's own bytes zero-copy.
         """
         self._compact()
         n = len(self._ph)
+        store = self._store
+        if store is not None and store.persistent and n:
+            seg = store.segment_path()
+            if (seg is not None
+                    and getattr(store, "committed_rows", -1) == n):
+                return ShardColumns(
+                    node_id=self.node_id, n_rows=n, path=seg,
+                    hashes=None, masks=None, wide=dict(self._pw),
+                    extra={h: dict(ex) for h, ex in self._extra.items()},
+                    n_hashes=self._n_hashes, n_copies=self._total_copies,
+                    shared=True)
         if path is not None and n:
             buf = np.empty(2 * n, dtype=_U64)
             buf[:n] = self._ph
@@ -696,10 +811,8 @@ class LocalDHT:
         return len(self._extra)
 
     def clear(self) -> None:
-        self._ph = np.empty(0, dtype=_U64)
-        self._pm = np.empty(0, dtype=_U64)
-        self._pw.clear()
-        self._delta.clear()
-        self._extra.clear()
-        self._total_copies = 0
-        self._n_hashes = 0
+        """Logical wipe: RAM state *and* any durable storage are emptied
+        (use :meth:`crash` to model losing only RAM)."""
+        self.crash()
+        if self._store is not None:
+            self._store.clear()

@@ -32,7 +32,7 @@ from collections.abc import Callable, Sequence
 
 from repro.dht.table import LocalDHT, ShardColumns
 
-__all__ = ["ShardPool", "DEFAULT_MIN_ROWS"]
+__all__ = ["ShardPool", "DEFAULT_MIN_ROWS", "sweep_stale_segments"]
 
 # Below this many total rows the per-task IPC round-trip costs more than
 # the scan itself; such jobs run inline (identical results either way).
@@ -74,6 +74,42 @@ def _pick_segment_root() -> str | None:
     if os.path.isdir(shm) and os.access(shm, os.W_OK):
         return shm
     return None  # tempfile's default
+
+
+_SEGMENT_PREFIX = "concord-shards-"
+
+
+def sweep_stale_segments(root: str) -> int:
+    """Remove segment dirs left by dead processes; returns dirs removed.
+
+    The GC finalizer cannot run after ``kill -9``, so ``/dev/shm`` (RAM!)
+    would leak one dir per killed run.  Segment dir names embed the
+    owning pid (``concord-shards-<pid>-...``); any whose process is gone
+    is garbage.  Runs once per pool, before its first dir is created.
+    """
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith(_SEGMENT_PREFIX):
+            continue
+        pid_part = name[len(_SEGMENT_PREFIX):].split("-", 1)[0]
+        try:
+            pid = int(pid_part)
+        except ValueError:
+            continue  # pre-pid-naming dir or foreign file: leave it
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            shutil.rmtree(os.path.join(root, name), ignore_errors=True)
+            removed += 1
+        except OSError:
+            continue  # e.g. EPERM: pid alive under another user
+    return removed
 
 
 def _cleanup(state: dict) -> None:
@@ -134,8 +170,11 @@ class ShardPool:
     def _segment_dir(self) -> str:
         d = self._state.get("dir")
         if d is None:
-            d = tempfile.mkdtemp(prefix="concord-shards-",
-                                 dir=self._segment_root or _pick_segment_root())
+            root = self._segment_root or _pick_segment_root()
+            sweep_stale_segments(root if root is not None
+                                 else tempfile.gettempdir())
+            d = tempfile.mkdtemp(prefix=f"{_SEGMENT_PREFIX}{os.getpid()}-",
+                                 dir=root)
             self._state["dir"] = d
         return d
 
@@ -180,7 +219,9 @@ class ShardPool:
         path = os.path.join(self._segment_dir(),
                             f"shard{table.node_id}.{self._seq}.u64")
         view = table.export_columns(path)
-        if cached is not None and cached[1].path:
+        # A shared view references the shard's own storage segment — the
+        # storage backend owns that file; never unlink it from here.
+        if cached is not None and cached[1].path and not cached[1].shared:
             try:
                 os.unlink(cached[1].path)
             except OSError:

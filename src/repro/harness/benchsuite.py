@@ -22,6 +22,8 @@ pytest port use one implementation.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.core.command import ExecMode
 from repro.core.concord import ConCORD
 from repro.core.config import ConCORDConfig
 from repro.core.scope import ServiceScope
+from repro.dht.storage import BACKENDS, StorageConfig, open_storage
 from repro.dht.table import LocalDHT
 from repro.exec import ShardPool
 from repro.exec import ops as _ops
@@ -338,10 +341,11 @@ def _exec_collective(ctx: BenchContext, shards) -> None:
 
 def _bring_up(n_nodes: int, sim_pages: int, R: int, seed: int,
               testbed: str = "new-cluster", kind: str = "moldy"):
+    """Synced system; use the returned ConCORD as a context manager."""
     cluster = Cluster(n_nodes, cost=testbed, seed=seed)
     make = workloads.moldy if kind == "moldy" else workloads.nasty
     ents = workloads.instantiate(cluster, make(n_nodes, sim_pages, seed=seed))
-    concord = ConCORD(cluster, ConCORDConfig(n_represented=R))
+    concord = ConCORD.from_config(cluster, ConCORDConfig(n_represented=R))
     concord.initial_scan()
     return cluster, ents, concord, [e.entity_id for e in ents]
 
@@ -352,10 +356,11 @@ def _bench_null(ctx: BenchContext, _state) -> None:
                                        seed=3,
                                        testbed=p.get("testbed",
                                                      "new-cluster"))
-    r_i = concord.execute_command(NullService(), ServiceScope.of(eids),
-                                  mode=ExecMode.INTERACTIVE)
-    r_b = concord.execute_command(NullService(), ServiceScope.of(eids),
-                                  mode=ExecMode.BATCH)
+    with concord:
+        r_i = concord.execute_command(NullService(), ServiceScope.of(eids),
+                                      mode=ExecMode.INTERACTIVE)
+        r_b = concord.execute_command(NullService(), ServiceScope.of(eids),
+                                      mode=ExecMode.BATCH)
     ctx.sim("interactive_wall_s", r_i.wall_time)
     ctx.sim("batch_wall_s", r_b.wall_time)
     ctx.sim("collective_wall_s", r_i.phases["collective"].wall)
@@ -370,8 +375,9 @@ def _bench_ckpt(ctx: BenchContext, _state) -> None:
                                        seed=5, testbed=p.get("testbed",
                                                              "new-cluster"))
     store = CheckpointStore()
-    r = concord.execute_command(CollectiveCheckpoint(store),
-                                ServiceScope.of(eids))
+    with concord:
+        r = concord.execute_command(CollectiveCheckpoint(store),
+                                    ServiceScope.of(eids))
     ctx.sim("wall_s", r.wall_time)
     ctx.sim("compression_ratio", store.compression_ratio, unit="frac")
     ctx.count("handled", r.stats.handled)
@@ -381,9 +387,11 @@ def _bench_query(ctx: BenchContext, _state) -> None:
     p = ctx.params
     _cl, _e, concord, eids = _bring_up(p["n_nodes"], p["sim_pages"], p["R"],
                                        seed=2)
-    sh = concord.sharing(eids, exec_mode=ExecMode.DISTRIBUTED)
-    ns = concord.num_shared_content(eids, 2, exec_mode=ExecMode.DISTRIBUTED)
-    single = concord.sharing(eids, exec_mode=ExecMode.SINGLE)
+    with concord:
+        sh = concord.sharing(eids, exec_mode=ExecMode.DISTRIBUTED)
+        ns = concord.num_shared_content(eids, 2,
+                                        exec_mode=ExecMode.DISTRIBUTED)
+        single = concord.sharing(eids, exec_mode=ExecMode.SINGLE)
     ctx.sim("sharing_distributed_s", sh.latency)
     ctx.sim("num_shared_distributed_s", ns.latency)
     ctx.sim("sharing_single_s", single.latency)
@@ -394,19 +402,20 @@ def _bench_monitor(ctx: BenchContext, _state) -> None:
     p = ctx.params
     cluster = Cluster(2, cost=NEW_CLUSTER, seed=9)
     workloads.instantiate(cluster, workloads.moldy(2, p["sim_pages"], seed=9))
-    concord = ConCORD(cluster, ConCORDConfig(hash_algo=p["hash_algo"]))
-    concord.initial_scan()
-    mon = concord.monitors[0]
-    base = mon.stats.cpu_time
-    rng = np.random.default_rng(10)
-    updates = 0
-    for _ in range(3):
-        for e in cluster.entities_on(0):
-            e.mutate_random(0.25, rng)
-        mon.scan()
-        updates += mon.flush()
-    ctx.sim("scan_cpu_s", mon.stats.cpu_time - base)
-    ctx.count("updates", updates)
+    with ConCORD.from_config(
+            cluster, ConCORDConfig(hash_algo=p["hash_algo"])) as concord:
+        concord.initial_scan()
+        mon = concord.monitors[0]
+        base = mon.stats.cpu_time
+        rng = np.random.default_rng(10)
+        updates = 0
+        for _ in range(3):
+            for e in cluster.entities_on(0):
+                e.mutate_random(0.25, rng)
+            mon.scan()
+            updates += mon.flush()
+        ctx.sim("scan_cpu_s", mon.stats.cpu_time - base)
+        ctx.count("updates", updates)
 
 
 def _bench_update_network(ctx: BenchContext, _state) -> None:
@@ -415,10 +424,11 @@ def _bench_update_network(ctx: BenchContext, _state) -> None:
     cluster = Cluster(p["n_nodes"], cost=BIG_CLUSTER, seed=1)
     workloads.instantiate(cluster, workloads.nasty(p["n_nodes"],
                                                    p["sim_pages"], seed=1))
-    concord = ConCORD(cluster, ConCORDConfig(use_network=True,
-                                             n_represented=p["R"],
-                                             update_batch_size=1))
-    concord.initial_scan()
+    with ConCORD.from_config(
+            cluster, ConCORDConfig(use_network=True,
+                                   n_represented=p["R"],
+                                   update_batch_size=1)) as concord:
+        concord.initial_scan()
     st = cluster.network.stats
     ctx.count("updates_sent", st.updates_sent)
     ctx.sim("loss_rate", st.update_loss_rate, unit="frac")
@@ -434,13 +444,14 @@ def _bench_serve_throughput(ctx: BenchContext, _state) -> None:
     cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=3)
     workloads.instantiate(cluster, workloads.moldy(p["n_nodes"],
                                                    p["sim_pages"], seed=3))
-    concord = ConCORD(cluster, ConCORDConfig(use_network=False,
-                                             serve=ServeConfig()))
-    concord.initial_scan()
-    rep = concord.serve(TrafficSpec(
-        n_clients=p["clients"], duration_s=p["duration_s"],
-        arrival="poisson", rate_per_client=p["rate"], zipf_s=1.2,
-        population=128, seed=7))
+    with ConCORD.from_config(
+            cluster, ConCORDConfig(use_network=False,
+                                   serve=ServeConfig())) as concord:
+        concord.initial_scan()
+        rep = concord.serve(TrafficSpec(
+            n_clients=p["clients"], duration_s=p["duration_s"],
+            arrival="poisson", rate_per_client=p["rate"], zipf_s=1.2,
+            population=128, seed=7))
     ctx.sim("qps", rep.qps, unit="qps", higher_is_better=True)
     ctx.count("completed", rep.completed)
     ctx.count("coalesced", rep.coalesced)
@@ -464,13 +475,14 @@ def _bench_serve_cached_qps(ctx: BenchContext, _state) -> None:
                                                        seed=3))
         cfg = ServeConfig(cache=cache, interactive_window_s=5e-6,
                           batch_window_s=5e-6)
-        concord = ConCORD(cluster, ConCORDConfig(use_network=False,
-                                                 serve=cfg))
-        concord.initial_scan()
-        return concord.serve(TrafficSpec(
-            n_clients=p["clients"], duration_s=p["duration_s"],
-            arrival="closed", zipf_s=1.5, population=64,
-            nodewise_frac=0.8, seed=7))
+        with ConCORD.from_config(
+                cluster, ConCORDConfig(use_network=False,
+                                       serve=cfg)) as concord:
+            concord.initial_scan()
+            return concord.serve(TrafficSpec(
+                n_clients=p["clients"], duration_s=p["duration_s"],
+                arrival="closed", zipf_s=1.5, population=64,
+                nodewise_frac=0.8, seed=7))
 
     off = run(False)
     on = run(True)
@@ -481,6 +493,104 @@ def _bench_serve_cached_qps(ctx: BenchContext, _state) -> None:
     ctx.sim("cache_hit_rate", on.hit_rate, unit="frac",
             higher_is_better=True)
     ctx.count("coalesced", on.coalesced)
+
+
+# ---------------------------------------------------------------------------
+# Shard storage backends (docs/STORAGE.md): scan throughput + warm restart
+# ---------------------------------------------------------------------------
+
+
+def _bench_storage_scan(ctx: BenchContext, _state) -> None:
+    """Per-backend shard scan throughput.
+
+    For persistent backends the table is crashed and recovered first, so
+    the scanned columns are what a warm-restarted node actually reads
+    (read-only memmap of the committed segment for mmap; buffers loaded
+    from the WAL database for sqlite) rather than the build-time arrays.
+    """
+    p = ctx.params
+    size = p["size"]
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 2**63, size=size, dtype=np.uint64)
+    eids = rng.integers(0, _EXEC_N_ENTITIES, size=size, dtype=np.int64)
+    sset = open_storage(StorageConfig(backend=p["backend"]), 1)
+    try:
+        dht = LocalDHT(node_id=0, storage=sset.shards[0])
+        dht.bulk_insert(keys, eids)
+        dht.flush()
+        if sset.persistent:
+            dht.crash()
+            assert dht.recover(), "recover failed on committed state"
+        t, out = _best_of(lambda: dht.se_scan(_SCOPE_MASK))
+        ctx.count("rows_scanned", len(out[0]))
+        ctx.count("rows_total", dht.n_hashes)
+        ctx.wall("scan_entries_per_s", size / t, unit="1/s",
+                 higher_is_better=True)
+    finally:
+        sset.close()
+
+
+def _bench_storage_restart(ctx: BenchContext, _state) -> None:
+    """Cold full-rebuild repair vs warm delta catch-up after a restart.
+
+    The deterministic count metrics pin the headline property: the warm
+    path's applied operations scale with the divergence accumulated
+    while the node was down, not with total content; the wall metrics
+    track the end-to-end restart latency of both paths.
+    """
+    p = ctx.params
+
+    def fresh():
+        cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=4)
+        ents = workloads.instantiate(
+            cluster, workloads.moldy(p["n_nodes"], p["sim_pages"], seed=4))
+        return cluster, ents
+
+    def mutate(ents):
+        rng = np.random.default_rng(6)
+        for e in ents[:2]:
+            e.mutate_random(p["mutate"], rng)
+
+    root = tempfile.mkdtemp(prefix="concord-bench-store-")
+    try:
+        scfg = StorageConfig(backend=p["backend"], root=root)
+        cluster, _ents = fresh()
+        with ConCORD.from_config(cluster,
+                                 ConCORDConfig(storage=scfg)) as c:
+            c.initial_scan()
+            total_copies = c.tracing.total_copies
+
+        # Warm: recover segments, rebase monitors, delta-reconcile.
+        cluster2, ents2 = fresh()
+        mutate(ents2)
+        t0 = time.perf_counter()
+        with ConCORD.from_config(cluster2,
+                                 ConCORDConfig(storage=scfg)) as c2:
+            assert c2.storage_recovered, "nothing recovered from storage"
+            rep_warm = c2.warm_restart()
+            t_warm = time.perf_counter() - t0
+
+        # Cold: same divergent memory, full NSM rebuild from scratch.
+        cluster3, ents3 = fresh()
+        mutate(ents3)
+        t0 = time.perf_counter()
+        with ConCORD.from_config(cluster3, ConCORDConfig()) as c3:
+            c3.initial_scan()
+            rep_cold = c3.repair(full=True)
+            t_cold = time.perf_counter() - t0
+
+        warm_applied = rep_warm.copies_restored + rep_warm.copies_removed
+        cold_applied = rep_cold.copies_restored + rep_cold.copies_removed
+        assert warm_applied < cold_applied, \
+            "warm repair applied no fewer ops than a cold rebuild"
+        ctx.count("total_copies", total_copies)
+        ctx.count("cold_applied", cold_applied)
+        ctx.count("warm_applied", warm_applied)
+        ctx.count("deterministic", 1)
+        ctx.wall("cold_restart_s", t_cold)
+        ctx.wall("warm_restart_s", t_warm)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -631,6 +741,18 @@ def build_default_runner(workers: int | None = None) -> BenchRunner:
                 "duration_s": 0.2}, tier="quick",
         doc="epoch-cache throughput win, closed-loop Zipfian "
             "(cache off vs on)"))
+
+    # Shard storage backends (docs/STORAGE.md).
+    for backend in BACKENDS:
+        r.register(BenchSpec(
+            f"storage.scan.{backend}", _bench_storage_scan,
+            params={"backend": backend, "size": 200_000}, tier="quick",
+            doc=f"shard se_scan throughput on the {backend} backend"))
+    r.register(BenchSpec(
+        "storage.restart.cold_vs_warm", _bench_storage_restart,
+        params={"backend": "mmap", "n_nodes": 4, "sim_pages": 1024,
+                "mutate": 0.05}, tier="quick",
+        doc="warm restart delta catch-up vs cold full-NSM rebuild"))
 
     for spec in FIGURE_SPECS.values():
         r.register(spec)

@@ -61,8 +61,9 @@ def _build(n_nodes: int, testbed, spec, n_represented: int = 1, seed: int = 0,
            use_network: bool = False):
     cluster = Cluster(n_nodes, cost=testbed, seed=seed)
     entities = workloads.instantiate(cluster, spec)
-    concord = ConCORD(cluster, ConCORDConfig(use_network=use_network,
-                                             n_represented=n_represented))
+    concord = ConCORD.from_config(
+        cluster, ConCORDConfig(use_network=use_network,
+                               n_represented=n_represented))
     concord.initial_scan()
     eids = [e.entity_id for e in entities]
     return cluster, entities, concord, eids
@@ -182,10 +183,11 @@ def run_fig07(node_counts=(1, 2, 4, 8, 16, 32, 64, 128),
     for n in node_counts:
         cluster = Cluster(n, cost=BIG_CLUSTER, seed=1)
         workloads.instantiate(cluster, workloads.nasty(n, sim_pages, seed=1))
-        concord = ConCORD(cluster, ConCORDConfig(use_network=True,
-                                                 n_represented=R,
-                                                 update_batch_size=1))
-        concord.initial_scan()
+        with ConCORD.from_config(
+                cluster, ConCORDConfig(use_network=True,
+                                       n_represented=R,
+                                       update_batch_size=1)) as concord:
+            concord.initial_scan()
         st = cluster.network.stats
         t.x_values.append(n)
         s_total.append(st.updates_sent / 1e6)
@@ -474,23 +476,25 @@ def run_monitor_overhead(periods=(2.0, 5.0), mem_mb: int = 64) -> Table:
             cluster = Cluster(2, cost=OLD_CLUSTER, seed=9)
             workloads.instantiate(cluster, workloads.moldy(2, sim_pages,
                                                            seed=9))
-            concord = ConCORD(cluster, ConCORDConfig(hash_algo=algo))
-            concord.initial_scan()
-            mon = concord.monitors[0]
-            base = mon.stats.cpu_time
-            # Steady state: churn 25% of memory per period, then rescan
-            # (HPC benchmarks rewrite working-set pages continuously).
-            rng = np.random.default_rng(10)
-            n_periods = 5
-            updates = 0
-            for _ in range(n_periods):
-                for e in cluster.entities_on(0):
-                    e.mutate_random(0.25, rng)
-                mon.scan()
-                updates += mon.flush()
-            series.append((mon.stats.cpu_time - base) / (n_periods * period)
-                          * 100)
-            row[algo] = updates
+            with ConCORD.from_config(
+                    cluster, ConCORDConfig(hash_algo=algo)) as concord:
+                concord.initial_scan()
+                mon = concord.monitors[0]
+                base = mon.stats.cpu_time
+                # Steady state: churn 25% of memory per period, then
+                # rescan (HPC benchmarks rewrite working-set pages
+                # continuously).
+                rng = np.random.default_rng(10)
+                n_periods = 5
+                updates = 0
+                for _ in range(n_periods):
+                    for e in cluster.entities_on(0):
+                        e.mutate_random(0.25, rng)
+                    mon.scan()
+                    updates += mon.flush()
+                series.append((mon.stats.cpu_time - base)
+                              / (n_periods * period) * 100)
+                row[algo] = updates
         # ~13 B per update on the wire + headers amortized over batches
         update_bytes = row["sfh"] / n_periods * 15
         s_net.append(update_bytes / period / OLD_CLUSTER.link_bw * 100)
@@ -591,14 +595,17 @@ def run_ablation_throttle(rates=(None, 1_000, 500, 100),
         cluster = Cluster(2, cost=NEW_CLUSTER, seed=15)
         ents = workloads.instantiate(cluster,
                                      workloads.nasty(2, sim_pages, seed=15))
-        concord = ConCORD(cluster, ConCORDConfig(throttle_updates_per_s=rate))
-        for mon in concord.monitors:
-            mon.initial_scan()
-            mon.flush(interval=1.0)
-        total = sum(e.n_pages for e in ents)
-        t.x_values.append(0 if rate is None else rate)
-        s_tracked.append(concord.total_tracked_hashes / total * 100)
-        s_pending.append(sum(m.pending_updates for m in concord.monitors))
+        with ConCORD.from_config(
+                cluster,
+                ConCORDConfig(throttle_updates_per_s=rate)) as concord:
+            for mon in concord.monitors:
+                mon.initial_scan()
+                mon.flush(interval=1.0)
+            total = sum(e.n_pages for e in ents)
+            t.x_values.append(0 if rate is None else rate)
+            s_tracked.append(concord.total_tracked_hashes / total * 100)
+            s_pending.append(sum(m.pending_updates
+                                 for m in concord.monitors))
     return t
 
 
@@ -621,10 +628,10 @@ def run_ablation_rdma(node_counts=(8, 32, 128), gb_per_entity: float = 4.0,
             cluster = Cluster(n, cost=BIG_CLUSTER, seed=1)
             workloads.instantiate(cluster,
                                   workloads.nasty(n, sim_pages, seed=1))
-            concord = ConCORD(cluster, ConCORDConfig(
-                use_network=True, n_represented=R, update_batch_size=1,
-                update_transport=transport))
-            concord.initial_scan()
+            with ConCORD.from_config(cluster, ConCORDConfig(
+                    use_network=True, n_represented=R, update_batch_size=1,
+                    update_transport=transport)) as concord:
+                concord.initial_scan()
             series.append(cluster.network.stats.update_loss_rate * 100)
         t.x_values.append(n)
     t.note("one-sided updates remove the receiver-CPU bottleneck; loss "
@@ -698,43 +705,44 @@ def run_faults(n_nodes: int = 8, pages_per_entity: int = 512,
     ents = workloads.instantiate(
         cluster, workloads.moldy(n_nodes, pages_per_entity, seed=21))
     eids = [e.entity_id for e in ents]
-    concord = ConCORD(cluster, ConCORDConfig(use_network=True))
     victims = (n_nodes - 2, n_nodes - 1)
 
-    plan = FaultPlan().set_loss(0.0, loss).kill(0.05, *victims)
-    concord.inject_faults(plan)
-    concord.initial_scan(run_network=False)
-    cluster.engine.run()
+    with ConCORD.from_config(cluster,
+                             ConCORDConfig(use_network=True)) as concord:
+        plan = FaultPlan().set_loss(0.0, loss).kill(0.05, *victims)
+        concord.inject_faults(plan)
+        concord.initial_scan(run_network=False)
+        cluster.engine.run()
 
-    exact = ReferenceModel(cluster).sharing(eids)
-    t = Table(f"Fault injection: kill 2/{n_nodes} home nodes at "
-              f"{loss:.0%} loss (New-cluster)", "stage")
-    s_cov = t.add_series("coverage_pct")
-    s_sh = t.add_series("sharing")
-    s_err = t.add_series("abs_error")
+        exact = ReferenceModel(cluster).sharing(eids)
+        t = Table(f"Fault injection: kill 2/{n_nodes} home nodes at "
+                  f"{loss:.0%} loss (New-cluster)", "stage")
+        s_cov = t.add_series("coverage_pct")
+        s_sh = t.add_series("sharing")
+        s_err = t.add_series("abs_error")
 
-    def stage(label: str) -> None:
-        ans = concord.sharing(eids)
-        t.x_values.append(label)
-        s_cov.append(ans.coverage * 100)
-        s_sh.append(ans.value)
-        s_err.append(abs(ans.value - exact))
+        def stage(label: str) -> None:
+            ans = concord.sharing(eids)
+            t.x_values.append(label)
+            s_cov.append(ans.coverage * 100)
+            s_sh.append(ans.value)
+            s_err.append(abs(ans.value - exact))
 
-    concord.detect_failures()
-    stage("killed+lossy")
-    concord.repair()
-    stage("failover-repaired")
-    # Lift the loss, rejoin the victims (empty — their primary ranges
-    # route back holed), and full-repair: rebuilds those ranges *and*
-    # heals every datagram-loss hole, so the answer becomes exact.
-    cluster.network.set_loss(0.0)
-    for node in victims:
-        concord.restart_node(node)
-    stage("rejoined")
-    concord.repair(full=True)
-    stage("full-repair")
-    t.note(f"exact (fault-free) sharing = {exact:.4f}; after full repair "
-           "the collective answer must match it at coverage 100%")
+        concord.detect_failures()
+        stage("killed+lossy")
+        concord.repair()
+        stage("failover-repaired")
+        # Lift the loss, rejoin the victims (empty — their primary ranges
+        # route back holed), and full-repair: rebuilds those ranges *and*
+        # heals every datagram-loss hole, so the answer becomes exact.
+        cluster.network.set_loss(0.0)
+        for node in victims:
+            concord.restart_node(node)
+        stage("rejoined")
+        concord.repair(full=True)
+        stage("full-repair")
+        t.note(f"exact (fault-free) sharing = {exact:.4f}; after full "
+               "repair the collective answer must match it at coverage 100%")
     return t
 
 

@@ -44,24 +44,24 @@ def run_traced_null(n_nodes: int = 4, pages_per_entity: int = 2048,
     cluster = Cluster(n_nodes, cost=NEW_CLUSTER, seed=seed)
     entities = workloads.instantiate(
         cluster, workloads.moldy(n_nodes, pages_per_entity, seed=seed))
-    concord = ConCORD(cluster, ConCORDConfig(
-        n_represented=n_represented,
-        obs=obs_config or ObsConfig(trace=True)))
-    concord.initial_scan()
-    eids = [e.entity_id for e in entities]
-    result = concord.execute_command(NullService(), ServiceScope.of(eids),
-                                     mode=mode, seed=seed)
-    tracer = concord.obs.tracer
-    t = Table("traced null command: span totals vs phase bookkeeping",
-              "phase")
-    s_span = t.add_series("span_wall_ms")
-    s_book = t.add_series("bookkeeping_wall_ms")
-    for ph in _PHASES:
-        t.x_values.append(ph)
-        s_span.append(tracer.total(f"cmd.phase.{ph}") * 1e3)
-        s_book.append(result.phases[ph].wall * 1e3)
-    t.note(f"{len(tracer)} spans recorded; the trace is a deterministic "
-           "function of the seed")
+    with ConCORD.from_config(cluster, ConCORDConfig(
+            n_represented=n_represented,
+            obs=obs_config or ObsConfig(trace=True))) as concord:
+        concord.initial_scan()
+        eids = [e.entity_id for e in entities]
+        result = concord.execute_command(NullService(), ServiceScope.of(eids),
+                                         mode=mode, seed=seed)
+        tracer = concord.obs.tracer
+        t = Table("traced null command: span totals vs phase bookkeeping",
+                  "phase")
+        s_span = t.add_series("span_wall_ms")
+        s_book = t.add_series("bookkeeping_wall_ms")
+        for ph in _PHASES:
+            t.x_values.append(ph)
+            s_span.append(tracer.total(f"cmd.phase.{ph}") * 1e3)
+            s_book.append(result.phases[ph].wall * 1e3)
+        t.note(f"{len(tracer)} spans recorded; the trace is a deterministic "
+               "function of the seed")
     return t, result, concord.obs
 
 

@@ -132,6 +132,23 @@ class MemoryUpdateMonitor:
             total += self._scan_entity(entity, full=full)
         return total
 
+    def rebase(self) -> int:
+        """Re-establish the NSM ground truth without emitting updates.
+
+        A warm restart already holds a believed DHT state recovered from
+        storage; replaying a full initial scan's worth of inserts on top
+        of it would double-count.  Rebase runs the scans (so the NSM view
+        is current and ``repair(delta=True)`` reconciles against live
+        content) and then drops the produced delta.  Returns the number
+        of pages hashed by the pass.
+        """
+        before = self.stats.pages_hashed
+        for entity in self.nsm.entities():
+            self._scan_entity(entity, full=True)
+        self._pending.clear()
+        self._last_scan_time = 0.0
+        return self.stats.pages_hashed - before
+
     def _scan_entity(self, entity: Entity, full: bool) -> int:
         eid = entity.entity_id
         old = self.nsm.scanned_hashes_of(eid)

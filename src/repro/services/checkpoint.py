@@ -129,6 +129,36 @@ class CheckpointStore:
         self.compress_fraction = compress_fraction
         self.shared = SharedContentFile(page_size)
         self.se_files: dict[int, SECheckpointFile] = {}
+        # Backing directory when the store was opened persistent; None
+        # for a purely in-memory store (see open_dir / save).
+        self.dir: Path | None = None
+
+    @classmethod
+    def open_dir(cls, path: str | Path, page_size: int = 4096,
+                 compress_fraction: float = 0.5) -> CheckpointStore:
+        """Open a directory-backed store: load the checkpoint already
+        there (if any), else start empty; either way :meth:`save` writes
+        back to the same place.  The persistence entry point the serve
+        path uses alongside durable shard storage (docs/STORAGE.md)."""
+        d = Path(path)
+        if (d / "shared.bin").exists():
+            store = cls.load_from_dir(d, compress_fraction)
+        else:
+            store = cls(page_size, compress_fraction)
+        store.dir = d
+        return store
+
+    def save(self, canonical: bool = False) -> Path:
+        """Write the store back to its backing directory (see
+        :meth:`open_dir`); returns the directory.  Raises
+        ``RuntimeError`` for an in-memory store."""
+        if self.dir is None:
+            raise RuntimeError(
+                "this CheckpointStore has no backing directory; open it "
+                "with CheckpointStore.open_dir(path) or use "
+                "write_to_dir(path) explicitly")
+        self.write_to_dir(self.dir, canonical=canonical)
+        return self.dir
 
     def se_file(self, entity_id: int) -> SECheckpointFile:
         f = self.se_files.get(entity_id)

@@ -1,4 +1,5 @@
-"""Tests for the ConCORDConfig value and the facade's legacy-kwarg shim."""
+"""Tests for the ConCORDConfig value and the facade's construction
+contract (the pre-PR 2 kwarg shim is gone: kwargs are hard errors)."""
 
 import dataclasses
 
@@ -61,18 +62,18 @@ class TestFacadeConstruction:
         concord = ConCORD(small_cluster())
         assert concord.config == ConCORDConfig()
 
-    def test_legacy_kwargs_warn_and_fold_into_config(self):
-        with pytest.warns(DeprecationWarning, match="use_network"):
-            concord = ConCORD(small_cluster(), use_network=True)
-        assert concord.config.use_network is True
-        assert concord.config == ConCORDConfig(use_network=True)
+    def test_legacy_kwargs_are_hard_errors(self):
+        # The error must name the offending kwarg AND point at the
+        # replacement so the fix is copy-pasteable.
+        with pytest.raises(TypeError, match=r"use_network"):
+            ConCORD(small_cluster(), use_network=True)
+        with pytest.raises(TypeError, match=r"ConCORDConfig\(use_network"):
+            ConCORD(small_cluster(), use_network=True)
 
-    def test_legacy_kwargs_overlay_explicit_config(self):
+    def test_legacy_kwargs_error_even_with_explicit_config(self):
         base = ConCORDConfig(n_represented=2)
-        with pytest.warns(DeprecationWarning):
-            concord = ConCORD(small_cluster(), base, hash_algo="blake2b")
-        assert concord.config.n_represented == 2     # kept from base
-        assert concord.config.hash_algo == "blake2b"  # folded on top
+        with pytest.raises(TypeError, match="hash_algo"):
+            ConCORD(small_cluster(), base, hash_algo="blake2b")
 
     def test_unknown_kwarg_raises_type_error(self):
         with pytest.raises(TypeError, match="use_netwrk"):
@@ -82,3 +83,9 @@ class TestFacadeConstruction:
         ConCORD(small_cluster(), ConCORDConfig(use_network=True))
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
+
+    def test_context_manager_closes(self):
+        with ConCORD(small_cluster()) as concord:
+            assert concord._closed is False
+        assert concord._closed is True
+        concord.close()  # idempotent

@@ -1,0 +1,77 @@
+"""/dev/shm hygiene: stale shared-segment dirs from killed runs are swept.
+
+A ``kill -9`` skips every finalizer, leaving the run's RAM-backed
+segment dir behind.  Segment dirs embed the owning pid in their name
+(``concord-shards-<pid>-...``); the next pool to come up sweeps any
+whose process no longer exists (docs/STORAGE.md).
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.exec.pool import ShardPool, _SEGMENT_PREFIX, sweep_stale_segments
+
+
+def dead_pid() -> int:
+    """A pid guaranteed not to exist: spawn a process and reap it."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestSweep:
+    def test_dead_pid_dir_is_removed(self, tmp_path):
+        stale = tmp_path / f"{_SEGMENT_PREFIX}{dead_pid()}-abc123"
+        stale.mkdir()
+        (stale / "shard0.u64").write_bytes(b"\0" * 16)
+        assert sweep_stale_segments(str(tmp_path)) == 1
+        assert not stale.exists()
+
+    def test_own_pid_dir_is_kept(self, tmp_path):
+        mine = tmp_path / f"{_SEGMENT_PREFIX}{os.getpid()}-live"
+        mine.mkdir()
+        assert sweep_stale_segments(str(tmp_path)) == 0
+        assert mine.exists()
+
+    def test_live_foreign_pid_dir_is_kept(self, tmp_path):
+        # pid 1 is always alive (and not ours); kill(1, 0) raises EPERM
+        # for normal users, ProcessLookupError never.
+        other = tmp_path / f"{_SEGMENT_PREFIX}1-init"
+        other.mkdir()
+        sweep_stale_segments(str(tmp_path))
+        assert other.exists()
+
+    def test_unparseable_names_are_left_alone(self, tmp_path):
+        for name in (f"{_SEGMENT_PREFIX}notapid-x", "unrelated-dir",
+                     f"{_SEGMENT_PREFIX}", "concord-store-zzz"):
+            (tmp_path / name).mkdir()
+        assert sweep_stale_segments(str(tmp_path)) == 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+            (f"{_SEGMENT_PREFIX}notapid-x", "unrelated-dir",
+             f"{_SEGMENT_PREFIX}", "concord-store-zzz"))
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        assert sweep_stale_segments(str(tmp_path / "nope")) == 0
+
+    def test_pool_startup_sweeps_its_root(self, tmp_path):
+        stale = tmp_path / f"{_SEGMENT_PREFIX}{dead_pid()}-leftover"
+        stale.mkdir()
+        pool = ShardPool(workers=1, segment_dir=str(tmp_path))
+        try:
+            d = pool._segment_dir()        # first dir creation sweeps
+            assert not stale.exists()
+            assert os.path.basename(d).startswith(
+                f"{_SEGMENT_PREFIX}{os.getpid()}-")
+        finally:
+            pool.close()
+        assert not os.path.exists(d)       # close removes our own dir too
+
+    def test_segment_dirs_are_pid_prefixed(self, tmp_path):
+        pool = ShardPool(workers=2, segment_dir=str(tmp_path))
+        try:
+            d = pool._segment_dir()
+            pid = os.path.basename(d)[len(_SEGMENT_PREFIX):].split("-", 1)[0]
+            assert int(pid) == os.getpid()
+        finally:
+            pool.close()

@@ -136,12 +136,14 @@ class TestExecutionModes:
             concord4.sharing(cluster4.all_entity_ids(),
                              exec_mode=ExecMode.INTERACTIVE)
 
-    def test_legacy_string_mode_warns_but_works(self, concord4, cluster4):
+    def test_string_mode_is_hard_error_naming_member(self, concord4,
+                                                     cluster4):
+        # The PR 2 string shim finished its deprecation cycle: a member
+        # string now raises TypeError telling the caller which enum
+        # member to pass instead.
         eids = cluster4.all_entity_ids()
-        with pytest.warns(DeprecationWarning):
-            legacy = concord4.sharing(eids, exec_mode="single")
-        assert legacy.value == concord4.sharing(
-            eids, exec_mode=ExecMode.SINGLE).value
+        with pytest.raises(TypeError, match=r"ExecMode\.SINGLE"):
+            concord4.sharing(eids, exec_mode="single")
 
 
 class TestStalenessBestEffort:

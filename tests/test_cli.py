@@ -223,6 +223,64 @@ class TestServe:
         assert "rejected[rate_limited]" in out
 
 
+class TestStorageFlags:
+    """--storage/--storage-dir/--expect-warm (docs/STORAGE.md)."""
+
+    SERVE = ("serve", "--clients", "2", "--duration", "0.02",
+             "--population", "16", "--pages", "128")
+
+    def test_bench_lists_storage_specs(self):
+        code, out = run_cli("bench", "--list")
+        assert code == 0
+        for name in ("storage.scan.memory", "storage.scan.mmap",
+                     "storage.scan.sqlite", "storage.restart.cold_vs_warm"):
+            assert name in out
+
+    def test_bench_storage_flag_does_not_leak_env(self, tmp_path):
+        # --storage must not leak into the process env (tier-2 CI runs
+        # with CONCORD_STORAGE already set: assert unchanged, not unset).
+        import os
+        before = {k: os.environ.get(k)
+                  for k in ("CONCORD_STORAGE", "CONCORD_STORAGE_DIR")}
+        code, _out = run_cli("bench", "--no-trajectory", "--quick",
+                             "--filter", "monitor.scan",
+                             "--storage", "sqlite",
+                             "--storage-dir", str(tmp_path))
+        assert code == 0
+        assert {k: os.environ.get(k) for k in before} == before
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            run_cli(*self.SERVE, "--storage", "bogus")
+
+    def test_expect_warm_requires_persistent_backend(self, monkeypatch):
+        monkeypatch.delenv("CONCORD_STORAGE", raising=False)
+        code, out = run_cli(*self.SERVE, "--expect-warm")
+        assert code == 2
+        assert "persistent" in out
+        code, out = run_cli(*self.SERVE, "--storage", "memory",
+                            "--expect-warm")
+        assert code == 2
+
+    def test_expect_warm_fails_on_empty_root(self, tmp_path):
+        code, out = run_cli(*self.SERVE, "--storage", "sqlite",
+                            "--storage-dir", str(tmp_path),
+                            "--expect-warm")
+        assert code == 1
+        assert "expected a warm restart" in out
+
+    @pytest.mark.parametrize("backend", ("mmap", "sqlite"))
+    def test_serve_twice_warm_restarts(self, backend, tmp_path):
+        cold = self.SERVE + ("--storage", backend,
+                             "--storage-dir", str(tmp_path))
+        code, out = run_cli(*cold)
+        assert code == 0
+        assert "warm restart" not in out
+        code, out = run_cli(*cold, "--expect-warm")
+        assert code == 0
+        assert f"[warm restart from {backend} storage:" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
