@@ -171,6 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--expect-warm", action="store_true",
                     help="exit 1 unless the instance warm-restarted from "
                          "persistent storage (CI smoke assertion)")
+    sv.add_argument("--autoscale", type=int, default=None, metavar="N",
+                    help="run the autoscaler during the stream, live-"
+                         "joining nodes under load up to N total "
+                         "(docs/ELASTICITY.md)")
+    sv.add_argument("--placement", default="mod",
+                    choices=["mod", "consistent", "hd"],
+                    help="hash->node placement policy; consistent/hd "
+                         "minimize entries moved per join (default: mod)")
+    sv.add_argument("--expect-join", action="store_true",
+                    help="exit 1 unless at least one live join completed "
+                         "(CI smoke assertion; implies load thresholds "
+                         "low enough to trip)")
     return p
 
 
@@ -422,18 +434,27 @@ def _cmd_serve(args, out) -> int:
         if args.expect_warm and not storage.persistent:
             raise ValueError("--expect-warm requires a persistent "
                              "--storage backend (mmap or sqlite)")
+        if args.autoscale is not None and args.autoscale <= args.nodes:
+            raise ValueError("--autoscale target must exceed --nodes")
+        if args.expect_join and args.autoscale is None:
+            raise ValueError("--expect-join requires --autoscale")
     except ValueError as e:
         print(f"error: {e}", file=out)
         return 2
 
     # None = keep the config default ($CONCORD_WORKERS or 1).
     core_kw = {} if args.workers is None else {"workers": args.workers}
-    cluster = Cluster(n_nodes=args.nodes, cost="new-cluster", seed=args.seed)
+    # The big-cluster testbed is the only one with headroom past 8 nodes.
+    target = args.autoscale if args.autoscale is not None else args.nodes
+    cost = "big-cluster" if target > 8 else "new-cluster"
+    cluster = Cluster(n_nodes=args.nodes, cost=cost, seed=args.seed)
     instantiate(cluster, moldy(args.nodes, args.pages, seed=args.seed))
     status = 0
     with ConCORD.from_config(
             cluster, ConCORDConfig(use_network=False, serve=cfg,
-                                   storage=storage, **core_kw)) as concord:
+                                   storage=storage,
+                                   placement=args.placement,
+                                   **core_kw)) as concord:
         if concord.storage_recovered:
             rep = concord.warm_restart()
             print(f"[warm restart from {storage.backend} storage: "
@@ -445,8 +466,35 @@ def _cmd_serve(args, out) -> int:
                 print("FAIL: expected a warm restart, storage was empty",
                       file=out)
                 status = 1
-        report = concord.serve(spec)
+        autoscale_cfg = None
+        if args.autoscale is not None:
+            from repro.serve.autoscaler import AutoscalerConfig
+            if args.expect_join:
+                # Smoke mode: thresholds at zero so any served traffic
+                # counts as overload and the join path definitely runs.
+                autoscale_cfg = AutoscalerConfig(max_nodes=args.autoscale,
+                                                 queue_depth_high=0.0,
+                                                 p95_high_s=0.0)
+            else:
+                autoscale_cfg = AutoscalerConfig(max_nodes=args.autoscale)
+        report = concord.serve(spec, autoscale=autoscale_cfg)
+        joins = (concord._last_autoscaler.joins
+                 if concord._last_autoscaler is not None else [])
     print(report.summary_table().render(), file=out)
+
+    if args.autoscale is not None:
+        print(f"autoscale[{args.placement}]: {args.nodes} -> "
+              f"{args.nodes + len(joins)} node(s), "
+              f"{sum(r.entries_moved for r in joins)} entry(ies) moved",
+              file=out)
+        for r in joins:
+            print(f"  join node {r.node}: moved {r.entries_moved}/"
+                  f"{r.entries_total} ({r.moved_fraction:.1%}), "
+                  f"precopied {r.precopied}, delta +{r.delta_inserts}/"
+                  f"-{r.delta_removes}", file=out)
+    if args.expect_join and not joins:
+        print("FAIL: expected at least one live join, saw none", file=out)
+        status = 1
 
     if args.verify_cache:
         if report.cache_violations:

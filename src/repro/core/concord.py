@@ -27,7 +27,7 @@ from repro.core.command import ExecMode, ServiceCallbacks
 from repro.core.config import ConCORDConfig
 from repro.core.executor import CommandResult, ServiceCommandExecutor
 from repro.core.scope import ServiceScope
-from repro.dht.engine import ContentTracingEngine, RepairReport
+from repro.dht.engine import ContentTracingEngine, JoinReport, RepairReport
 from repro.exec import ShardMapReduce, ShardPool
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor
@@ -38,6 +38,7 @@ from repro.sim.cluster import Cluster
 from repro.util.stats import Table
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
     from repro.serve.frontend import QueryFrontend, ServeReport
     from repro.sim.faults import FaultInjector, FaultPlan
     from repro.workloads.traffic import TrafficSpec
@@ -103,6 +104,7 @@ class ConCORD:
                                             obs=self.obs,
                                             pool=self.pool,
                                             storage=cfg.storage,
+                                            placement=cfg.placement,
                                             **engine_kw)
         self._mapreduce = ShardMapReduce(self.tracing, self.pool)
         self.nsms: list[NodeSpecificModule] = []
@@ -123,6 +125,7 @@ class ConCORD:
                                                obs=self.obs, pool=self.pool)
         self._frontend: QueryFrontend | None = None
         self._last_traffic = None
+        self._last_autoscaler = None
         for entity in cluster.entities.values():
             self.attach_entity(entity)
         if cap is not None:
@@ -259,6 +262,57 @@ class ConCORD:
             on_kill=lambda n: self.tracing.shards[n].crash(),
             on_restart=self.tracing.node_restarted)
 
+    # -- elastic membership (docs/ELASTICITY.md) ----------------------------------------
+
+    def begin_join(self) -> int:
+        """Start a live node join; returns the new node's ID.
+
+        Grows the machine and pre-copies the joining node's future
+        range while the old ring keeps serving (the new node also gets
+        its NSM and update monitor, so entities placed there later are
+        tracked like anywhere else).  Cut over with
+        :meth:`complete_join`; live updates in between are reconciled
+        incrementally at cutover.
+        """
+        node = self.tracing.begin_join()
+        cfg = self.config
+        nsm = NodeSpecificModule(self.cluster, node)
+        self.cluster.nodes[node].nsm = nsm
+        self.nsms.append(nsm)
+        self.monitors.append(MemoryUpdateMonitor(
+            nsm, self.tracing.route_updates, self.cluster.cost,
+            mode=cfg.monitor_mode, hash_algo=cfg.hash_algo,
+            throttle_updates_per_s=cfg.throttle_updates_per_s,
+            n_represented=cfg.n_represented, obs=self.obs))
+        return node
+
+    def complete_join(self) -> JoinReport:
+        """Cut a begun join over (the grown ring becomes the routed map);
+        returns the :class:`~repro.dht.engine.JoinReport`."""
+        return self.tracing.complete_join()
+
+    def add_node(self) -> JoinReport:
+        """Join one node atomically (begin + immediate cutover)."""
+        self.begin_join()
+        return self.complete_join()
+
+    def scale_to(self, n_nodes: int) -> list[JoinReport]:
+        """Grow the cluster to ``n_nodes`` via live joins; returns one
+        :class:`~repro.dht.engine.JoinReport` per join.  Scaling *in*
+        (shrinking) is not supported — a no-op when already at or above
+        the target."""
+        reports = []
+        while self.cluster.n_nodes < n_nodes:
+            reports.append(self.add_node())
+        return reports
+
+    def autoscaler(self, cfg: "AutoscalerConfig | None" = None) -> "Autoscaler":
+        """An :class:`~repro.serve.autoscaler.Autoscaler` policy loop
+        bound to this instance's frontend (build, then ``arm()`` — or
+        let :meth:`serve` do both via its ``autoscale`` argument)."""
+        from repro.serve.autoscaler import Autoscaler
+        return Autoscaler(self, self.frontend(), cfg)
+
     # -- query interface (Fig 3) ------------------------------------------------------------
 
     def num_copies(self, content_hash: int, issuing_node: int = 0) -> QueryResult:
@@ -307,13 +361,27 @@ class ConCORD:
         return self._frontend
 
     def serve(self, spec: "TrafficSpec", cfg=None,
-              keep_responses: bool = False) -> "ServeReport":
+              keep_responses: bool = False,
+              autoscale: "AutoscalerConfig | None" = None) -> "ServeReport":
         """Drive a :class:`~repro.workloads.traffic.TrafficSpec` request
         stream through :meth:`frontend` to completion; returns the
-        :class:`~repro.serve.frontend.ServeReport`."""
+        :class:`~repro.serve.frontend.ServeReport`.
+
+        With ``autoscale`` set, an :class:`~repro.serve.autoscaler.
+        Autoscaler` with that config runs for the duration of the
+        stream, live-joining nodes when the serve signals cross its
+        thresholds; the armed instance is kept on
+        ``self._last_autoscaler`` for inspection (``.joins``).
+        """
         from repro.workloads.traffic import TrafficDriver
         driver = TrafficDriver(self.frontend(cfg), spec,
                                keep_responses=keep_responses)
+        scaler = None
+        if autoscale is not None:
+            from repro.serve.autoscaler import Autoscaler
+            scaler = Autoscaler(self, self.frontend(cfg), autoscale)
+            scaler.arm(self.cluster.engine.now + spec.duration_s)
+        self._last_autoscaler = scaler
         report = driver.run()
         self._last_traffic = driver
         return report

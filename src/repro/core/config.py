@@ -85,6 +85,13 @@ class ConCORDConfig:
         durable files (``$CONCORD_STORAGE_DIR``; None = a private temp
         dir per instance).  A persistent backend plus a named root is
         what enables warm restart (docs/STORAGE.md).
+    placement:
+        Hash→node placement policy of the DHT partition
+        (:data:`~repro.dht.partition.PLACEMENT_POLICIES`): ``mod``
+        (default; the original fixed-membership map), ``consistent``
+        (token-ring consistent hashing), or ``hd`` (hyperdimensional-
+        style similarity placement).  The latter two minimize entries
+        moved per ``add_node()`` resize — see docs/ELASTICITY.md.
     """
 
     use_network: bool = False
@@ -98,6 +105,7 @@ class ConCORDConfig:
     obs: ObsConfig = field(default_factory=ObsConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
+    placement: str = "mod"
 
     def replace(self, **changes) -> ConCORDConfig:
         """Functional update (`dataclasses.replace` as a method)."""

@@ -39,7 +39,8 @@ from repro.sim.cluster import Cluster
 from repro.sim.network import DeliveryError
 from repro.util.records import ControlMessage, MsgKind, UpdateBatch
 
-__all__ = ["ContentTracingEngine", "TracingStats", "RepairReport"]
+__all__ = ["ContentTracingEngine", "TracingStats", "RepairReport",
+           "JoinReport"]
 
 # Updates per datagram: 64 updates x 13 B + headers fits one MTU.
 DEFAULT_UPDATE_BATCH = 64
@@ -80,10 +81,21 @@ class TracingStats:
         """Anti-entropy repair passes."""
         return self._eng._c_repairs.value
 
+    @property
+    def joins(self) -> int:
+        """Live node joins completed (cutovers)."""
+        return self._eng._c_joins.value
+
+    @property
+    def entries_moved(self) -> int:
+        """Rows re-homed across all join cutovers."""
+        return self._eng._c_entries_moved.value
+
     def as_dict(self) -> dict[str, int]:
         return {k: getattr(self, k)
                 for k in ("updates_routed", "updates_applied", "batches_sent",
-                          "failovers", "rejoins", "repairs")}
+                          "failovers", "rejoins", "repairs", "joins",
+                          "entries_moved")}
 
 
 @dataclass(frozen=True)
@@ -101,6 +113,31 @@ class RepairReport:
     copies_removed: int = 0
 
 
+@dataclass(frozen=True)
+class JoinReport:
+    """What one live node join moved (docs/ELASTICITY.md).
+
+    ``precopied`` rows streamed to the joining node while the old ring
+    kept serving; at cutover only the divergence since then moves
+    (``delta_inserts``/``delta_removes``, via the pair-multiset diff),
+    plus any rows reshuffling between pre-existing nodes
+    (``entries_moved`` counts every row whose home changed).
+    """
+
+    node: int
+    policy: str
+    entries_total: int
+    entries_moved: int
+    precopied: int
+    delta_inserts: int
+    delta_removes: int
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of tracked rows re-homed by this resize."""
+        return self.entries_moved / max(1, self.entries_total)
+
+
 _U64 = np.uint64
 _ONE = np.uint64(1)
 
@@ -110,15 +147,14 @@ def _contains_sorted(sorted_hashes: np.ndarray, h: int) -> bool:
     return i < len(sorted_hashes) and int(sorted_hashes[i]) == h
 
 
-def _pairs_in_ranges(shard: LocalDHT, partition: Partition,
-                     targets: np.ndarray) \
+def _pairs_where(shard: LocalDHT, sel: np.ndarray | None = None) \
         -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """One shard's believed copies inside the target ranges, as a
+    """One shard's believed copies on the selected rows, as a
     (hash, entity, count) multiset — wide holders and extra copies
-    folded in.  The "have" side of the delta-repair reconcile."""
+    folded in.  ``sel`` is a boolean mask over the shard's sorted rows
+    (None = all rows); selection preserves sort order."""
     hashes, lo, wide = shard.items_arrays()
-    if len(hashes):
-        sel = np.isin(partition.primary_nodes(hashes), targets)
+    if sel is not None and len(hashes):
         hs, ms = hashes[sel], lo[sel]
     else:
         hs, ms = hashes, lo
@@ -154,6 +190,17 @@ def _pairs_in_ranges(shard: LocalDHT, partition: Partition,
                 np.concatenate(out_c))
     return (np.empty(0, dtype=_U64), np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64))
+
+
+def _pairs_in_ranges(shard: LocalDHT, partition: Partition,
+                     targets: np.ndarray) \
+        -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One shard's believed copies inside the target primary ranges —
+    the "have" side of the delta-repair reconcile."""
+    hashes, _lo, _wide = shard.items_arrays()
+    sel = (np.isin(partition.primary_nodes(hashes), targets)
+           if len(hashes) else None)
+    return _pairs_where(shard, sel)
 
 
 def _pair_multiset_diff(have_h: np.ndarray, have_e: np.ndarray,
@@ -194,7 +241,8 @@ class ContentTracingEngine:
                  n_represented: int = 1, transport: str = "udp",
                  obs: Observability | None = None,
                  pool: ShardPool | None = None,
-                 storage: StorageConfig | None = None) -> None:
+                 storage: StorageConfig | None = None,
+                 placement: str = "mod") -> None:
         """``transport``: "udp" (default) sends updates as datagrams the
         receiver must process; "rdma" models the paper's envisioned
         one-sided path — "because the originator of an update in principle
@@ -208,11 +256,16 @@ class ContentTracingEngine:
         their last committed state at construction (``recovered``) and
         :meth:`repair` with ``delta=True`` reconciles them against the
         monitors' ground truth — the warm-restart path.
+
+        ``placement`` selects the hash→node map
+        (:data:`~repro.dht.partition.PLACEMENT_POLICIES`); the default
+        ``mod`` is the original fixed-membership map, ``consistent``/
+        ``hd`` minimize remapping under :meth:`add_node`.
         """
         if transport not in ("udp", "rdma"):
             raise ValueError(f"unknown transport {transport!r}")
         self.cluster = cluster
-        self.partition = Partition(cluster.n_nodes)
+        self.partition = Partition(cluster.n_nodes, policy=placement)
         self.storage: StorageSet = open_storage(storage, cluster.n_nodes)
         self.shards = [LocalDHT(node_id=i, storage=s)
                        for i, s in enumerate(self.storage.shards)]
@@ -233,6 +286,16 @@ class ContentTracingEngine:
         self._c_failovers = reg.counter("dht.failovers")
         self._c_rejoins = reg.counter("dht.rejoins")
         self._c_repairs = reg.counter("dht.repairs")
+        # Elastic membership (docs/ELASTICITY.md).
+        self._c_joins = reg.counter("ring.joins")
+        self._c_entries_moved = reg.counter("ring.entries_moved")
+        self._c_precopied = reg.counter("ring.precopied")
+        self._c_delta_ins = reg.counter("ring.delta_inserts")
+        self._c_delta_rem = reg.counter("ring.delta_removes")
+        self._g_ring_nodes = reg.gauge("ring.n_nodes")
+        self._g_ring_nodes.set(cluster.n_nodes)
+        #: (node, pending Partition) while a begun join awaits cutover.
+        self._pending_join: tuple[int, Partition] | None = None
         self.stats = TracingStats(self)
         # Per-primary-range data availability: range r (hashes whose
         # primary node is r) is intact while a live shard holds its data.
@@ -390,10 +453,12 @@ class ContentTracingEngine:
         The crash loses the shard's *RAM*; a persistent storage backend
         keeps its last commit, which a warm rejoin can recover.
         """
+        if node >= self.partition.n_nodes:
+            return  # a mid-join node is not a ring member yet
         if not self.partition.is_alive(node):
             return
         lost = self.partition.range_homes() == node
-        self._intact[lost] = False
+        self._intact[:len(lost)][lost] = False
         self.shards[node].crash()
         self.partition.set_alive(node, False)
         self.bump_all_epochs()
@@ -416,6 +481,8 @@ class ContentTracingEngine:
         stale, so its ranges still need :meth:`repair` (``delta=True``
         makes that cost scale with the staleness, not the content).
         """
+        if node >= self.partition.n_nodes:
+            return
         if self.partition.is_alive(node):
             return
         old_homes = self.partition.range_homes()
@@ -424,7 +491,7 @@ class ContentTracingEngine:
         moved_ranges = set(np.flatnonzero(moved).tolist())
         for owner in np.unique(old_homes[moved]).tolist():
             self._purge_ranges_at(int(owner), moved_ranges)
-        self._intact[moved] = False
+        self._intact[:len(moved)][moved] = False
         if recover and self.shards[node].recover():
             # The recovered segments may hold ranges that re-homed to
             # other owners while the node was down; keep only rows this
@@ -442,12 +509,183 @@ class ContentTracingEngine:
             tr.instant("dht.node_rejoined", node=node,
                        ranges_moved=len(moved_ranges))
 
+    # -- elastic membership: live join with incremental handoff ------------------------
+    # (docs/ELASTICITY.md)
+
+    def begin_join(self) -> int:
+        """Start a live node join; returns the joining node's ID.
+
+        Grows the machine (cluster, network, storage, shard) and
+        *pre-copies* every row whose home under the grown ring is the
+        new node — while the old ring keeps routing and serving, so no
+        query or update ever waits on the transfer.  The new node is
+        not a ring member until :meth:`complete_join` cuts over; only
+        the divergence accumulated between the two calls moves then.
+        """
+        if self._pending_join is not None:
+            raise RuntimeError("a node join is already in progress")
+        node = self.cluster.add_node()
+        shard = LocalDHT(node_id=node, storage=self.storage.add_shard())
+        if shard.recovered:
+            # A joining node is *new*; whatever a prior (larger) run left
+            # in its storage slot is garbage for this membership.
+            shard.clear()
+        self.shards.append(shard)
+        self.cluster.nodes[node].dht = shard
+        self._intact = np.append(self._intact, True)
+        self._epochs = np.append(self._epochs, 0)
+        pending = self.partition.grown()
+        precopied = 0
+        for src in range(node):
+            if not self.partition.is_alive(src):
+                continue
+            s = self.shards[src]
+            hashes, _lo, _wide = s.items_arrays()
+            if not len(hashes):
+                continue
+            sel = pending.home_nodes(hashes) == node
+            if not sel.any():
+                continue
+            ph, pe, pc = _pairs_where(s, sel)
+            shard.bulk_insert(np.repeat(ph, pc), np.repeat(pe, pc))
+            precopied += int(sel.sum())
+        self._pending_join = (node, pending, precopied)
+        self._c_precopied.inc(precopied)
+        # The machine just grew: query *values* are unchanged (the old
+        # ring still routes) but modeled collective latency covers one
+        # more node, so cached answers are stale as QueryResults.  Bump
+        # now as well as at cutover to keep verify-mode byte-identical.
+        self.bump_all_epochs()
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant("ring.join_begin", node=node, precopied=precopied)
+        return node
+
+    def complete_join(self) -> JoinReport:
+        """Cut a begun join over: the grown ring becomes the routed map.
+
+        The joining node catches up *incrementally* — its pre-copied
+        content is reconciled against the current truth with the
+        pair-multiset diff, so only rows written/removed since
+        :meth:`begin_join` move now.  Rows reshuffling between
+        pre-existing nodes (a ``mod``-policy resize moves many; the
+        remap-minimizing policies almost none) transfer wholesale.
+        Every shard epoch bumps at the swap, so the serve-layer
+        :class:`~repro.serve.cache.EpochCache` invalidates exactly the
+        answers the new map could change — byte-identical serving by
+        construction.
+        """
+        if self._pending_join is None:
+            raise RuntimeError("no node join in progress")
+        node, pending, precopied = self._pending_join
+        with self.obs.tracer.span("ring.handoff", node=node):
+            report = self._cutover(node, pending, precopied)
+        self._pending_join = None
+        self._c_joins.inc()
+        self._c_entries_moved.inc(report.entries_moved)
+        self._c_delta_ins.inc(report.delta_inserts)
+        self._c_delta_rem.inc(report.delta_removes)
+        self._g_ring_nodes.set(self.partition.n_nodes)
+        return report
+
+    def _cutover(self, node: int, pending: Partition,
+                 precopied: int) -> JoinReport:
+        self.refresh_failed()
+        # Carry failures detected since begin_join onto the pending map.
+        for i in range(self.partition.n_nodes):
+            pending.ring.set_alive(i, self.partition.is_alive(i))
+        old_n = self.partition.n_nodes
+        entries_total = sum(self.shards[i].n_hashes for i in range(old_n))
+        # Phase 1 (read-only): per source shard, where does each row live
+        # under the grown ring?  Collect keep-masks and per-destination
+        # pair multisets before mutating anything, so masks stay aligned.
+        moved = 0
+        keep: dict[int, np.ndarray] = {}
+        want_new_h: list[np.ndarray] = []
+        want_new_e: list[np.ndarray] = []
+        plain: dict[int, tuple[list[np.ndarray], list[np.ndarray]]] = {}
+        for src in range(old_n + 1):
+            if src < old_n and not self.partition.is_alive(src):
+                continue
+            s = self.shards[src if src < old_n else node]
+            src_id = s.node_id
+            hashes, _lo, _wide = s.items_arrays()
+            if not len(hashes):
+                continue
+            homes = pending.home_nodes(hashes)
+            moving = homes != src_id
+            if not moving.any():
+                continue
+            keep[src_id] = ~moving
+            if src_id != node:
+                moved += int(moving.sum())
+            for dst in np.unique(homes[moving]).tolist():
+                dst = int(dst)
+                ph, pe, pc = _pairs_where(s, homes == dst)
+                rh, re = np.repeat(ph, pc), np.repeat(pe, pc)
+                if dst == node:
+                    want_new_h.append(rh)
+                    want_new_e.append(re)
+                else:
+                    plain.setdefault(dst, ([], []))
+                    plain[dst][0].append(rh)
+                    plain[dst][1].append(re)
+        # Phase 2: evict movers from their sources (masks pre-computed).
+        for src_id, mask in keep.items():
+            self.shards[src_id].retain(mask)
+        # Phase 3: the joining node reconciles pre-copied content against
+        # the current truth — the incremental part of the handoff.
+        new_shard = self.shards[node]
+        have_h, have_e, have_c = _pairs_where(new_shard)
+        wh = (np.concatenate(want_new_h) if want_new_h
+              else np.empty(0, dtype=_U64))
+        we = (np.concatenate(want_new_e) if want_new_e
+              else np.empty(0, dtype=np.int64))
+        ins, rem = _pair_multiset_diff(have_h, have_e, have_c, wh, we)
+        rem_h, rem_e, rem_c = rem
+        if len(rem_h):
+            new_shard.bulk_remove(np.repeat(rem_h, rem_c),
+                                  np.repeat(rem_e, rem_c))
+        ins_h, ins_e, ins_c = ins
+        if len(ins_h):
+            new_shard.bulk_insert(np.repeat(ins_h, ins_c),
+                                  np.repeat(ins_e, ins_c))
+        delta_ins = int(ins_c.sum())
+        delta_rem = int(rem_c.sum())
+        # Phase 4: wholesale moves between pre-existing nodes.
+        for dst in sorted(plain):
+            self.shards[dst].bulk_insert(np.concatenate(plain[dst][0]),
+                                         np.concatenate(plain[dst][1]))
+        # Phase 5: swap the routed map and invalidate every cached answer.
+        # Intactness is conservative: holes under the old map land in
+        # unknown places under the new one, so any hole voids everything
+        # (the next repair converges it back).
+        all_intact = bool(self._intact[:old_n].all())
+        self._intact[:] = all_intact
+        self.partition = pending
+        self.bump_all_epochs()
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant("ring.join_cutover", node=node,
+                       entries_moved=moved, delta_inserts=delta_ins,
+                       delta_removes=delta_rem)
+        return JoinReport(node=node, policy=pending.policy,
+                          entries_total=entries_total, entries_moved=moved,
+                          precopied=precopied,
+                          delta_inserts=delta_ins, delta_removes=delta_rem)
+
+    def add_node(self) -> JoinReport:
+        """Join one node atomically (begin + immediate cutover)."""
+        self.begin_join()
+        return self.complete_join()
+
     def refresh_failed(self) -> list[int]:
         """Inline failure detection: the cheap equivalent of the timeout a
         routed update/query would hit.  Returns newly detected nodes."""
         net = self.cluster.network
         detected = []
-        for node in range(self.cluster.n_nodes):
+        # Ring members only: a node mid-join is not routed to yet.
+        for node in range(self.partition.n_nodes):
             if self.partition.is_alive(node) and not net.node_up[node]:
                 self.node_failed(node)
                 detected.append(node)
@@ -466,7 +704,7 @@ class ContentTracingEngine:
             return self.refresh_failed()
         detected = []
         with self.obs.tracer.span("dht.detect", node=issuing_node):
-            for node in range(self.cluster.n_nodes):
+            for node in range(self.partition.n_nodes):
                 if node == issuing_node or not self.partition.is_alive(node):
                     continue
                 acked: list[bool] = []
@@ -518,9 +756,12 @@ class ContentTracingEngine:
         gone), so their entries do not reappear in repaired ranges.
         """
         self.refresh_failed()
-        n = self.cluster.n_nodes
+        # Targets are primary ranges of the routed ring; the NSM scan
+        # below walks every cluster node (a mid-join node hosts no
+        # entities yet, so the distinction is only about ranges).
+        n = self.partition.n_nodes
         targets = (np.arange(n, dtype=np.int64) if full
-                   else np.flatnonzero(~self._intact).astype(np.int64))
+                   else np.flatnonzero(~self._intact[:n]).astype(np.int64))
         if not len(targets):
             return RepairReport(0, 0, 0, 0)
         target_set = set(targets.tolist())
@@ -540,7 +781,7 @@ class ContentTracingEngine:
         tasks: list[tuple[np.ndarray, Partition, np.ndarray]] = []
         task_eids: list[int] = []
         work = 0
-        for node in range(n):
+        for node in range(self.cluster.n_nodes):
             if not net.node_up[node]:
                 continue
             nsm = self.cluster.nodes[node].nsm
@@ -583,7 +824,7 @@ class ContentTracingEngine:
         """Delta-repair apply: per destination shard, diff believed
         copies against routed ground truth and apply removes-then-inserts
         in (hash, entity) order.  Returns (copies inserted, removed)."""
-        n = self.cluster.n_nodes
+        n = self.partition.n_nodes
         want_h: list[list[np.ndarray]] = [[] for _ in range(n)]
         want_e: list[list[np.ndarray]] = [[] for _ in range(n)]
         for eid, groups in zip(task_eids, routed):
@@ -620,7 +861,7 @@ class ContentTracingEngine:
     def coverage(self) -> float:
         """Fraction of the hash space whose data is intact (served by a
         live shard that was never holed by failover)."""
-        return float(self._intact.mean())
+        return float(self._intact[:self.partition.n_nodes].mean())
 
     def range_intact(self, content_hash: int) -> bool:
         return bool(self._intact[self.partition.primary_node(content_hash)])

@@ -64,6 +64,23 @@ class StorageSet:
     def persistent(self) -> bool:
         return self.cfg.persistent
 
+    def add_shard(self) -> ShardStorage:
+        """Open storage for one more shard (live node join) and return it.
+
+        The new shard follows the set's backend and root, so a later
+        warm restart at the grown membership finds every shard where
+        ``open_storage(cfg, new_n_nodes)`` would look for it.
+        """
+        i = len(self.shards)
+        if not self.cfg.persistent:
+            shard: ShardStorage = MemoryStorage(i)
+        else:
+            cls = (MmapSegmentStorage if self.cfg.backend == "mmap"
+                   else SqliteWalStorage)
+            shard = cls(self.root, i)
+        self.shards.append(shard)
+        return shard
+
     def wipe(self) -> None:
         """Discard every shard's durable state (logical wholesale clear)."""
         for s in self.shards:

@@ -32,6 +32,7 @@ from repro.core.command import ExecMode
 from repro.core.concord import ConCORD
 from repro.core.config import ConCORDConfig
 from repro.core.scope import ServiceScope
+from repro.dht.engine import ContentTracingEngine
 from repro.dht.storage import BACKENDS, StorageConfig, open_storage
 from repro.dht.table import LocalDHT
 from repro.exec import ShardPool
@@ -594,6 +595,83 @@ def _bench_storage_restart(ctx: BenchContext, _state) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Elastic membership (docs/ELASTICITY.md): resize cost + flash-crowd scaling
+# ---------------------------------------------------------------------------
+
+
+def _bench_ring_resize(ctx: BenchContext, _state) -> None:
+    """Entries moved per ``add_node()`` resize, per placement policy.
+
+    The deterministic fractions pin the acceptance claim: the remap-
+    minimizing policies stay within 2x the theoretical minimum
+    m/(n+m), while naive mod-N remaps ~n/(n+1) of everything.  A real
+    engine join per policy cross-checks the sampled map fractions
+    against actual rows transferred.
+    """
+    from repro.dht.partition import (PLACEMENT_POLICIES,
+                                     entries_moved_fraction)
+
+    p = ctx.params
+    n = p["n_nodes"]
+    minimum = 1.0 / (n + 1)
+    for policy in PLACEMENT_POLICIES:
+        frac = entries_moved_fraction(policy, n, n + 1,
+                                      sample=p["sample"], seed=0)
+        ctx.sim(f"map_fraction.{policy}", frac, unit="frac")
+        cluster = Cluster(n, cost="old-cluster", seed=5)
+        eng = ContentTracingEngine(cluster, use_network=False,
+                                   placement=policy)
+        rng = np.random.default_rng(9)
+        hashes = rng.integers(1, 2**63, size=p["rows"], dtype=np.uint64)
+        eng.route_updates(0, inserts=[(int(h), int(h) % 8 + 1)
+                                      for h in hashes], removes=[])
+        t0 = time.perf_counter()
+        rep = eng.add_node()
+        ctx.wall(f"join_s.{policy}", time.perf_counter() - t0)
+        ctx.count(f"entries_moved.{policy}", rep.entries_moved)
+        ctx.count(f"entries_total.{policy}", rep.entries_total)
+    assert entries_moved_fraction("hd", n, n + 1,
+                                  sample=p["sample"]) <= 2 * minimum, \
+        "hd placement moved more than 2x the theoretical minimum"
+    ctx.sim("theoretical_minimum", minimum, unit="frac")
+    ctx.count("deterministic", 1)
+
+
+def _bench_serve_flash_crowd(ctx: BenchContext, _state) -> None:
+    """Flash crowd under the autoscaler: open-loop overload on a small
+    ring, live-joining to the target while serving, cache verified."""
+    from repro.serve.autoscaler import AutoscalerConfig
+    from repro.serve.config import ServeConfig
+    from repro.workloads import TrafficSpec
+
+    p = ctx.params
+    cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=3)
+    workloads.instantiate(cluster, workloads.moldy(p["n_nodes"],
+                                                   p["sim_pages"], seed=3))
+    cfg = ServeConfig(verify_cache=True)
+    with ConCORD.from_config(
+            cluster, ConCORDConfig(use_network=False, serve=cfg,
+                                   placement=p["placement"])) as concord:
+        concord.initial_scan()
+        rep = concord.serve(
+            TrafficSpec(n_clients=p["clients"], duration_s=p["duration_s"],
+                        arrival="poisson", rate_per_client=p["rate"],
+                        zipf_s=1.2, population=128, seed=7),
+            autoscale=AutoscalerConfig(max_nodes=p["target"],
+                                       queue_depth_high=0.0,
+                                       p95_high_s=0.0))
+        joins = concord._last_autoscaler.joins
+    assert rep.cache_violations == 0, \
+        f"{rep.cache_violations} cache violation(s) during autoscale"
+    assert concord.cluster.n_nodes == p["target"], "did not reach target"
+    ctx.sim("qps", rep.qps, unit="qps", higher_is_better=True)
+    ctx.count("joins", len(joins))
+    ctx.count("entries_moved", sum(r.entries_moved for r in joins))
+    ctx.count("cache_violations", rep.cache_violations)
+    ctx.sim("p95_interactive_s", rep.p95_latency_s.get("interactive", 0.0))
+
+
+# ---------------------------------------------------------------------------
 # Figure specs: the paper's evaluation through the same runner
 # ---------------------------------------------------------------------------
 
@@ -753,6 +831,20 @@ def build_default_runner(workers: int | None = None) -> BenchRunner:
         params={"backend": "mmap", "n_nodes": 4, "sim_pages": 1024,
                 "mutate": 0.05}, tier="quick",
         doc="warm restart delta catch-up vs cold full-NSM rebuild"))
+
+    # Elastic membership (docs/ELASTICITY.md).
+    r.register(BenchSpec(
+        "ring.resize.entries_moved", _bench_ring_resize,
+        params={"n_nodes": 8, "sample": 50_000, "rows": 20_000},
+        tier="quick",
+        doc="entries moved per add_node resize, per placement policy "
+            "(hd/consistent <= 2x theoretical minimum; mod ~ n/(n+1))"))
+    r.register(BenchSpec(
+        "serve.flash_crowd", _bench_serve_flash_crowd,
+        params={"n_nodes": 4, "target": 8, "sim_pages": 256, "clients": 16,
+                "duration_s": 0.1, "rate": 4000.0, "placement": "hd"},
+        tier="quick",
+        doc="autoscaled flash crowd 4->8 while serving, cache verified"))
 
     for spec in FIGURE_SPECS.values():
         r.register(spec)

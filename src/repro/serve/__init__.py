@@ -12,13 +12,17 @@ clients on the sim clock:
 * :mod:`repro.serve.cache` — answers keyed on (query, args, shard-epoch)
   and invalidated precisely when a covering shard's epoch advances;
 * :mod:`repro.serve.frontend` — the event-driven frontend tying it all
-  together, with ``serve.*`` metrics and ``serve.batch`` spans.
+  together, with ``serve.*`` metrics and ``serve.batch`` spans;
+* :mod:`repro.serve.autoscaler` — a policy loop over those signals
+  (queue depth, rejection rate, p95) that live-joins nodes under load
+  (docs/ELASTICITY.md).
 
 Entry points: ``ConCORD.frontend()`` / ``ConCORD.serve(traffic)`` on the
 facade, and ``repro serve`` on the CLI.
 """
 
 from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
 from repro.serve.batcher import bulk_answers
 from repro.serve.cache import CachedQueries, CacheViolation, EpochCache
 from repro.serve.config import ServeConfig
@@ -32,4 +36,5 @@ __all__ = [
     "Response", "NODEWISE_OPS", "COLLECTIVE_OPS", "ALL_OPS",
     "TokenBucket", "AdmissionController", "EpochCache", "CachedQueries",
     "CacheViolation", "bulk_answers", "QueryFrontend", "ServeReport",
+    "Autoscaler", "AutoscalerConfig",
 ]

@@ -10,6 +10,8 @@ fine-grain data services need at scale).
 
 from __future__ import annotations
 
+import math
+
 from repro.serve.config import ServeConfig
 from repro.serve.request import (ALL_OPS, QoSClass, Rejected, RejectReason,
                                  Request)
@@ -21,16 +23,23 @@ class TokenBucket:
     """Deterministic token bucket on an external clock.
 
     ``rate`` tokens/second accrue continuously up to ``burst``; a take at
-    time *t* first credits the elapsed interval.  With ``rate=None`` the
-    bucket is disabled and every take succeeds.
+    time *t* first credits the elapsed interval.  With ``rate=None`` or
+    ``rate=0`` the bucket is disabled and every take succeeds — 0 is
+    "no limit", not "limit of nothing" (an always-rejecting bucket
+    would have to answer ``retry_after_s=inf``, which no client can
+    schedule).
     """
 
+    #: retry_after_s ceiling for pathologically tiny rates — large
+    #: enough to mean "not today", finite enough to schedule.
+    MAX_RETRY_S = 1e18
+
     def __init__(self, rate: float | None, burst: int) -> None:
-        if rate is not None and rate <= 0:
-            raise ValueError("rate must be positive (or None)")
+        if rate is not None and (rate < 0 or math.isnan(rate)):
+            raise ValueError("rate must be >= 0 (or None)")
         if burst < 1:
             raise ValueError("burst must be >= 1")
-        self.rate = rate
+        self.rate = None if rate == 0 else rate
         self.burst = float(burst)
         self.tokens = float(burst)
         self._last = 0.0
@@ -52,13 +61,33 @@ class TokenBucket:
         return False
 
     def time_to_token(self, now: float) -> float:
-        """Seconds from ``now`` until one token will be available."""
+        """Seconds from ``now`` until one token *will actually* be
+        available: a take at ``now + time_to_token(now)`` succeeds.
+
+        Never negative and never ``inf``.  The naive
+        ``(1 - tokens) / rate`` suffers fractional-token starvation:
+        float rounding can leave ``tokens + dt * rate`` at
+        0.999999...; the returned interval is nudged up until the
+        credited balance truly reaches a full token.
+        """
         if self.rate is None:
             return 0.0
         self._refill(now)
         if self.tokens >= 1.0:
             return 0.0
-        return (1.0 - self.tokens) / self.rate
+        dt = max(0.0, (1.0 - self.tokens) / self.rate)
+        if not dt <= self.MAX_RETRY_S:      # inf/overflow at tiny rates
+            return self.MAX_RETRY_S
+        # Guard against fractional starvation.  The retrying client
+        # computes ``now + dt`` and the bucket then credits
+        # ``(now + dt) - now``, so the check must run through the same
+        # absolute-time round-trip — nudge the *target time* up by ulps
+        # (bounded: a few cover the rounding) until the credited
+        # balance truly reaches a full token.
+        target = now + dt
+        while self.tokens + (target - now) * self.rate < 1.0:
+            target = math.nextafter(target, math.inf)
+        return target - now
 
 
 class AdmissionController:

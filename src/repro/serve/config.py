@@ -28,7 +28,7 @@ class ServeConfig:
         load with a typed ``Rejected(QUEUE_FULL)`` answer.
     rate_limit_qps / rate_burst:
         Token-bucket admission rate over all classes (tokens refill on the
-        sim clock).  ``None`` disables rate limiting.
+        sim clock).  ``None`` or ``0`` disables rate limiting.
     interactive_window_s / batch_window_s:
         Batching windows: how long an admitted request may wait for
         companions before its class's queue is drained.  Interactive
@@ -67,8 +67,8 @@ class ServeConfig:
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
-        if self.rate_limit_qps is not None and self.rate_limit_qps <= 0:
-            raise ValueError("rate_limit_qps must be positive (or None)")
+        if self.rate_limit_qps is not None and self.rate_limit_qps < 0:
+            raise ValueError("rate_limit_qps must be >= 0 (or None)")
         if self.rate_burst < 1:
             raise ValueError("rate_burst must be >= 1")
         if self.interactive_window_s < 0 or self.batch_window_s < 0:

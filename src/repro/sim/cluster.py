@@ -70,6 +70,24 @@ class Cluster:
         self.seed = seed
         self._next_entity_id = 0
 
+    # -- elastic membership ----------------------------------------------------------
+
+    def add_node(self) -> int:
+        """Grow the machine by one node; returns the new node's ID.
+
+        The testbed cost model caps physical capacity — scaling out past
+        ``cost.n_nodes`` raises, exactly like constructing too large.
+        """
+        if self.n_nodes + 1 > self.cost.n_nodes:
+            raise ValueError(
+                f"{self.cost.name} has {self.cost.n_nodes} nodes; "
+                f"cannot grow past that")
+        node = self.n_nodes
+        self.n_nodes += 1
+        self.network.add_node()
+        self.nodes.append(Node(node))
+        return node
+
     # -- entity management ---------------------------------------------------------
 
     def register_entity(self, entity: Entity) -> int:

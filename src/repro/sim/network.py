@@ -214,6 +214,21 @@ class Network:
         self.registry = registry
         self._bind_counters()
 
+    # -- elastic membership -----------------------------------------------------
+
+    def add_node(self) -> int:
+        """Attach one more endpoint to the switch (NIC up); returns its ID.
+
+        The switch has full backplane bandwidth, so joining an endpoint
+        never perturbs traffic between existing nodes — contention stays
+        at the endpoints.
+        """
+        node = self.n_nodes
+        self.nodes.append(_NodeNet())
+        self.node_up.append(True)
+        self.n_nodes += 1
+        return node
+
     # -- fault injection --------------------------------------------------------
 
     def set_node_up(self, node: int, up: bool) -> None:

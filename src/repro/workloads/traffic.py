@@ -119,6 +119,7 @@ class TrafficDriver:
         self.responses: list[Response] = []
         self.n_responses = 0
         self.n_rejected = 0
+        self.n_orphaned = 0
         self._t_end = 0.0
         self._next_client_id = spec.n_clients
         n_nodes = self.cluster.n_nodes
@@ -192,12 +193,24 @@ class TrafficDriver:
         if self.keep_responses:
             self.responses.append(resp)
 
+    def _observe_for(self, client: _Client):
+        """An ``on_done`` bound to *client*: a response completing after
+        churn killed the client is dropped (counted ``n_orphaned``), not
+        recorded — a departed client double-counting in the report made
+        churn runs non-reproducible."""
+        def on_done(resp: Response) -> None:
+            if not client.active:
+                self.n_orphaned += 1
+                return
+            self._observe(resp)
+        return on_done
+
     # -- open loop ----------------------------------------------------------------
 
     def _open_arrival(self, client: _Client) -> None:
         if not client.active or self.sim.now > self._t_end:
             return
-        self._submit(client, self._observe)
+        self._submit(client, self._observe_for(client))
         gap = self.rng.exponential(1.0 / self.spec.rate_per_client)
         self.sim.after(gap, self._open_arrival, client)
 
@@ -208,6 +221,11 @@ class TrafficDriver:
             return
 
         def on_done(resp: Response, _client=client) -> None:
+            if not _client.active:
+                # Churn killed this client while its request was in
+                # flight: drop the response and do not respawn the loop.
+                self.n_orphaned += 1
+                return
             self._observe(resp)
             if resp.rejected:
                 # Back off at least a microsecond so a synchronous

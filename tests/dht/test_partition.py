@@ -1,9 +1,12 @@
-"""Unit tests for zero-hop partitioning."""
+"""Unit tests for zero-hop partitioning, placement policies, and the
+membership ring."""
 
 import numpy as np
 import pytest
 
-from repro.dht.partition import Partition
+from repro.dht.partition import (PLACEMENT_POLICIES, NoAliveNodeError,
+                                 NodeRing, Partition,
+                                 entries_moved_fraction)
 
 
 class TestHomeNode:
@@ -58,3 +61,113 @@ class TestGrouping:
 
     def test_group_empty(self):
         assert Partition(4).group_by_home(np.empty(0, dtype=np.uint64)) == {}
+
+
+class TestNodeRing:
+    def test_all_dead_walk_raises_typed_error(self):
+        # Regression: an all-dead view used to scan the ring n full
+        # passes and die with a bare RuntimeError; it must raise the
+        # typed NoAliveNodeError immediately.
+        ring = NodeRing(4)
+        for node in range(4):
+            ring.set_alive(node, False)
+        with pytest.raises(NoAliveNodeError):
+            ring.walk(np.arange(4, dtype=np.int64))
+        with pytest.raises(NoAliveNodeError):
+            ring.successor(0)
+
+    def test_walk_skips_dead_to_successor(self):
+        ring = NodeRing(4)
+        ring.set_alive(1, False)
+        ring.set_alive(2, False)
+        homes = ring.walk(np.array([0, 1, 2, 3], dtype=np.int64))
+        assert homes.tolist() == [0, 3, 3, 3]
+        assert ring.successor(1) == 3
+
+    def test_add_node_born_alive(self):
+        ring = NodeRing(2)
+        ring.set_alive(0, False)
+        assert ring.add_node() == 2
+        assert ring.n_nodes == 3
+        assert ring.is_alive(2)
+        assert not ring.is_alive(0)
+
+    def test_noalive_is_a_runtimeerror(self):
+        # Callers that caught RuntimeError before the typed class keep
+        # working.
+        assert issubclass(NoAliveNodeError, RuntimeError)
+
+    def test_partition_still_guards_last_survivor(self):
+        p = Partition(2)
+        p.set_alive(0, False)
+        with pytest.raises(ValueError):
+            p.set_alive(1, False)
+        assert p.is_alive(1)  # the guard rolled the flag back
+
+
+class TestPlacementPolicies:
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_scalar_matches_vector(self, policy):
+        p = Partition(9, policy=policy)
+        hs = np.random.default_rng(0).integers(0, 2**63, 300, dtype=np.uint64)
+        homes = p.home_nodes(hs)
+        for h, home in zip(hs.tolist(), homes.tolist()):
+            assert p.home_node(int(h)) == home
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_balance(self, policy):
+        p = Partition(8, policy=policy)
+        hs = np.random.default_rng(1).integers(0, 2**63, 80000,
+                                               dtype=np.uint64)
+        counts = np.bincount(p.home_nodes(hs), minlength=8)
+        assert counts.min() > 80000 / 8 * 0.5
+        assert counts.max() < 80000 / 8 * 1.6
+
+    def test_mod_is_default_and_byte_compatible(self):
+        hs = np.random.default_rng(2).integers(0, 2**63, 1000,
+                                               dtype=np.uint64)
+        assert Partition(7).policy == "mod"
+        assert (Partition(7).home_nodes(hs)
+                == Partition(7, policy="mod").home_nodes(hs)).all()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(4, policy="tea-leaves")
+        with pytest.raises(ValueError):
+            entries_moved_fraction("tea-leaves", 4, 5)
+
+    @pytest.mark.parametrize("policy", PLACEMENT_POLICIES)
+    def test_grown_equals_fresh(self, policy):
+        # The property live join relies on: growing in place (or via
+        # grown()) is indistinguishable from constructing at the new
+        # size, because per-node placement state derives from ID only.
+        hs = np.random.default_rng(3).integers(0, 2**63, 2000,
+                                               dtype=np.uint64)
+        grown_inplace = Partition(5, policy=policy)
+        assert grown_inplace.add_node() == 5
+        grown_copy = Partition(5, policy=policy).grown()
+        fresh = Partition(6, policy=policy)
+        assert (grown_inplace.home_nodes(hs) == fresh.home_nodes(hs)).all()
+        assert (grown_copy.home_nodes(hs) == fresh.home_nodes(hs)).all()
+
+    def test_grown_carries_alive_view(self):
+        p = Partition(4)
+        p.set_alive(2, False)
+        g = p.grown()
+        assert g.n_nodes == 5
+        assert not g.is_alive(2)
+        assert g.is_alive(4)
+        assert not p.is_alive(2)  # original untouched
+
+    def test_minimal_remap_policies_beat_mod(self):
+        # The acceptance yardstick: at n -> n+1 the remap-minimizing
+        # policies move <= 2x the theoretical minimum 1/(n+1), while
+        # mod-N moves ~n/(n+1) of everything.
+        lo = 1 / 9
+        assert entries_moved_fraction("mod", 8, 9) > 0.8
+        assert lo <= entries_moved_fraction("consistent", 8, 9) <= 2 * lo
+        assert lo <= entries_moved_fraction("hd", 8, 9) <= 2 * lo
+
+    def test_entries_moved_identity(self):
+        for policy in PLACEMENT_POLICIES:
+            assert entries_moved_fraction(policy, 6, 6, sample=500) == 0.0

@@ -40,11 +40,44 @@ class TestTokenBucket:
         assert all(b.try_take(0.0) for _ in range(100))
         assert b.time_to_token(0.0) == 0.0
 
+    def test_rate_zero_is_disabled(self):
+        # rate=0 means "no limit", not "limit of nothing": an
+        # always-rejecting bucket would answer retry_after_s=inf.
+        b = TokenBucket(rate=0.0, burst=1)
+        assert all(b.try_take(i * 0.001) for i in range(100))
+        assert b.time_to_token(0.0) == 0.0
+        assert ServeConfig(rate_limit_qps=0.0).rate_limit_qps == 0.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            TokenBucket(rate=0.0, burst=1)
+            TokenBucket(rate=-1.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=float("nan"), burst=1)
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, burst=0)
+        with pytest.raises(ValueError):
+            ServeConfig(rate_limit_qps=-1.0)
+
+    def test_time_to_token_never_negative_or_inf(self):
+        import math
+        for rate in (1e-300, 1e-9, 0.3, 7.0, 1e9):
+            b = TokenBucket(rate=rate, burst=1)
+            b.try_take(0.0)
+            for now in (0.0, 1e-12, 0.5, 1e6):
+                dt = b.time_to_token(now)
+                assert math.isfinite(dt)
+                assert dt >= 0.0
+
+    def test_granted_retry_yields_a_token(self):
+        # Fractional-token starvation regression: a client that waits
+        # exactly time_to_token() must succeed, even when float rounding
+        # leaves the balance at 0.999... under odd rates.
+        for rate in (3.0, 7.0, 9.99, 0.3, 1234.567):
+            b = TokenBucket(rate=rate, burst=1)
+            now = 0.0
+            for _ in range(50):
+                assert b.try_take(now), (rate, now)
+                now += b.time_to_token(now)
 
     def test_deterministic_sequence(self):
         def run():

@@ -80,6 +80,40 @@ class TestOpenLoop:
         assert drv._next_client_id > spec.n_clients  # replacements happened
         assert rep.completed == rep.admitted
 
+    def test_churn_does_not_double_count_orphans(self):
+        # A killed client's in-flight response must not land in the
+        # driver's counts: everything the driver records was observed by
+        # a then-live client, and the remainder is accounted as orphaned.
+        fe, _c = build_frontend()
+        spec = TrafficSpec(n_clients=8, duration_s=0.1, churn_rate=400.0,
+                           rate_per_client=4000.0, seed=11)
+        drv = TrafficDriver(fe, spec, keep_responses=True)
+        rep = drv.run()
+        assert drv.n_orphaned > 0                      # churn hit in-flight
+        assert drv.n_responses + drv.n_orphaned == rep.submitted
+        assert len(drv.responses) == drv.n_responses   # no orphan leaked in
+
+    def test_churn_with_coalescing_same_seed_deterministic(self):
+        # Churn + tight batching windows (heavy coalescing) must still
+        # replay identically for a fixed (spec, seed, system) triple.
+        def run():
+            # Wide windows: requests sit in batching long enough both to
+            # coalesce heavily and to be in flight when churn strikes.
+            cfg = ServeConfig(interactive_window_s=5e-4, batch_window_s=2e-3)
+            fe, _c = build_frontend(cfg)
+            spec = TrafficSpec(n_clients=8, duration_s=0.08,
+                               churn_rate=400.0, rate_per_client=4000.0,
+                               zipf_s=1.5, population=32, seed=11)
+            drv = TrafficDriver(fe, spec)
+            rep = drv.run()
+            return (rep.submitted, rep.admitted, rep.completed,
+                    rep.coalesced, rep.cache_hits, rep.qps,
+                    drv.n_responses, drv.n_rejected, drv.n_orphaned,
+                    drv._next_client_id)
+        first, second = run(), run()
+        assert first == second
+        assert first[8] > 0  # the run actually exercised orphaned responses
+
 
 class TestClosedLoop:
     def test_closed_loop_completes(self):
