@@ -14,6 +14,9 @@ Usage::
     python -m repro bench --selftest         # prove the regression gate trips
     python -m repro serve --clients 16 --duration 0.5   # serving frontend
     python -m repro serve --closed --verify-cache --expect-coalescing
+    python -m repro serve --sample-period 0.005 --timeseries ts.jsonl
+    python -m repro lab --grid quick --report lab-out/   # scenario lab
+    python -m repro lab --grid full --filter moldy,churn --list
 
 ``bench`` appends one schema-versioned record per spec to
 ``BENCH_trajectory.json`` and, with ``--compare``, exits 1 when a gated
@@ -183,6 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit 1 unless at least one live join completed "
                          "(CI smoke assertion; implies load thresholds "
                          "low enough to trip)")
+    sv.add_argument("--sample-period", type=float, default=None,
+                    metavar="S",
+                    help="record the standard metrics time-series every S "
+                         "simulated seconds during the stream "
+                         "(docs/LAB.md)")
+    sv.add_argument("--timeseries", type=Path, default=None, metavar="FILE",
+                    help="write the sampled time-series as JSONL to FILE "
+                         "(implies --sample-period 0.001 if unset)")
+
+    lab = sub.add_parser(
+        "lab", help="sweep the scenario-lab stress matrix with SLO gates "
+                    "(docs/LAB.md)")
+    lab.add_argument("--grid", default="quick", choices=["quick", "full"],
+                     help="which matrix to sweep: quick = 16 cells "
+                          "(CI smoke), full = 64 cells (default: quick)")
+    lab.add_argument("--filter", default=None, metavar="EXPR",
+                     help="only run cells whose id contains every comma-"
+                          "separated term (e.g. 'moldy,churn')")
+    lab.add_argument("--report", type=Path, default=Path("lab-report"),
+                     help="directory for LAB_REPORT.md, lab_report.json, "
+                          "and failing-cell artifacts "
+                          "(default: lab-report/)")
+    lab.add_argument("--seed", type=int, default=0,
+                     help="base seed every cell seed is derived from "
+                          "(default: 0)")
+    lab.add_argument("--list", action="store_true", dest="list_cells",
+                     help="list the selected cell ids and exit")
+    lab.add_argument("--inject-violation", default=None, metavar="CELL",
+                     help="seed a cache-corruption bug into CELL (a cell "
+                          "id, or 'first' for the first selected cell) — "
+                          "the matrix must then fail; lab self-test")
+    lab.add_argument("--no-trace", action="store_true",
+                     help="skip span tracing (failing cells then dump "
+                          "only the metrics time-series)")
     return p
 
 
@@ -477,9 +514,17 @@ def _cmd_serve(args, out) -> int:
                                                  p95_high_s=0.0)
             else:
                 autoscale_cfg = AutoscalerConfig(max_nodes=args.autoscale)
-        report = concord.serve(spec, autoscale=autoscale_cfg)
+        sample_period = args.sample_period
+        if sample_period is None and args.timeseries is not None:
+            sample_period = 1e-3
+        report = concord.serve(spec, autoscale=autoscale_cfg,
+                               sample_period_s=sample_period)
         joins = (concord._last_autoscaler.joins
                  if concord._last_autoscaler is not None else [])
+        if args.timeseries is not None:
+            path = concord._last_sampler.series.write_jsonl(args.timeseries)
+            print(f"[time-series: {len(concord._last_sampler.series)} "
+                  f"tick(s) -> {path}]", file=out)
     print(report.summary_table().render(), file=out)
 
     if args.autoscale is not None:
@@ -510,6 +555,48 @@ def _cmd_serve(args, out) -> int:
     return status
 
 
+def _cmd_lab(args, out) -> int:
+    from repro.lab import full_grid, quick_grid, run_cells, write_report
+
+    spec = (quick_grid if args.grid == "quick" else full_grid)(args.seed)
+    spec = spec.filtered(args.filter)
+    if not spec.cells:
+        print(f"error: --filter {args.filter!r} selects no cells "
+              f"in the {args.grid} grid", file=out)
+        return 2
+    if args.list_cells:
+        for cell in spec.cells:
+            print(f"{cell.cell_id}  (seed {cell.seed})", file=out)
+        return 0
+    inject = args.inject_violation
+    if inject == "first":
+        inject = spec.cells[0].cell_id
+    if inject is not None and all(c.cell_id != inject for c in spec.cells):
+        print(f"error: --inject-violation {inject!r} names no selected "
+              f"cell (try --list)", file=out)
+        return 2
+
+    def progress(cell, res) -> None:
+        verdict = ("PASS" if res.passed else
+                   "FAIL: " + "; ".join(r.slo.expr for r in res.failures))
+        print(f"  {cell.cell_id:<44} {verdict}", file=out)
+
+    print(f"lab: {args.grid} grid, {len(spec.cells)} cell(s), "
+          f"seed {args.seed}", file=out)
+    results = run_cells(spec.cells, inject_violation_in=inject,
+                        trace=not args.no_trace, progress=progress)
+    json_path, md_path = write_report(args.report, spec.name,
+                                      args.seed, results)
+    n_failed = sum(1 for r in results if not r.passed)
+    print(f"report: {md_path} / {json_path}", file=out)
+    if n_failed:
+        print(f"FAIL: {n_failed}/{len(results)} cell(s) violated their "
+              f"SLOs (artifacts under {args.report}/cells/)", file=out)
+        return 1
+    print(f"OK: all {len(results)} cell(s) within SLO", file=out)
+    return 0
+
+
 def _cmd_info(out) -> int:
     for name, cm in TESTBEDS.items():
         print(f"{name}: {cm.n_nodes} nodes, "
@@ -538,6 +625,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "lab":
+            return _cmd_lab(args, out)
     except BrokenPipeError:  # e.g. `repro run all | head`
         return 0
     raise AssertionError("unreachable")  # pragma: no cover

@@ -32,7 +32,8 @@ from repro.exec import ShardMapReduce, ShardPool
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor
 from repro.memory.nsm import NodeSpecificModule
-from repro.obs import MetricsRegistry, Observability, active_capture
+from repro.obs import (MetricsRegistry, MetricsSampler, Observability,
+                       active_capture)
 from repro.queries.interface import QueryInterface, QueryResult
 from repro.sim.cluster import Cluster
 from repro.util.stats import Table
@@ -126,6 +127,7 @@ class ConCORD:
         self._frontend: QueryFrontend | None = None
         self._last_traffic = None
         self._last_autoscaler = None
+        self._last_sampler: MetricsSampler | None = None
         for entity in cluster.entities.values():
             self.attach_entity(entity)
         if cap is not None:
@@ -362,7 +364,8 @@ class ConCORD:
 
     def serve(self, spec: "TrafficSpec", cfg=None,
               keep_responses: bool = False,
-              autoscale: "AutoscalerConfig | None" = None) -> "ServeReport":
+              autoscale: "AutoscalerConfig | None" = None,
+              sample_period_s: float | None = None) -> "ServeReport":
         """Drive a :class:`~repro.workloads.traffic.TrafficSpec` request
         stream through :meth:`frontend` to completion; returns the
         :class:`~repro.serve.frontend.ServeReport`.
@@ -372,6 +375,11 @@ class ConCORD:
         stream, live-joining nodes when the serve signals cross its
         thresholds; the armed instance is kept on
         ``self._last_autoscaler`` for inspection (``.joins``).
+
+        With ``sample_period_s`` set, a :meth:`sampler` with that period
+        records the standard serve/engine time-series over the stream;
+        the stopped sampler is kept on ``self._last_sampler`` (its
+        ``.series`` is the JSONL-exportable record — docs/LAB.md).
         """
         from repro.workloads.traffic import TrafficDriver
         driver = TrafficDriver(self.frontend(cfg), spec,
@@ -382,8 +390,15 @@ class ConCORD:
             scaler = Autoscaler(self, self.frontend(cfg), autoscale)
             scaler.arm(self.cluster.engine.now + spec.duration_s)
         self._last_autoscaler = scaler
+        sampler = None
+        if sample_period_s is not None:
+            sampler = self.sampler(period_s=sample_period_s)
+            sampler.arm(self.cluster.engine.now + spec.duration_s)
+        self._last_sampler = sampler
         report = driver.run()
         self._last_traffic = driver
+        if sampler is not None:
+            sampler.stop()
         return report
 
     # -- command controller (Fig 1) ------------------------------------------------------------
@@ -461,9 +476,48 @@ class ConCORD:
         ``cmd.*``, ``monitor.*``, plus service-level counters)."""
         return self.obs.registry
 
-    def metrics_report(self, title: str = "concord metrics") -> Table:
-        """Fixed-width text report of every metric."""
-        return self.obs.registry.report(title)
+    def metrics_report(self, title: str = "concord metrics",
+                       prefix: str = "") -> Table:
+        """Fixed-width text report of every metric (optionally only the
+        names under ``prefix``; an empty selection renders cleanly)."""
+        return self.obs.registry.report(title, prefix=prefix)
+
+    def sampler(self, period_s: float = 1e-3,
+                extra_probes: dict[str, Any] | None = None) -> MetricsSampler:
+        """A :class:`~repro.obs.sampler.MetricsSampler` on this
+        instance's sim clock and registry, pre-loaded with the standard
+        scenario-triage columns (docs/LAB.md):
+
+        ``serve.submitted`` / ``serve.completed`` / ``serve.rejected`` /
+        ``serve.coalesced`` cumulative counts (windowed rates via
+        ``series.rate``), ``serve.cache.hits`` / ``serve.cache.
+        violations``, ``serve.p95_interactive`` / ``serve.p95_batch``
+        latency quantiles, ``serve.queue_depth``, ``ring.n_nodes``, and
+        live ``coverage``.  ``extra_probes`` maps extra column names to
+        zero-argument callables evaluated at each tick.
+
+        The caller arms it (``sampler.arm(deadline)``) — or lets
+        :meth:`serve` do so via its ``sample_period_s`` argument.
+        """
+        s = MetricsSampler(self.cluster.engine, self.obs.registry,
+                           period_s=period_s)
+        s.track_counter("serve.submitted")
+        s.track_counter_total("serve.completed")
+        s.track_counter_total("serve.rejected")
+        s.track_counter("serve.coalesced")
+        s.track_counter("serve.cache.hits")
+        s.track_counter("serve.cache.violations")
+        s.track_quantile("serve.p95_interactive", "serve.latency_s", 0.95,
+                         qos="interactive")
+        s.track_quantile("serve.p95_batch", "serve.latency_s", 0.95,
+                         qos="batch")
+        s.track_fn("serve.queue_depth",
+                   lambda: self.obs.registry.total("serve.queue_depth"))
+        s.track_gauge("ring.n_nodes")
+        s.track_fn("coverage", lambda: self.tracing.coverage)
+        for col, fn in (extra_probes or {}).items():
+            s.track_fn(col, fn)
+        return s
 
     def trace_dump(self, path: str | None = None, fmt: str = "chrome"):
         """Export the recorded span trace.

@@ -1,0 +1,50 @@
+"""Scenario lab: the swept stress matrix with SLO gates (docs/LAB.md).
+
+A *lab run* sweeps a grid of cells — workload x fault schedule x scale
+x (storage, placement) — each with a derived deterministic seed, records
+per-cell time-series telemetry via the
+:class:`~repro.obs.sampler.MetricsSampler`, judges every cell against
+declarative :class:`~repro.lab.slo.SLO` bounds, and emits a triage
+report (``LAB_REPORT.md`` + byte-deterministic ``lab_report.json``)
+with metrics/trace artifacts for failing cells only.
+
+Entry point: ``repro lab --grid quick|full [--filter EXPR] --report DIR``.
+"""
+
+from repro.lab.grid import (
+    BACKENDS,
+    FAULTS,
+    SCALES,
+    WORKLOADS,
+    LabCell,
+    LabSpec,
+    derive_seed,
+    filter_cells,
+    full_grid,
+    quick_grid,
+)
+from repro.lab.report import build_report, render_markdown, write_report
+from repro.lab.runner import CellResult, default_slos, run_cell, run_cells
+from repro.lab.slo import SLO, SLOResult
+
+__all__ = [
+    "BACKENDS",
+    "FAULTS",
+    "SCALES",
+    "WORKLOADS",
+    "LabCell",
+    "LabSpec",
+    "CellResult",
+    "SLO",
+    "SLOResult",
+    "build_report",
+    "default_slos",
+    "derive_seed",
+    "filter_cells",
+    "full_grid",
+    "quick_grid",
+    "render_markdown",
+    "run_cell",
+    "run_cells",
+    "write_report",
+]

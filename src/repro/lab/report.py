@@ -1,0 +1,144 @@
+"""Triage output: ``lab_report.json`` + ``LAB_REPORT.md`` + artifacts.
+
+The JSON document is the machine gate (CI diffs it, tests assert on it)
+and is **byte-deterministic**: sorted keys, no wall-clock values, no
+paths that depend on temp dirs — the same grid at the same seed always
+serializes identically.
+
+The markdown report is the human side: a matrix summary table, then one
+section per *failing* cell with the violated SLOs, the offending time
+window, and where the dumped artifacts live.  Artifacts (the metrics
+time-series JSONL and the Chrome trace) are written only for failing
+cells — a green matrix leaves nothing to wade through, a red cell
+arrives with everything needed to triage it (docs/LAB.md).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lab.runner import CellResult
+
+__all__ = ["build_report", "render_markdown", "write_report"]
+
+
+def _slo_doc(r) -> dict:
+    doc = {"expr": r.slo.expr, "ok": r.ok, "observed": r.observed}
+    if r.t0 is not None:
+        doc["window"] = [r.t0, r.t1]
+    return doc
+
+
+def build_report(grid_name: str, base_seed: int,
+                 results: list[CellResult]) -> dict:
+    """The JSON-ready report document (deterministic; see module doc)."""
+    cells = []
+    for res in results:
+        cells.append({
+            "id": res.cell.cell_id,
+            "axes": res.cell.axes,
+            "n_nodes": res.cell.n_nodes,
+            "duration_s": res.cell.duration_s,
+            "seed": res.cell.seed,
+            "passed": res.passed,
+            "slos": [_slo_doc(r) for r in res.slos],
+            "final": dict(sorted(res.final.items())),
+            "ticks": len(res.series),
+        })
+    return {
+        "grid": grid_name,
+        "base_seed": base_seed,
+        "n_cells": len(results),
+        "n_passed": sum(1 for r in results if r.passed),
+        "n_failed": sum(1 for r in results if not r.passed),
+        "cells": cells,
+    }
+
+
+def report_json(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, indent=1) + "\n"
+
+
+def render_markdown(doc: dict, artifact_dirs: dict[str, str]) -> str:
+    """LAB_REPORT.md text; ``artifact_dirs`` maps failing cell ids to
+    their (report-relative) artifact directory."""
+    lines = [
+        "# Lab report",
+        "",
+        f"Grid `{doc['grid']}` @ seed {doc['base_seed']}: "
+        f"**{doc['n_passed']}/{doc['n_cells']} cells passed**"
+        + ("" if not doc["n_failed"]
+           else f", {doc['n_failed']} FAILED"),
+        "",
+        "| cell | workload | fault | scale | storage/placement "
+        "| result | violated |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for cell in doc["cells"]:
+        ax = cell["axes"]
+        violated = "; ".join(s["expr"] for s in cell["slos"]
+                             if not s["ok"]) or "-"
+        lines.append(
+            f"| `{cell['id']}` | {ax['workload']} | {ax['fault']} "
+            f"| {ax['scale']} | {ax['storage']}/{ax['placement']} "
+            f"| {'PASS' if cell['passed'] else '**FAIL**'} "
+            f"| {violated} |")
+    failing = [c for c in doc["cells"] if not c["passed"]]
+    for cell in failing:
+        lines += ["", f"## FAIL: `{cell['id']}`", ""]
+        lines.append(f"Seed {cell['seed']}, {cell['n_nodes']} nodes, "
+                     f"{cell['duration_s']:g}s of traffic, "
+                     f"{cell['ticks']} telemetry ticks.")
+        lines.append("")
+        for s in cell["slos"]:
+            if s["ok"]:
+                continue
+            win = s.get("window")
+            where = (f" — offending window [{win[0]:.6f}, "
+                     f"{win[1]:.6f}]s" if win else "")
+            lines.append(f"- **`{s['expr']}`** violated: observed "
+                         f"{s['observed']:g}{where}")
+        interesting = ("serve.cache.violations", "coverage",
+                       "serve.completed", "serve.rejected",
+                       "serve.p95_interactive", "ring.n_nodes")
+        finals = [f"{k} = {cell['final'][k]:g}" for k in interesting
+                  if k in cell["final"]]
+        if finals:
+            lines += ["", "Final snapshot: " + ", ".join(finals)]
+        art = artifact_dirs.get(cell["id"])
+        if art:
+            lines += ["", f"Artifacts: `{art}/metrics.jsonl` "
+                          f"(time-series), `{art}/trace.json` "
+                          f"(Chrome trace)"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(report_dir, grid_name: str, base_seed: int,
+                 results: list[CellResult]) -> tuple[Path, Path]:
+    """Write ``lab_report.json`` + ``LAB_REPORT.md`` (+ failing-cell
+    artifacts) under ``report_dir``; returns the two report paths."""
+    root = Path(report_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    doc = build_report(grid_name, base_seed, results)
+
+    artifact_dirs: dict[str, str] = {}
+    for res in results:
+        if res.passed:
+            continue
+        rel = f"cells/{res.cell.cell_id}"
+        cell_dir = root / rel
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        res.series.write_jsonl(cell_dir / "metrics.jsonl")
+        if res.trace is not None:
+            (cell_dir / "trace.json").write_text(
+                json.dumps(res.trace, sort_keys=True,
+                           separators=(",", ":")))
+        artifact_dirs[res.cell.cell_id] = rel
+
+    json_path = root / "lab_report.json"
+    json_path.write_text(report_json(doc))
+    md_path = root / "LAB_REPORT.md"
+    md_path.write_text(render_markdown(doc, artifact_dirs))
+    return json_path, md_path

@@ -1,0 +1,151 @@
+"""Declarative SLOs evaluated against a cell's telemetry.
+
+An :class:`SLO` is one parsed bound over a metric column::
+
+    serve.cache.violations == 0 @series
+    coverage == 1.0 @final
+    serve.p95_interactive <= 0.05 @final
+    serve.submitted >= 1 @series after 0.01
+
+``@final`` (the default) checks the value once, against the cell's
+final snapshot — the registry state *after* post-run failure detection
+and repair, which is how "coverage == 1.0 after repair" is expressed.
+``@series`` checks the bound at every sampler tick; the first violating
+tick is reported with the tick window that contains it, which is what
+the triage report prints as the *offending time window*.  ``after T``
+skips the first ``T`` simulated seconds of the series — for bounds that
+only hold once the system has warmed up or healed.
+
+Evaluation never raises on a missing metric: a column absent from both
+the series and the snapshot evaluates against 0.0, exactly as the
+metrics registry reads an untouched counter.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+from repro.obs.sampler import SampleSeries
+
+__all__ = ["SLO", "SLOResult"]
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<=": operator.le,
+    ">=": operator.ge,
+    "<": operator.lt,
+    ">": operator.gt,
+}
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One parsed service-level objective (see module docstring)."""
+
+    metric: str
+    op: str
+    bound: float
+    mode: str = "final"      # "final" | "series"
+    after_s: float = 0.0     # series: ignore ticks before t0 + after_s
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}")
+        if self.mode not in ("final", "series"):
+            raise ValueError("mode must be 'final' or 'series'")
+        if self.after_s < 0:
+            raise ValueError("after_s must be non-negative")
+
+    @classmethod
+    def parse(cls, text: str) -> SLO:
+        """Parse ``"metric OP bound [@final|@series] [after T]"``."""
+        toks = text.split()
+        if len(toks) < 3:
+            raise ValueError(f"malformed SLO {text!r} "
+                             "(want: metric OP bound [@mode] [after T])")
+        metric, op, bound_s, *rest = toks
+        if op not in _OPS:
+            raise ValueError(f"unknown operator {op!r} in SLO {text!r}")
+        try:
+            bound = float(bound_s)
+        except ValueError:
+            raise ValueError(f"non-numeric bound {bound_s!r} "
+                             f"in SLO {text!r}") from None
+        mode, after_s = "final", 0.0
+        while rest:
+            tok = rest.pop(0)
+            if tok in ("@final", "@series"):
+                mode = tok[1:]
+            elif tok == "after":
+                if not rest:
+                    raise ValueError(f"'after' needs a time in {text!r}")
+                after_s = float(rest.pop(0))
+            else:
+                raise ValueError(f"unexpected token {tok!r} in {text!r}")
+        return cls(metric, op, bound, mode=mode, after_s=after_s)
+
+    @property
+    def expr(self) -> str:
+        s = f"{self.metric} {self.op} {self.bound:g} @{self.mode}"
+        if self.after_s:
+            s += f" after {self.after_s:g}"
+        return s
+
+    def check(self, value: float) -> bool:
+        return bool(_OPS[self.op](float(value), self.bound))
+
+    def evaluate(self, series: SampleSeries,
+                 final: dict[str, float]) -> SLOResult:
+        """Judge this SLO against a cell's series + final snapshot."""
+        if self.mode == "series" and self.metric in series.columns:
+            t_start = series.times[0] if series.times else 0.0
+            vals = series.values(self.metric)
+            for t, v in zip(series.times, vals):
+                if t < t_start + self.after_s:
+                    continue
+                if not self.check(v):
+                    t0, t1 = series.window_at(t)
+                    return SLOResult(self, ok=False, observed=v,
+                                     t0=t0, t1=t1)
+            last = vals[-1] if vals else 0.0
+            return SLOResult(self, ok=True, observed=last)
+        # Final mode (or a series SLO whose column was never sampled):
+        # prefer the snapshot, fall back to the series' closing value.
+        if self.metric in final:
+            v = float(final[self.metric])
+        elif self.metric in series.columns:
+            v = series.last(self.metric)
+        else:
+            v = 0.0
+        ok = self.check(v)
+        t0 = t1 = None
+        if not ok and series.times:
+            t0, t1 = series.window_at(series.times[-1])
+        return SLOResult(self, ok=ok, observed=v, t0=t0, t1=t1)
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One SLO's verdict; ``(t0, t1)`` is the offending tick window of a
+    failed check (None/None when it passed or the series is empty)."""
+
+    slo: SLO
+    ok: bool
+    observed: float
+    t0: float | None = None
+    t1: float | None = None
+
+    @property
+    def window(self) -> str:
+        if self.t0 is None or self.t1 is None:
+            return "-"
+        return f"[{self.t0:.6f}, {self.t1:.6f}]s"
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        s = f"{verdict}  {self.slo.expr}  (observed {self.observed:g}"
+        if not self.ok and self.t0 is not None:
+            s += f", window {self.window}"
+        return s + ")"

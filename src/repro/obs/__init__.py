@@ -28,12 +28,16 @@ from collections.abc import Callable
 
 from repro.obs.profile import NULL_PROFILE, NullProfile, ProfileSession
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampler import MetricsSampler, SampleSeries, Window
 from repro.obs.tracer import Span, SpanTracer, validate_chrome_trace
 
 __all__ = [
     "ObsConfig",
     "Observability",
     "MetricsRegistry",
+    "MetricsSampler",
+    "SampleSeries",
+    "Window",
     "Counter",
     "Gauge",
     "Histogram",

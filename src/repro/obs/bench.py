@@ -78,9 +78,12 @@ class BaselineError(ValueError):
 
 def environment_fingerprint(extra: dict | None = None) -> dict:
     """Where a record was produced: interpreter, numpy, machine, cpu
-    count, git sha — plus caller-supplied keys (e.g. the worker count a
-    parallel benchmark ran with, so trajectory points from differently
-    provisioned hosts never get compared as like-for-like)."""
+    count, git sha — plus the platform knobs that change what a record
+    *means* (``workers``, ``storage``, ``placement``, resolved from the
+    same env vars :class:`~repro.core.config.ConCORDConfig` defaults
+    from) — plus caller-supplied keys overriding any of the above, so
+    trajectory points from differently provisioned hosts or differently
+    configured systems never get compared as like-for-like."""
     import os
 
     import numpy as np
@@ -92,12 +95,19 @@ def environment_fingerprint(extra: dict | None = None) -> dict:
             cwd=Path(__file__).resolve().parent).stdout.strip() or "unknown"
     except (OSError, subprocess.SubprocessError):
         sha = "unknown"
+    try:
+        workers = max(1, int(os.environ.get("CONCORD_WORKERS", "") or 1))
+    except ValueError:
+        workers = 1
     fp = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
         "cpus": os.cpu_count() or 1,
         "git_sha": sha,
+        "workers": workers,
+        "storage": os.environ.get("CONCORD_STORAGE", "") or "memory",
+        "placement": "mod",
     }
     if extra:
         fp.update(extra)

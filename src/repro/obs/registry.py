@@ -305,13 +305,16 @@ class MetricsRegistry:
             lines.append(json.dumps(rec, separators=(",", ":")))
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def report(self, title: str = "metrics") -> Table:
+    def report(self, title: str = "metrics", prefix: str = "") -> Table:
         """Fixed-width text report (reuses :class:`repro.util.stats.Table`).
 
         One row per metric; ``value`` is the counter/gauge value or the
         histogram total, ``n`` the histogram observation count (0 for
         scalar metrics), and ``p50``/``p95``/``p99`` the histogram
-        quantiles (0 for scalar metrics).
+        quantiles (0 for scalar metrics).  ``prefix`` restricts the
+        report to matching names; a registry with nothing to show (empty,
+        or nothing under the prefix) renders a clean table with a
+        "no metrics" note rather than erroring.
         """
         t = Table(title, "metric")
         s_val = t.add_series("value")
@@ -320,6 +323,8 @@ class MetricsRegistry:
         s_p95 = t.add_series("p95")
         s_p99 = t.add_series("p99")
         for name, key, m in self.collect():
+            if prefix and not name.startswith(prefix):
+                continue
             t.x_values.append(name + _labels_str(key))
             if isinstance(m, Histogram):
                 s_val.append(m.total)
@@ -333,4 +338,7 @@ class MetricsRegistry:
                 s_p50.append(0.0)
                 s_p95.append(0.0)
                 s_p99.append(0.0)
+        if not t.x_values:
+            t.note("no metrics" + (f" under prefix {prefix!r}" if prefix
+                                   else " recorded"))
         return t

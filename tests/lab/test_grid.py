@@ -1,0 +1,104 @@
+"""Unit tests for the lab grid: cells, derived seeds, filtering."""
+
+import pytest
+
+from repro.lab import (
+    BACKENDS,
+    FAULTS,
+    LabCell,
+    SCALES,
+    WORKLOADS,
+    derive_seed,
+    filter_cells,
+    full_grid,
+    quick_grid,
+)
+
+
+class TestLabCell:
+    def test_cell_id_is_the_axes(self):
+        c = LabCell("moldy", "churn", "static", "memory", "mod")
+        assert c.cell_id == "moldy-churn-static-memory-mod"
+        assert c.axes == {"workload": "moldy", "fault": "churn",
+                          "scale": "static", "storage": "memory",
+                          "placement": "mod"}
+
+    def test_invalid_axes_rejected(self):
+        with pytest.raises(ValueError):
+            LabCell("bogus", "none", "static", "memory", "mod")
+        with pytest.raises(ValueError):
+            LabCell("moldy", "bogus", "static", "memory", "mod")
+        with pytest.raises(ValueError):
+            LabCell("moldy", "none", "bogus", "memory", "mod")
+        with pytest.raises(ValueError):
+            LabCell("moldy", "none", "static", "memory", "mod", n_nodes=1)
+
+    def test_seed_derived_from_base_and_id(self):
+        a = LabCell("moldy", "none", "static", "memory", "mod")
+        b = a.replace(base_seed=1)
+        c = a.replace(fault="churn")
+        assert a.seed == derive_seed(0, a.cell_id)
+        assert a.seed != b.seed
+        assert a.seed != c.seed
+
+    def test_derive_seed_stable_and_16bit(self):
+        s = derive_seed(0, "moldy-none-static-memory-mod")
+        assert s == derive_seed(0, "moldy-none-static-memory-mod")
+        assert 0 <= s < 1 << 16
+
+
+class TestGrids:
+    def test_quick_grid_is_16_cells(self):
+        g = quick_grid(0)
+        assert len(g) == 16
+        assert len({c.cell_id for c in g.cells}) == 16
+
+    def test_full_grid_is_the_full_cross(self):
+        g = full_grid(0)
+        expected = (len(WORKLOADS) * len(FAULTS) * len(SCALES)
+                    * len(BACKENDS))
+        assert len(g) == expected == 64
+
+    def test_quick_is_a_subset_of_full_axes(self):
+        quick_ids = {c.axes.values() for c in quick_grid(0).cells}
+        assert quick_ids  # every quick axis value is a legal full value
+        for c in quick_grid(0).cells:
+            assert c.workload in WORKLOADS
+            assert c.fault in FAULTS
+
+    def test_grid_seeds_distinct_per_cell(self):
+        g = quick_grid(0)
+        seeds = [c.seed for c in g.cells]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_base_seed_changes_every_cell_seed(self):
+        a = {c.cell_id: c.seed for c in quick_grid(0).cells}
+        b = {c.cell_id: c.seed for c in quick_grid(1).cells}
+        assert all(a[k] != b[k] for k in a)
+
+    def test_cell_lookup(self):
+        g = quick_grid(0)
+        c = g.cell("moldy-none-static-memory-mod")
+        assert c.workload == "moldy"
+        with pytest.raises(KeyError):
+            g.cell("nope")
+
+
+class TestFilter:
+    def test_terms_are_anded(self):
+        cells = quick_grid(0).cells
+        got = filter_cells(cells, "moldy,churn")
+        assert got
+        assert all("moldy" in c.cell_id and "churn" in c.cell_id
+                   for c in got)
+
+    def test_empty_filter_keeps_all(self):
+        cells = quick_grid(0).cells
+        assert filter_cells(cells, None) == list(cells)
+        assert filter_cells(cells, "  ") == list(cells)
+
+    def test_filtered_spec_preserves_name_and_seed(self):
+        g = quick_grid(7).filtered("zipf")
+        assert g.name == "quick"
+        assert g.base_seed == 7
+        assert all("zipf" in c.cell_id for c in g.cells)

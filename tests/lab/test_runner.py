@@ -1,0 +1,201 @@
+"""Integration tests: lab cells end-to-end, reports, the CLI gate.
+
+These run real cells — traffic, faults, autoscale, repair — so they are
+the lab's own tier-1 regression net.  Cells here are kept tiny (3
+nodes, ~30 ms of simulated traffic) to stay fast.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lab import (
+    LabCell,
+    build_report,
+    default_slos,
+    quick_grid,
+    render_markdown,
+    run_cell,
+    write_report,
+)
+from repro.lab.report import report_json
+
+
+def tiny(workload="moldy", fault="none", scale="static",
+         storage="memory", placement="mod", **kw):
+    kw.setdefault("n_nodes", 3)
+    kw.setdefault("duration_s", 0.03)
+    return LabCell(workload, fault, scale, storage, placement, **kw)
+
+
+class TestRunCell:
+    def test_clean_cell_passes_every_slo(self):
+        res = run_cell(tiny(), trace=False)
+        assert res.passed
+        assert res.final["serve.completed"] >= 1
+        assert res.final["coverage"] == 1.0
+        assert res.final["answers.match_reference"] == 1.0
+        assert len(res.series) >= 10
+
+    def test_churn_cell_recovers_to_full_coverage(self):
+        res = run_cell(tiny(fault="churn"), trace=False)
+        assert res.passed
+        assert res.final["coverage"] == 1.0
+        # coverage dipped while the victim was down
+        assert min(res.series.values("coverage")) < 1.0
+
+    def test_autoscale_cell_joins_a_node(self):
+        res = run_cell(tiny(scale="autoscale"), trace=False)
+        assert res.passed
+        assert res.final["ring.n_nodes"] == 4.0
+        assert res.series.values("ring.n_nodes")[0] == 3.0
+
+    def test_injected_violation_fails_with_window(self):
+        res = run_cell(tiny(), inject_violation=True, trace=False)
+        assert not res.passed
+        bad = [r for r in res.failures
+               if r.slo.metric == "serve.cache.violations"]
+        assert bad, "the seeded corruption must trip the verify SLO"
+        assert bad[0].t0 is not None and bad[0].t1 is not None
+        assert bad[0].t1 <= res.series.times[-1]
+
+    def test_trace_artifact_recorded_when_tracing(self):
+        res = run_cell(tiny(), trace=True)
+        assert res.trace is not None
+        assert res.trace.get("traceEvents")
+
+    def test_default_slos_match_cell_shape(self):
+        static = [s.expr for s in default_slos(tiny())]
+        assert any("answers.match_reference" in e for e in static)
+        scaled = [s.expr for s in default_slos(tiny(scale="autoscale",
+                                                    fault="churn"))]
+        assert any("ring.n_nodes" in e for e in scaled)
+        assert not any("answers.match_reference" in e for e in scaled)
+
+
+class TestDeterminism:
+    def test_composed_cell_same_seed_byte_identical(self):
+        """The satellite determinism pin: a cell composing traffic,
+        faults, update bursts, AND an autoscaled join replays byte-
+        identically from the same seed."""
+        cell = tiny(fault="churn", scale="autoscale", n_nodes=4,
+                    duration_s=0.04)
+
+        def once():
+            res = run_cell(cell, trace=False)
+            return (res.series.to_jsonl(),
+                    report_json(build_report("g", 0, [res])))
+
+        s1, r1 = once()
+        s2, r2 = once()
+        assert s1 == s2
+        assert r1 == r2
+
+    def test_different_base_seed_different_series(self):
+        a = run_cell(tiny(), trace=False).series.to_jsonl()
+        b = run_cell(tiny(base_seed=1), trace=False).series.to_jsonl()
+        assert a != b
+
+
+class TestReport:
+    def test_report_doc_shape(self):
+        results = [run_cell(tiny(), trace=False)]
+        doc = build_report("quick", 0, results)
+        assert doc["n_cells"] == 1 and doc["n_passed"] == 1
+        cell = doc["cells"][0]
+        assert cell["id"] == "moldy-none-static-memory-mod"
+        assert cell["passed"] is True
+        assert all("expr" in s and "ok" in s for s in cell["slos"])
+        json.dumps(doc)  # JSON-ready
+
+    def test_write_report_artifacts_only_for_failures(self, tmp_path):
+        good = run_cell(tiny(), trace=False)
+        bad = run_cell(tiny(workload="zipf"), inject_violation=True,
+                       trace=True)
+        json_path, md_path = write_report(tmp_path, "quick", 0,
+                                          [good, bad])
+        assert json_path.exists() and md_path.exists()
+        cells = tmp_path / "cells"
+        assert not (cells / good.cell.cell_id).exists()
+        bad_dir = cells / bad.cell.cell_id
+        assert (bad_dir / "metrics.jsonl").exists()
+        assert (bad_dir / "trace.json").exists()
+
+        md = md_path.read_text()
+        assert "FAIL" in md and "offending window" in md
+        assert bad.cell.cell_id in md
+        doc = json.loads(json_path.read_text())
+        assert doc["n_failed"] == 1
+
+    def test_markdown_all_green_has_no_fail_sections(self):
+        res = run_cell(tiny(), trace=False)
+        doc = build_report("quick", 0, [res])
+        md = render_markdown(doc, {})
+        assert "## FAIL" not in md
+        assert "1/1 cells passed" in md
+
+
+class TestLabCLI:
+    def test_filtered_quick_grid_exits_zero(self, tmp_path, capsys):
+        rc = main(["lab", "--grid", "quick",
+                   "--filter", "moldy,none,static",
+                   "--report", str(tmp_path / "rep")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: all 2 cell(s) within SLO" in out
+        assert (tmp_path / "rep" / "lab_report.json").exists()
+        assert (tmp_path / "rep" / "LAB_REPORT.md").exists()
+
+    def test_injected_violation_exits_one_with_artifacts(self, tmp_path,
+                                                         capsys):
+        rc = main(["lab", "--grid", "quick",
+                   "--filter", "moldy,none,static,memory",
+                   "--inject-violation", "first",
+                   "--report", str(tmp_path / "rep")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+        md = (tmp_path / "rep" / "LAB_REPORT.md").read_text()
+        assert "offending window" in md
+        cell_dir = (tmp_path / "rep" / "cells"
+                    / "moldy-none-static-memory-mod")
+        assert (cell_dir / "metrics.jsonl").exists()
+
+    def test_list_prints_cells_without_running(self, tmp_path, capsys):
+        rc = main(["lab", "--grid", "full", "--list",
+                   "--report", str(tmp_path / "rep")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert len(out.strip().splitlines()) == 64
+        assert not (tmp_path / "rep").exists()
+
+    def test_bad_filter_exits_two(self, capsys):
+        rc = main(["lab", "--filter", "nonexistent-axis"])
+        assert rc == 2
+
+    def test_bad_inject_target_exits_two(self, capsys):
+        rc = main(["lab", "--filter", "moldy,none",
+                   "--inject-violation", "not-a-cell"])
+        assert rc == 2
+
+    def test_report_json_deterministic_across_runs(self, tmp_path):
+        p1, p2 = tmp_path / "a", tmp_path / "b"
+        for p in (p1, p2):
+            rc = main(["lab", "--grid", "quick",
+                       "--filter", "zipf,churn,static",
+                       "--report", str(p)])
+            assert rc == 0
+        assert (p1 / "lab_report.json").read_bytes() == \
+            (p2 / "lab_report.json").read_bytes()
+
+
+class TestGridSmoke:
+    @pytest.mark.parametrize("fault", ["partition", "zonal"])
+    def test_full_grid_fault_schedules_pass(self, fault):
+        res = run_cell(tiny(fault=fault, n_nodes=4), trace=False)
+        assert res.passed, [r.describe() for r in res.failures]
+
+    def test_quick_grid_cells_all_have_slos(self):
+        for cell in quick_grid(0).cells:
+            assert len(default_slos(cell)) >= 4

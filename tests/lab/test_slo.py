@@ -1,0 +1,93 @@
+"""Unit tests for SLO parsing and evaluation."""
+
+import pytest
+
+from repro.lab import SLO
+from repro.obs import SampleSeries
+
+
+def series_of(col, values, period=0.01):
+    s = SampleSeries([col])
+    for i, v in enumerate(values):
+        s.append(i * period, {col: float(v)})
+    return s
+
+
+class TestParse:
+    def test_basic_final(self):
+        slo = SLO.parse("coverage == 1.0")
+        assert (slo.metric, slo.op, slo.bound) == ("coverage", "==", 1.0)
+        assert slo.mode == "final"
+        assert slo.after_s == 0.0
+
+    def test_series_mode_and_after(self):
+        slo = SLO.parse("serve.p95_interactive <= 0.05 @series after 0.01")
+        assert slo.mode == "series"
+        assert slo.after_s == 0.01
+
+    def test_expr_roundtrips(self):
+        for text in ("coverage == 1 @final",
+                     "serve.cache.violations == 0 @series",
+                     "x >= 2 @series after 0.5"):
+            assert SLO.parse(SLO.parse(text).expr).expr == \
+                SLO.parse(text).expr
+
+    def test_all_operators(self):
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            assert SLO.parse(f"m {op} 1").op == op
+
+    def test_malformed_rejected(self):
+        for bad in ("coverage", "coverage ==", "coverage ~ 1",
+                    "coverage == one", "coverage == 1 @sometimes",
+                    "coverage == 1 after", "coverage == 1 banana"):
+            with pytest.raises(ValueError):
+                SLO.parse(bad)
+
+
+class TestEvaluate:
+    def test_final_pass_and_fail(self):
+        s = series_of("coverage", [1.0, 0.5, 1.0])
+        ok = SLO.parse("coverage == 1.0 @final").evaluate(s, {})
+        assert ok.ok and ok.observed == 1.0
+        bad = SLO.parse("coverage >= 2 @final").evaluate(s, {})
+        assert not bad.ok
+
+    def test_final_prefers_snapshot_over_series(self):
+        s = series_of("coverage", [0.5])
+        res = SLO.parse("coverage == 1.0 @final").evaluate(
+            s, {"coverage": 1.0})
+        assert res.ok  # snapshot (post-repair) wins over last tick
+
+    def test_series_reports_offending_window(self):
+        s = series_of("v", [0.0, 0.0, 3.0, 0.0], period=0.01)
+        res = SLO.parse("v == 0 @series").evaluate(s, {})
+        assert not res.ok
+        assert res.observed == 3.0
+        assert (res.t0, res.t1) == (0.01, 0.02)
+        assert "0.01" in res.window and "0.02" in res.window
+
+    def test_series_after_skips_warmup(self):
+        s = series_of("v", [9.0, 9.0, 0.0, 0.0], period=0.01)
+        hot = SLO.parse("v == 0 @series").evaluate(s, {})
+        assert not hot.ok
+        warm = SLO.parse("v == 0 @series after 0.02").evaluate(s, {})
+        assert warm.ok
+
+    def test_missing_metric_reads_zero(self):
+        s = series_of("v", [1.0])
+        res = SLO.parse("ghost == 0 @final").evaluate(s, {})
+        assert res.ok and res.observed == 0.0
+        res = SLO.parse("ghost >= 1 @final").evaluate(s, {})
+        assert not res.ok
+
+    def test_series_slo_without_column_falls_back_to_final(self):
+        s = series_of("v", [1.0])
+        res = SLO.parse("answers.match_reference == 1 @series").evaluate(
+            s, {"answers.match_reference": 1.0})
+        assert res.ok
+
+    def test_describe_mentions_verdict(self):
+        s = series_of("v", [2.0])
+        res = SLO.parse("v == 0 @series").evaluate(s, {})
+        text = res.describe()
+        assert text.startswith("FAIL") and "v == 0 @series" in text

@@ -115,6 +115,27 @@ class TestRunner:
         assert env["python"] and env["numpy"] and env["machine"]
         assert isinstance(env["git_sha"], str)
 
+    def test_environment_fingerprint_platform_knobs(self):
+        """The knobs that change what a record means — workers, storage,
+        placement — are part of the fingerprint, with env-var defaults."""
+        env = environment_fingerprint()
+        assert env["workers"] >= 1
+        assert env["storage"] in ("memory", "mmap", "sqlite")
+        assert env["placement"] == "mod"
+
+    def test_environment_fingerprint_extra_overrides_knobs(self):
+        env = environment_fingerprint(
+            {"workers": 8, "storage": "sqlite", "placement": "hd"})
+        assert (env["workers"], env["storage"], env["placement"]) == \
+            (8, "sqlite", "hd")
+
+    def test_environment_fingerprint_reads_env_vars(self, monkeypatch):
+        monkeypatch.setenv("CONCORD_WORKERS", "4")
+        monkeypatch.setenv("CONCORD_STORAGE", "mmap")
+        env = environment_fingerprint()
+        assert env["workers"] == 4
+        assert env["storage"] == "mmap"
+
 
 class TestTrajectory:
     def test_append_creates_and_extends(self, tmp_path):

@@ -208,3 +208,30 @@ class TestExport:
         reg.histogram("h").observe(2.0)
         text = reg.report("m").render()
         assert "c" in text and "h" in text and "value" in text
+
+    def test_empty_registry_report_renders_cleanly(self):
+        text = MetricsRegistry().report("m").render()
+        assert "no metrics recorded" in text
+
+    def test_report_prefix_filters_names(self):
+        reg = MetricsRegistry()
+        reg.counter("net.msgs_sent").inc(5)
+        reg.counter("dht.updates_routed").inc(7)
+        text = reg.report("m", prefix="net.").render()
+        assert "net.msgs_sent" in text
+        assert "dht.updates_routed" not in text
+
+    def test_report_empty_prefix_selection_renders_cleanly(self):
+        reg = MetricsRegistry()
+        reg.counter("net.msgs_sent").inc(5)
+        text = reg.report("m", prefix="zzz.").render()
+        assert "no metrics under prefix 'zzz.'" in text
+        assert "net.msgs_sent" not in text
+
+    def test_report_after_prefix_reset_keeps_rows(self):
+        """reset() zeroes in place — the rows stay, with zero values."""
+        reg = MetricsRegistry()
+        reg.counter("net.msgs_sent").inc(5)
+        reg.reset(prefix="net.")
+        text = reg.report("m", prefix="net.").render()
+        assert "net.msgs_sent" in text
