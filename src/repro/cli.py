@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--storage-dir", type=Path, default=None,
                     help="root directory for durable shard files "
                          "(default: $CONCORD_STORAGE_DIR or a temp dir)")
+    be.add_argument("--chunking", default=None,
+                    choices=["fixed", "cdc"],
+                    help="block chunking scheme for byte-backed entities "
+                         "(default: $CONCORD_CHUNKING or fixed; recorded "
+                         "in the env fingerprint)")
 
     sv = sub.add_parser(
         "serve", help="drive simulated client traffic through the "
@@ -171,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "serve run on the same directory warm-restarts "
                          "from it (default: $CONCORD_STORAGE_DIR or a "
                          "temp dir)")
+    sv.add_argument("--chunking", default=None,
+                    choices=["fixed", "cdc"],
+                    help="block chunking scheme for byte-backed entities "
+                         "(default: $CONCORD_CHUNKING or fixed)")
     sv.add_argument("--expect-warm", action="store_true",
                     help="exit 1 unless the instance warm-restarted from "
                          "persistent storage (CI smoke assertion)")
@@ -365,13 +374,17 @@ def _cmd_bench(args, out) -> int:
         env_override["CONCORD_STORAGE"] = args.storage
     if args.storage_dir is not None:
         env_override["CONCORD_STORAGE_DIR"] = str(args.storage_dir)
+    if args.chunking is not None:
+        env_override["CONCORD_CHUNKING"] = args.chunking
     env_saved = {k: os.environ.get(k) for k in env_override}
     runner = build_default_runner(workers=args.workers)
     # The workers the exec.* specs actually fanned out over: part of the
     # environment, so trajectory points are comparable only like-for-like.
     env_extra = {"workers": args.workers or (os.cpu_count() or 1),
                  "storage": args.storage
-                 or os.environ.get("CONCORD_STORAGE", "memory")}
+                 or os.environ.get("CONCORD_STORAGE", "memory"),
+                 "chunking": args.chunking
+                 or os.environ.get("CONCORD_CHUNKING", "fixed")}
     if args.list_specs:
         names = runner.names("figure") if args.filter == "figure" \
             else runner.names()
@@ -481,6 +494,8 @@ def _cmd_serve(args, out) -> int:
 
     # None = keep the config default ($CONCORD_WORKERS or 1).
     core_kw = {} if args.workers is None else {"workers": args.workers}
+    if args.chunking is not None:
+        core_kw["chunking"] = args.chunking
     # The big-cluster testbed is the only one with headroom past 8 nodes.
     target = args.autoscale if args.autoscale is not None else args.nodes
     cost = "big-cluster" if target > 8 else "new-cluster"

@@ -29,8 +29,10 @@ from repro.core.executor import CommandResult, ServiceCommandExecutor
 from repro.core.scope import ServiceScope
 from repro.dht.engine import ContentTracingEngine, JoinReport, RepairReport
 from repro.exec import ShardMapReduce, ShardPool
+from repro.memory.chunking import ContentChunker, make_chunker
 from repro.memory.entity import Entity
 from repro.memory.monitor import MemoryUpdateMonitor
+from repro.memory.pagedata import is_interned_id
 from repro.memory.nsm import NodeSpecificModule
 from repro.obs import (MetricsRegistry, MetricsSampler, Observability,
                        active_capture)
@@ -80,6 +82,12 @@ class ConCORD:
         self.config = config or ConCORDConfig()
         self._closed = False
         cfg = self.config
+        if cfg.chunking not in ("fixed", "cdc"):
+            raise ValueError(f"unknown chunking scheme {cfg.chunking!r}; "
+                             f"expected 'fixed' or 'cdc'")
+        # One ContentChunker per page size, shared by every byte-backed
+        # entity attached under chunking="cdc" (docs/RECONCILIATION.md).
+        self._chunkers: dict[int, ContentChunker] = {}
         self.cluster = cluster
         self.n_represented = cfg.n_represented
         # Observability: one registry + tracer on the cluster's sim clock.
@@ -143,7 +151,24 @@ class ConCORD:
     # -- entity lifecycle ------------------------------------------------------------
 
     def attach_entity(self, entity: Entity) -> None:
-        """Start tracking an entity (it must be registered with the cluster)."""
+        """Start tracking an entity (it must be registered with the cluster).
+
+        Under ``config.chunking == "cdc"``, byte-backed entities
+        (:meth:`Entity.from_bytes`) get a shared
+        :class:`~repro.memory.chunking.ContentChunker` so their tracked
+        blocks are content-defined chunks; ID-backed synthetic entities
+        keep fixed page blocks either way — their pages are atomic
+        content units with no byte substructure to re-chunk.
+        """
+        if (self.config.chunking == "cdc" and entity.chunker is None
+                and entity.n_pages
+                and all(is_interned_id(c)
+                        for c in entity.pages.tolist())):
+            ch = self._chunkers.get(entity.page_size)
+            if ch is None:
+                ch = make_chunker("cdc", entity.page_size)
+                self._chunkers[entity.page_size] = ch
+            entity.set_chunker(ch)
         self.nsms[entity.node_id].attach_entity(entity)
 
     def detach_entity(self, entity_id: int) -> None:
@@ -217,30 +242,44 @@ class ConCORD:
         """Probe believed-alive peers; fail over any that are down."""
         return self.tracing.detect_failures(issuing_node)
 
-    def repair(self, full: bool = False, delta: bool = False) -> RepairReport:
+    def repair(self, full: bool = False, delta: bool = False,
+               mode: str | None = None) -> RepairReport:
         """Anti-entropy repair: re-populate holed hash ranges from the
         monitors' ground truth (``full=True`` rebuilds every range, also
         healing datagram-loss holes; ``delta=True`` reconciles believed
         state against ground truth instead of purge-and-replay — same
-        final bytes, cost proportional to divergence)."""
-        return self.tracing.repair(full=full, delta=delta)
+        final bytes, local cost proportional to divergence;
+        ``mode="recon"`` runs the digest-tree set-reconciliation
+        protocol so *wire* cost is proportional to divergence too —
+        docs/RECONCILIATION.md)."""
+        return self.tracing.repair(full=full, delta=delta, mode=mode)
 
-    def warm_restart(self) -> RepairReport:
+    def warm_restart(self, mode: str = "delta") -> RepairReport:
         """Finish a warm process restart: rebase the monitors (ground
-        truth without update replay) and delta-repair the recovered
-        shards against it.
+        truth without update replay) and reconcile the recovered shards
+        against it.
 
         Call this instead of :meth:`initial_scan` when the instance came
         up with :attr:`storage_recovered` True — a fresh instance on an
-        already-populated storage root.  The delta pass heals exactly the
-        divergence between the last commit and live memory (plus any
+        already-populated storage root.  The reconcile pass heals exactly
+        the divergence between the last commit and live memory (plus any
         un-flushed overlay lost in the crash), so a quiet restart is
         near-free while a cold rebuild re-routes every copy.  The
         resulting shards are byte-identical to a cold full rebuild.
+
+        ``mode`` picks the reconciliation: ``"delta"`` (default) diffs
+        locally and replays only the difference; ``"recon"`` drives the
+        digest-tree :class:`~repro.recon.session.ReconSession` protocol,
+        whose wire bytes also scale with the divergence.
         """
+        if mode not in ("delta", "recon"):
+            raise ValueError(f"unknown warm_restart mode {mode!r}; "
+                             f"expected 'delta' or 'recon'")
         for node_id, mon in enumerate(self.monitors):
             if self._node_up(node_id):
                 mon.rebase()
+        if mode == "recon":
+            return self.tracing.repair(mode="recon")
         return self.tracing.repair(full=True, delta=True)
 
     @property
@@ -492,9 +531,10 @@ class ConCORD:
         ``serve.coalesced`` cumulative counts (windowed rates via
         ``series.rate``), ``serve.cache.hits`` / ``serve.cache.
         violations``, ``serve.p95_interactive`` / ``serve.p95_batch``
-        latency quantiles, ``serve.queue_depth``, ``ring.n_nodes``, and
-        live ``coverage``.  ``extra_probes`` maps extra column names to
-        zero-argument callables evaluated at each tick.
+        latency quantiles, ``serve.queue_depth``, ``ring.n_nodes``,
+        ``dht.repair.bytes_wire`` / ``dht.repair.rounds`` repair-traffic
+        deltas, and live ``coverage``.  ``extra_probes`` maps extra
+        column names to zero-argument callables evaluated at each tick.
 
         The caller arms it (``sampler.arm(deadline)``) — or lets
         :meth:`serve` do so via its ``sample_period_s`` argument.
@@ -514,6 +554,8 @@ class ConCORD:
         s.track_fn("serve.queue_depth",
                    lambda: self.obs.registry.total("serve.queue_depth"))
         s.track_gauge("ring.n_nodes")
+        s.track_counter("dht.repair.bytes_wire")
+        s.track_counter("dht.repair.rounds")
         s.track_fn("coverage", lambda: self.tracing.coverage)
         for col, fn in (extra_probes or {}).items():
             s.track_fn(col, fn)

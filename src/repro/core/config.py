@@ -40,6 +40,17 @@ def _default_workers() -> int:
         return 1
 
 
+def _default_chunking() -> str:
+    """Default chunking scheme: the ``CONCORD_CHUNKING`` env var, else fixed.
+
+    Same pattern as ``CONCORD_WORKERS``/``CONCORD_STORAGE``: CI can run an
+    entire existing suite under content-defined chunking without touching
+    call sites; unset keeps fixed page blocks.
+    """
+    raw = os.environ.get("CONCORD_CHUNKING", "").strip().lower()
+    return raw if raw in ("fixed", "cdc") else "fixed"
+
+
 @dataclass(frozen=True)
 class ConCORDConfig:
     """Everything configurable about a ConCORD instance.
@@ -85,6 +96,16 @@ class ConCORDConfig:
         durable files (``$CONCORD_STORAGE_DIR``; None = a private temp
         dir per instance).  A persistent backend plus a named root is
         what enables warm restart (docs/STORAGE.md).
+    chunking:
+        Block-boundary scheme for *byte-backed* entities
+        (``Entity.from_bytes``): ``"fixed"`` (default, or any unset
+        ``$CONCORD_CHUNKING``) hashes page_size slices — byte-identical
+        to the pre-chunking behavior; ``"cdc"`` attaches a Gear
+        rolling-hash :class:`~repro.memory.chunking.ContentChunker` so
+        block boundaries travel with content and shifted/inserted byte
+        streams still dedup (docs/RECONCILIATION.md).  Synthetic
+        ID-backed entities always use fixed page blocks — their pages
+        are atomic content units with no byte substructure to re-chunk.
     placement:
         Hash→node placement policy of the DHT partition
         (:data:`~repro.dht.partition.PLACEMENT_POLICIES`): ``mod``
@@ -106,6 +127,7 @@ class ConCORDConfig:
     serve: ServeConfig = field(default_factory=ServeConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     placement: str = "mod"
+    chunking: str = field(default_factory=_default_chunking)
 
     def replace(self, **changes) -> ConCORDConfig:
         """Functional update (`dataclasses.replace` as a method)."""

@@ -35,9 +35,12 @@ from repro.dht.table import LocalDHT
 from repro.exec import ops as _ops
 from repro.exec.pool import ShardPool
 from repro.obs import Observability
+from repro.recon import (DigestCache, PairSetDigest, ReconSession,
+                         canonical_pairs, pair_multiset_diff)
 from repro.sim.cluster import Cluster
 from repro.sim.network import DeliveryError
-from repro.util.records import ControlMessage, MsgKind, UpdateBatch
+from repro.util.records import (ENTITY_ID_BYTES, HASH_BYTES,
+                                ControlMessage, MsgKind, UpdateBatch)
 
 __all__ = ["ContentTracingEngine", "TracingStats", "RepairReport",
            "JoinReport"]
@@ -100,10 +103,16 @@ class TracingStats:
 
 @dataclass(frozen=True)
 class RepairReport:
-    """What one anti-entropy repair pass rebuilt.
+    """What one anti-entropy repair pass rebuilt, and what it cost.
 
-    ``copies_removed`` is only nonzero for delta repairs (stale believed
-    copies reconciled away); a purge-and-replay pass reports 0.
+    ``copies_removed`` is only nonzero for delta/recon repairs (stale
+    believed copies reconciled away); a purge-and-replay pass reports 0.
+    ``bytes_wire``/``rounds`` account the repair traffic: modeled
+    :class:`UpdateBatch` framing for replay and delta (one round), real
+    per-message costs of the :class:`~repro.recon.session.ReconSession`
+    protocol for ``mode="recon"``.  ``node_ops`` lists, per shard that
+    needed changes, ``(node, copies_inserted, copies_removed)`` — how
+    the lab triage names the divergent node.
     """
 
     ranges_repaired: int
@@ -111,6 +120,9 @@ class RepairReport:
     copies_restored: int
     nodes_scanned: int
     copies_removed: int = 0
+    bytes_wire: int = 0
+    rounds: int = 0
+    node_ops: tuple[tuple[int, int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -203,34 +215,25 @@ def _pairs_in_ranges(shard: LocalDHT, partition: Partition,
     return _pairs_where(shard, sel)
 
 
-def _pair_multiset_diff(have_h: np.ndarray, have_e: np.ndarray,
-                        have_c: np.ndarray, want_h: np.ndarray,
-                        want_e: np.ndarray):
-    """Diff two (hash, entity) multisets; ``want`` pairs each count 1
-    (repetition = multiplicity, exactly as a replay would insert them).
+# The canonical diff moved to :mod:`repro.recon.diff` so the recon
+# protocol, the join cutover and delta repair share one definition of
+# "differ"; the alias keeps the engine-internal name stable.
+_pair_multiset_diff = pair_multiset_diff
 
-    Returns ``((ins_h, ins_e, ins_c), (rem_h, rem_e, rem_c))`` sorted by
-    (hash, entity) — a deterministic apply order at any worker count.
-    """
-    h = np.concatenate([have_h, want_h])
-    e = np.concatenate([have_e, want_e])
-    c = np.concatenate([-have_c, np.ones(len(want_h), dtype=np.int64)])
-    if not len(h):
-        z = (np.empty(0, dtype=_U64), np.empty(0, dtype=np.int64),
-             np.empty(0, dtype=np.int64))
-        return z, z
-    order = np.lexsort((e, h))
-    h, e, c = h[order], e[order], c[order]
-    newpair = np.empty(len(h), dtype=bool)
-    newpair[0] = True
-    newpair[1:] = (h[1:] != h[:-1]) | (e[1:] != e[:-1])
-    starts = np.flatnonzero(newpair)
-    sums = np.add.reduceat(c, starts)
-    uh, ue = h[starts], e[starts]
-    ins = sums > 0
-    rem = sums < 0
-    return ((uh[ins], ue[ins], sums[ins]),
-            (uh[rem], ue[rem], -sums[rem]))
+# One DHT update on the wire (UpdateBatch): hash + entity + op flag.
+_UPDATE_BYTES = HASH_BYTES + ENTITY_ID_BYTES + 1
+# UDP/IP + ConCORD header overhead per update datagram.
+_UPDATE_HEADER_BYTES = 58
+
+
+def _modeled_replay_bytes(n_updates: int, n_represented: int,
+                          batch: int) -> int:
+    """Wire bytes a purge-and-replay (or delta replay) of ``n_updates``
+    update records would cost, matching :class:`UpdateBatch` framing."""
+    if n_updates <= 0:
+        return 0
+    return (n_updates * _UPDATE_BYTES * n_represented
+            + -(-n_updates // batch) * _UPDATE_HEADER_BYTES)
 
 
 class ContentTracingEngine:
@@ -286,6 +289,12 @@ class ContentTracingEngine:
         self._c_failovers = reg.counter("dht.failovers")
         self._c_rejoins = reg.counter("dht.rejoins")
         self._c_repairs = reg.counter("dht.repairs")
+        # Repair traffic (docs/RECONCILIATION.md): bytes on the wire and
+        # protocol rounds of the last repair passes, all modes.
+        self._c_repair_bytes = reg.counter("dht.repair.bytes_wire")
+        self._c_repair_rounds = reg.counter("dht.repair.rounds")
+        # Per-shard digest memo for mode="recon", keyed by shard epoch.
+        self._digests = DigestCache()
         # Elastic membership (docs/ELASTICITY.md).
         self._c_joins = reg.counter("ring.joins")
         self._c_entries_moved = reg.counter("ring.entries_moved")
@@ -734,7 +743,8 @@ class ContentTracingEngine:
                                           count=len(ranges)))
         return shard.retain(keep)
 
-    def repair(self, full: bool = False, delta: bool = False) -> RepairReport:
+    def repair(self, full: bool = False, delta: bool = False,
+               mode: str | None = None) -> RepairReport:
         """Rebuild non-intact ranges from the monitors' ground truth.
 
         Each alive node re-routes its NSM's last-scanned view — restricted
@@ -747,25 +757,40 @@ class ContentTracingEngine:
         ``delta=True`` reconciles instead of purge-and-replaying: the
         shards' believed (hash, entity) multiset for the target ranges is
         diffed against the routed ground truth and only the difference is
-        applied, so cost scales with divergence rather than content size.
-        Because the packed representation is canonical after compaction,
-        both modes land on byte-identical shards — delta is what makes a
-        warm restart cheap (docs/STORAGE.md).
+        applied, so *local* cost scales with divergence rather than
+        content size.  Because the packed representation is canonical
+        after compaction, every mode lands on byte-identical shards —
+        delta is what makes a warm restart cheap (docs/STORAGE.md).
+
+        ``mode="recon"`` runs a full anti-entropy pass through the
+        digest-tree set-reconciliation protocol
+        (:class:`~repro.recon.session.ReconSession`): each shard compares
+        hierarchical range digests against the routed truth and ships
+        only mismatched subtrees, so *wire* cost also scales with
+        divergence — docs/RECONCILIATION.md.  Replay/delta instead
+        account the full :class:`UpdateBatch` framing of every applied
+        record in ``bytes_wire``.
 
         Entities hosted on dead nodes contribute nothing (their memory is
         gone), so their entries do not reappear in repaired ranges.
         """
+        if mode not in (None, "recon"):
+            raise ValueError(f"unknown repair mode {mode!r}; "
+                             f"expected None or 'recon'")
+        recon = mode == "recon"
         self.refresh_failed()
         # Targets are primary ranges of the routed ring; the NSM scan
         # below walks every cluster node (a mid-join node hosts no
-        # entities yet, so the distinction is only about ranges).
+        # entities yet, so the distinction is only about ranges).  A
+        # recon pass always covers every range: pruning intact subtrees
+        # is the protocol's own job and costs one digest round.
         n = self.partition.n_nodes
-        targets = (np.arange(n, dtype=np.int64) if full
+        targets = (np.arange(n, dtype=np.int64) if full or recon
                    else np.flatnonzero(~self._intact[:n]).astype(np.int64))
         if not len(targets):
             return RepairReport(0, 0, 0, 0)
         target_set = set(targets.tolist())
-        if not delta:
+        if not delta and not recon:
             for owner in self.partition.alive_nodes().tolist():
                 self._purge_ranges_at(int(owner), target_set)
         before_hashes = self.total_hashes
@@ -796,15 +821,31 @@ class ContentTracingEngine:
                 task_eids.append(entity.entity_id)
                 work += len(hashes)
         routed = self.pool.run_tasks(_ops.repair_route, tasks, work=work)
-        if delta:
-            copies, removed = self._reconcile(targets, task_eids, routed)
+        node_ops: list[tuple[int, int, int]] = []
+        if recon:
+            copies, removed, bytes_wire, rounds, node_ops = \
+                self._recon_repair(task_eids, routed)
+        elif delta:
+            copies, removed, node_ops = \
+                self._reconcile(targets, task_eids, routed)
+            bytes_wire = _modeled_replay_bytes(
+                copies + removed, self.n_represented, self.batch_size)
+            rounds = 1 if copies + removed else 0
         else:
+            per_dst: dict[int, int] = {}
             for eid, groups in zip(task_eids, routed):
                 if not groups:
                     continue
                 for dst, hs in groups.items():
                     self.shards[dst].bulk_insert(hs, eid)
                     copies += len(hs)
+                    per_dst[dst] = per_dst.get(dst, 0) + len(hs)
+            node_ops = [(d, c, 0) for d, c in sorted(per_dst.items())]
+            bytes_wire = _modeled_replay_bytes(
+                copies, self.n_represented, self.batch_size)
+            rounds = 1 if copies else 0
+        self._c_repair_bytes.inc(bytes_wire)
+        self._c_repair_rounds.inc(rounds)
         self._intact[targets] = True
         self.bump_all_epochs()
         self._c_repairs.inc()
@@ -812,18 +853,20 @@ class ContentTracingEngine:
         if tr.enabled:
             tr.instant("dht.repair", ranges=len(targets),
                        copies_restored=copies, copies_removed=removed,
-                       nodes_scanned=nodes_scanned)
+                       nodes_scanned=nodes_scanned, bytes_wire=bytes_wire,
+                       mode=mode or ("delta" if delta else "replay"))
         return RepairReport(ranges_repaired=len(targets),
                             hashes_restored=self.total_hashes - before_hashes,
                             copies_restored=copies,
                             nodes_scanned=nodes_scanned,
-                            copies_removed=removed)
+                            copies_removed=removed,
+                            bytes_wire=bytes_wire, rounds=rounds,
+                            node_ops=tuple(node_ops))
 
-    def _reconcile(self, targets: np.ndarray, task_eids: list[int],
-                   routed: list) -> tuple[int, int]:
-        """Delta-repair apply: per destination shard, diff believed
-        copies against routed ground truth and apply removes-then-inserts
-        in (hash, entity) order.  Returns (copies inserted, removed)."""
+    def _want_by_dst(self, task_eids: list[int], routed: list) \
+            -> tuple[list[list[np.ndarray]], list[list[np.ndarray]]]:
+        """Group routed ground-truth hashes into per-destination
+        (hash, entity) replay streams."""
         n = self.partition.n_nodes
         want_h: list[list[np.ndarray]] = [[] for _ in range(n)]
         want_e: list[list[np.ndarray]] = [[] for _ in range(n)]
@@ -833,7 +876,18 @@ class ContentTracingEngine:
             for dst, hs in groups.items():
                 want_h[dst].append(hs)
                 want_e[dst].append(np.full(len(hs), eid, dtype=np.int64))
+        return want_h, want_e
+
+    def _reconcile(self, targets: np.ndarray, task_eids: list[int],
+                   routed: list) -> tuple[int, int,
+                                          list[tuple[int, int, int]]]:
+        """Delta-repair apply: per destination shard, diff believed
+        copies against routed ground truth and apply removes-then-inserts
+        in (hash, entity) order.  Returns (copies inserted, removed,
+        per-node op list)."""
+        want_h, want_e = self._want_by_dst(task_eids, routed)
         inserted = removed = 0
+        node_ops: list[tuple[int, int, int]] = []
         for dst in self.partition.alive_nodes().tolist():
             dst = int(dst)
             shard = self.shards[dst]
@@ -843,17 +897,83 @@ class ContentTracingEngine:
             we = (np.concatenate(want_e[dst]) if want_e[dst]
                   else np.empty(0, dtype=np.int64))
             ins, rem = _pair_multiset_diff(hh, he, hc, wh, we)
+            d_ins = d_rem = 0
             rem_h, rem_e, rem_c = rem
             if len(rem_h):
                 shard.bulk_remove(np.repeat(rem_h, rem_c),
                                   np.repeat(rem_e, rem_c))
-                removed += int(rem_c.sum())
+                d_rem = int(rem_c.sum())
             ins_h, ins_e, ins_c = ins
             if len(ins_h):
                 shard.bulk_insert(np.repeat(ins_h, ins_c),
                                   np.repeat(ins_e, ins_c))
-                inserted += int(ins_c.sum())
-        return inserted, removed
+                d_ins = int(ins_c.sum())
+            inserted += d_ins
+            removed += d_rem
+            if d_ins or d_rem:
+                node_ops.append((dst, d_ins, d_rem))
+        return inserted, removed, node_ops
+
+    def _recon_repair(self, task_eids: list[int], routed: list) \
+            -> tuple[int, int, int, int, list[tuple[int, int, int]]]:
+        """Set-reconciliation apply: one :class:`ReconSession` per alive
+        shard converges its believed rows onto the routed truth.
+
+        The truth side is aggregated at a coordinator (counts sum and
+        64-bit mixed digests combine across contributing nodes without
+        shipping rows — an XOR/sum tree reduction like the collective
+        queries'), so what crosses the wire is digest rounds plus the
+        mismatched leaf rows, per session.  Returns (copies inserted,
+        removed, wire bytes, protocol rounds, per-node op list).
+        """
+        want_h, want_e = self._want_by_dst(task_eids, routed)
+        net = self.cluster.network
+        alive = [int(x) for x in self.partition.alive_nodes().tolist()]
+        coord = alive[0]
+        emit = None
+        if self.use_network:
+            def emit(msg):
+                if msg.src_node != msg.dst_node:
+                    net.send_reliable(msg, on_deliver=lambda _m: None)
+        inserted = removed = bytes_wire = rounds = 0
+        node_ops: list[tuple[int, int, int]] = []
+        for dst in alive:
+            shard = self.shards[dst]
+            believed = self._digests.get(
+                dst, self.shard_epoch(dst),
+                lambda s=shard: PairSetDigest(
+                    *canonical_pairs(*_pairs_where(s))))
+            wh = (np.concatenate(want_h[dst]) if want_h[dst]
+                  else np.empty(0, dtype=_U64))
+            we = (np.concatenate(want_e[dst]) if want_e[dst]
+                  else np.empty(0, dtype=np.int64))
+            truth = PairSetDigest(*canonical_pairs(wh, we))
+            session = ReconSession(believed, truth, src_node=dst,
+                                   dst_node=coord, emit=emit)
+            report = session.run()
+            d_ins = d_rem = 0
+            rem_h, rem_e, rem_c = report.rem
+            if len(rem_h):
+                shard.bulk_remove(np.repeat(rem_h, rem_c),
+                                  np.repeat(rem_e, rem_c))
+                d_rem = int(rem_c.sum())
+            ins_h, ins_e, ins_c = report.ins
+            if len(ins_h):
+                shard.bulk_insert(np.repeat(ins_h, ins_c),
+                                  np.repeat(ins_e, ins_c))
+                d_ins = int(ins_c.sum())
+            inserted += d_ins
+            removed += d_rem
+            bytes_wire += report.bytes_wire
+            rounds = max(rounds, report.rounds)
+            if d_ins or d_rem:
+                node_ops.append((dst, d_ins, d_rem))
+        if self.use_network:
+            try:
+                self.cluster.engine.run()
+            except DeliveryError:
+                pass
+        return inserted, removed, bytes_wire, rounds, node_ops
 
     # -- degraded-mode introspection ---------------------------------------------------
 

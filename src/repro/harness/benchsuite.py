@@ -672,6 +672,88 @@ def _bench_serve_flash_crowd(ctx: BenchContext, _state) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Set reconciliation + content-defined chunking (docs/RECONCILIATION.md)
+# ---------------------------------------------------------------------------
+
+
+def _bench_repair_divergence(ctx: BenchContext, _state) -> None:
+    """Recon repair wire bytes scale with divergence, not total content.
+
+    Every shard loses a contiguous hash range (the clustered shape real
+    failures produce: failover holes, partial flushes) and is repaired
+    twice from identical state — once with ``mode="recon"``, once with
+    the linear full-rebuild replay.  The ``dht.repair.bytes_wire``
+    counter gives both costs on the same scale; the acceptance gate pins
+    recon under 25% of the replay at 5% divergence.
+    """
+    p = ctx.params
+
+    def diverged(d: float):
+        cluster = Cluster(p["n_nodes"], cost="new-cluster", seed=13)
+        workloads.instantiate(
+            cluster, workloads.moldy(p["n_nodes"], p["sim_pages"], seed=13))
+        concord = ConCORD.from_config(cluster, ConCORDConfig())
+        concord.initial_scan()
+        bound = np.uint64(int(d * 2**64))
+        for shard in concord.tracing.shards:
+            hs, _lo, _wide = shard.items_arrays()
+            if len(hs):
+                shard.retain(hs >= bound)
+        concord.tracing.bump_all_epochs()
+        return concord
+
+    ratio_at = {}
+    for d in p["divergences"]:
+        pct = f"{d:g}"
+        rep_recon = diverged(d).repair(mode="recon")
+        rep_replay = diverged(d).repair(full=True)
+        assert rep_replay.bytes_wire > 0, "replay repair moved no bytes"
+        ratio = rep_recon.bytes_wire / rep_replay.bytes_wire
+        ratio_at[d] = ratio
+        ctx.count(f"recon_bytes.{pct}", rep_recon.bytes_wire)
+        ctx.count(f"replay_bytes.{pct}", rep_replay.bytes_wire)
+        ctx.count(f"recon_rounds.{pct}", rep_recon.rounds)
+        ctx.sim(f"bytes_ratio.{pct}", ratio, unit="frac")
+    gate = ratio_at.get(0.05)
+    if gate is not None:
+        assert gate < 0.25, (
+            f"recon repair moved {gate:.1%} of replay bytes at 5% "
+            "divergence (acceptance bar: < 25%)")
+    ctx.count("deterministic", 1)
+
+
+def _bench_chunking_sharing(ctx: BenchContext, _state) -> None:
+    """CDC detects the sharing that fixed paging hides under byte shift.
+
+    Two replicas of one stream, the second shifted by a few junk bytes:
+    fixed ``page_size`` chunking reports zero sharing, the Gear chunker
+    re-synchronises and keeps most of it (run_chunking's single point,
+    gated).
+    """
+    from repro.memory.entity import Entity
+
+    p = ctx.params
+    rng = np.random.default_rng(17)
+    base = rng.integers(0, 256, size=p["kb"] * 1024, dtype=np.uint8).tobytes()
+    prefix = rng.integers(0, 256, size=p["shift"], dtype=np.uint8).tobytes()
+    sharing = {}
+    for mode in ("fixed", "cdc"):
+        cluster = Cluster(2, cost="new-cluster", seed=17)
+        a = Entity.from_bytes(cluster, 0, base)
+        b = Entity.from_bytes(cluster, 1, prefix + base)
+        concord = ConCORD.from_config(cluster, ConCORDConfig(chunking=mode))
+        concord.initial_scan()
+        sharing[mode] = concord.sharing([a.entity_id, b.entity_id]).value
+    assert sharing["cdc"] > sharing["fixed"], (
+        f"cdc detected no more sharing than fixed on a {p['shift']}-byte "
+        f"shift: {sharing['cdc']:.4f} <= {sharing['fixed']:.4f}")
+    ctx.sim("sharing_fixed", sharing["fixed"], unit="frac")
+    ctx.sim("sharing_cdc", sharing["cdc"], unit="frac",
+            higher_is_better=True)
+    ctx.count("deterministic", 1)
+
+
+# ---------------------------------------------------------------------------
 # Figure specs: the paper's evaluation through the same runner
 # ---------------------------------------------------------------------------
 
@@ -831,6 +913,20 @@ def build_default_runner(workers: int | None = None) -> BenchRunner:
         params={"backend": "mmap", "n_nodes": 4, "sim_pages": 1024,
                 "mutate": 0.05}, tier="quick",
         doc="warm restart delta catch-up vs cold full-NSM rebuild"))
+
+    # Set reconciliation + content-defined chunking
+    # (docs/RECONCILIATION.md).
+    r.register(BenchSpec(
+        "repair.bytes_vs_divergence", _bench_repair_divergence,
+        params={"n_nodes": 4, "sim_pages": 3000,
+                "divergences": (0.01, 0.05, 0.2)}, tier="quick",
+        doc="recon repair wire bytes vs the linear full-rebuild replay "
+            "at clustered divergence (recon < 25% of replay at 5%)"))
+    r.register(BenchSpec(
+        "chunking.sharing_detected", _bench_chunking_sharing,
+        params={"kb": 64, "shift": 7}, tier="quick",
+        doc="sharing detected on a byte-shifted replica: cdc must beat "
+            "fixed page chunking"))
 
     # Elastic membership (docs/ELASTICITY.md).
     r.register(BenchSpec(

@@ -45,6 +45,7 @@ def build_report(grid_name: str, base_seed: int,
             "slos": [_slo_doc(r) for r in res.slos],
             "final": dict(sorted(res.final.items())),
             "ticks": len(res.series),
+            "repair_nodes": [list(t) for t in res.repair_nodes],
         })
     return {
         "grid": grid_name,
@@ -106,6 +107,12 @@ def render_markdown(doc: dict, artifact_dirs: dict[str, str]) -> str:
                   if k in cell["final"]]
         if finals:
             lines += ["", "Final snapshot: " + ", ".join(finals)]
+        if cell.get("repair_nodes"):
+            named = ", ".join(f"node {n} (+{i}/-{r})"
+                              for n, i, r in cell["repair_nodes"])
+            lines += ["", f"Post-run repair touched: {named} — these "
+                          "shards diverged from NSM ground truth during "
+                          "the run."]
         art = artifact_dirs.get(cell["id"])
         if art:
             lines += ["", f"Artifacts: `{art}/metrics.jsonl` "

@@ -55,6 +55,9 @@ class CellResult:
     final: dict[str, float] = field(default_factory=dict)
     series: SampleSeries = field(default_factory=SampleSeries)
     trace: dict | None = None
+    #: (node, inserts, removes) per shard the post-run repair touched —
+    #: names the divergent node(s) in the triage report.
+    repair_nodes: list[tuple[int, int, int]] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -256,9 +259,10 @@ def run_cell(cell: LabCell, inject_violation: bool = False,
 
         # Post-run recovery: whatever the schedule broke gets detected
         # and repaired before the @final snapshot is taken.
+        repair_rep = None
         if cell.fault != "none":
             concord.detect_failures(0)
-            concord.repair(full=True)
+            repair_rep = concord.repair(full=True)
 
         final = {c: series.last(c) for c in series.columns}
         final["coverage"] = concord.coverage
@@ -267,6 +271,13 @@ def run_cell(cell: LabCell, inject_violation: bool = False,
         final["serve.completed"] = float(report.completed)
         final["serve.rejected"] = float(report.rejected)
         final["serve.cache.violations"] = float(report.cache_violations)
+        repair_nodes = []
+        if repair_rep is not None:
+            final["repair.ops"] = float(repair_rep.copies_restored
+                                        + repair_rep.copies_removed)
+            final["repair.bytes_wire"] = float(repair_rep.bytes_wire)
+            repair_nodes = [(int(n), int(i), int(r))
+                            for n, i, r in repair_rep.node_ops]
 
         if _has_reference(cell):
             final["answers.match_reference"] = _reference_match(
@@ -278,7 +289,7 @@ def run_cell(cell: LabCell, inject_violation: bool = False,
         concord.close()
 
     result = CellResult(cell=cell, series=series, final=final,
-                        trace=trace_doc)
+                        trace=trace_doc, repair_nodes=repair_nodes)
     for slo in (slos if slos is not None else default_slos(cell)):
         result.slos.append(slo.evaluate(series, final))
     return result

@@ -12,6 +12,15 @@ Entities support in-place mutation (page writes) with a dirty-bit vector, so
 memory update monitors can run in scan, dirty-bit, or CoW modes and the DHT
 view can become stale relative to this ground truth — the situation the
 content-aware service command's two-phase execution exists to handle.
+
+The tracked unit is a *block*.  With the default fixed chunking a block
+is a page (block index == page index, block size == page_size); with a
+:class:`~repro.memory.chunking.ContentChunker` attached the blocks are
+content-defined chunks of the entity's materialized byte stream —
+variable-sized, re-derived (and cached) per mutation version.  Consumers
+that touch content go through the block API (``block_ids``,
+``read_block_id``, ``block_size``, ``n_blocks``, ``content_hashes``);
+the page API stays the raw address-space view either way.
 """
 
 from __future__ import annotations
@@ -58,6 +67,12 @@ class Entity:
         self._hash_cache: np.ndarray | None = None
         self._index_cache_version = -1
         self._index_cache: dict[int, int] | None = None
+        # Content-defined chunking (docs/RECONCILIATION.md): None = fixed
+        # page blocks; a ContentChunker re-derives blocks per version.
+        self.chunker = None
+        self._chunk_cache_version = -1
+        self._chunk_ids: np.ndarray | None = None
+        self._chunk_sizes: np.ndarray | None = None
         # Write observers: called after each write with (entity, idxs array).
         # This is the hook CoW/write-fault monitors use (paper §3.1: "page
         # faults then indicate writes").
@@ -75,6 +90,30 @@ class Entity:
         if not e.name:
             e.name = f"{kind.value}-{e.entity_id}"
         return e
+
+    @classmethod
+    def from_bytes(cls, cluster: Cluster, node_id: int, data: bytes,
+                   kind: EntityKind = EntityKind.PROCESS, name: str = "",
+                   page_size: int = 4096) -> Entity:
+        """Create an entity backed by a real byte stream.
+
+        The stream is split into ``page_size`` slices (zero-padded at the
+        tail) and each slice interned as its own content ID, so the
+        fixed-chunking view hashes exactly these slices while a content-
+        defined chunker re-derives boundaries from the raw bytes — the
+        shifted-content experiment's setup (docs/RECONCILIATION.md).
+        """
+        from repro.memory.pagedata import intern_chunk
+
+        if page_size < 16:
+            raise ValueError("page_size must be at least 16")
+        pad = (-len(data)) % page_size
+        padded = bytes(data) + b"\x00" * pad if pad else bytes(data)
+        ids = [intern_chunk(padded[off:off + page_size])
+               for off in range(0, len(padded), page_size)]
+        return cls.create(cluster, node_id,
+                          np.asarray(ids, dtype=np.uint64), kind=kind,
+                          name=name, page_size=page_size)
 
     # -- geometry ---------------------------------------------------------------
 
@@ -99,10 +138,55 @@ class Entity:
         """Content ID of one page."""
         return int(self._pages[page_idx])
 
+    def set_chunker(self, chunker) -> None:
+        """Attach (or clear) a content-defined chunker.
+
+        Idempotent per scheme: attaching drops the chunk/hash caches so
+        the next ``content_hashes()`` reflects the new block geometry.
+        """
+        if chunker is self.chunker:
+            return
+        self.chunker = chunker
+        self._chunk_cache_version = -1
+        self._hash_cache_version = -1
+        self._index_cache_version = -1
+
+    @property
+    def chunked(self) -> bool:
+        return self.chunker is not None
+
+    def _chunks(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._chunk_cache_version != self.version:
+            self._chunk_ids, self._chunk_sizes = \
+                self.chunker.chunk_pages(self._pages, self.page_size)
+            self._chunk_cache_version = self.version
+        return self._chunk_ids, self._chunk_sizes
+
+    @property
+    def n_blocks(self) -> int:
+        """Tracked blocks: pages under fixed chunking, chunks under cdc."""
+        return len(self._chunks()[0]) if self.chunked else self.n_pages
+
+    def block_ids(self) -> np.ndarray:
+        """Content ID per tracked block (== ``pages`` when not chunked)."""
+        return self._chunks()[0] if self.chunked else self.pages
+
+    def read_block_id(self, block_idx: int) -> int:
+        """Content ID of one tracked block."""
+        if self.chunked:
+            return int(self._chunks()[0][block_idx])
+        return int(self._pages[block_idx])
+
+    def block_size(self, block_idx: int) -> int:
+        """Byte size of one tracked block (page_size when not chunked)."""
+        if self.chunked:
+            return int(self._chunks()[1][block_idx])
+        return self.page_size
+
     def content_hashes(self) -> np.ndarray:
-        """Current content hash per page (cached until mutated)."""
+        """Current content hash per tracked block (cached until mutated)."""
         if self._hash_cache_version != self.version:
-            self._hash_cache = page_hashes(self._pages)
+            self._hash_cache = page_hashes(self.block_ids())
             self._hash_cache_version = self.version
         return self._hash_cache
 

@@ -161,6 +161,9 @@ class MemoryUpdateMonitor:
             # Full scan: read + hash every page.
             n_hashed = entity.n_pages
             scan_time = n_hashed * R * (self.cost.page_scan_read + hash_cost)
+            if entity.chunked:
+                # Boundary detection rolls the Gear hash over the stream.
+                scan_time += entity.memory_bytes * R * self.cost.cdc_per_byte
             ins, rem = multiset_diff(
                 old if old is not None else np.empty(0, dtype=np.uint64), new)
             entity.clear_dirty()
@@ -175,6 +178,13 @@ class MemoryUpdateMonitor:
                 scan_time += n_hashed * R * 1e-6
             if n_hashed == 0:
                 ins = rem = np.empty(0, dtype=np.uint64)
+            elif entity.chunked:
+                # A written page can move chunk boundaries arbitrarily
+                # far from its own offset, so the per-index shortcut is
+                # unsound for chunked entities: diff the full block-hash
+                # arrays instead (old/new lengths differ in general).
+                scan_time += entity.memory_bytes * R * self.cost.cdc_per_byte
+                ins, rem = multiset_diff(old, new)
             else:
                 ins, rem = multiset_diff(old[dirty], new[dirty])
         self.stats.cpu_time += scan_time
@@ -239,6 +249,32 @@ class MemoryUpdateMonitor:
         if old is None:
             return  # no base yet; the initial scan will pick this up
         idxs = np.asarray(idxs, dtype=np.int64)
+        if entity.chunked:
+            # Chunk boundaries shift with content: page index != block
+            # index, so fall back to a full block-array diff and a fresh
+            # scan base (costed as a re-chunk of the whole stream).
+            new = entity.content_hashes()
+            ins, rem = multiset_diff(old, new)
+            cost = (len(idxs) * self.n_represented * 1e-6
+                    + entity.memory_bytes * self.n_represented
+                    * self.cost.cdc_per_byte
+                    + entity.n_blocks * self.n_represented
+                    * self.cost.hash_page_cost(self.hash_algo))
+            self.stats.cpu_time += cost
+            self._last_scan_time += cost
+            self.stats.pages_hashed += entity.n_blocks
+            n_ops = len(ins) + len(rem)
+            if n_ops:
+                for h in rem.tolist():
+                    self._pending.append(("r", int(h), eid))
+                for h in ins.tolist():
+                    self._pending.append(("i", int(h), eid))
+                self.stats.updates_produced += n_ops
+                self.nsm.record_scan(entity, new)
+            entity.dirty[idxs] = False
+            self.stats.updates_deferred_peak = max(
+                self.stats.updates_deferred_peak, len(self._pending))
+            return
         new_h = page_hashes(entity.pages[idxs])
         old_h = old[idxs]
         changed = new_h != old_h

@@ -145,11 +145,11 @@ class NodeSpecificModule:
         idx = entity.find_block(content_hash)
         if idx is None:
             return None
-        return BlockRef(entity_id, idx, entity.page_size)
+        return BlockRef(entity_id, idx, entity.block_size(idx))
 
     def read_block(self, ref: BlockRef) -> int:
         """Content ID behind a block reference."""
-        return self.cluster.entity(ref.entity_id).read_page(ref.page_idx)
+        return self.cluster.entity(ref.entity_id).read_block_id(ref.page_idx)
 
     # -- introspection -----------------------------------------------------------
 

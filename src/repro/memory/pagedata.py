@@ -10,13 +10,64 @@ Pages are generated with a controllable *compressibility*: a fraction of the
 page is a repeating pattern (what gzip removes) and the rest is
 PRNG-incompressible.  Workloads pick the fraction matching their character
 (e.g. Moldy pages compress moderately, Nasty pages barely).
+
+Content-defined chunking (docs/RECONCILIATION.md) runs the mapping the
+other way: real bytes come first and need a content ID.  Those IDs are
+*interned* — derived from an MD5 of the bytes with bit 63 set (synthetic
+generators all allocate below 2**63, so the bit is a reliable
+discriminator) and registered here so :func:`materialize_page` renders
+them back verbatim.  Interned chunks may be any length; everything that
+assumes ``len == page_size`` must check :func:`is_interned_id` first.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["materialize_page", "materialize_pages", "content_id_of_bytes_map"]
+from repro.util.hashing import md5_64
+
+__all__ = [
+    "materialize_page", "materialize_pages", "content_id_of_bytes_map",
+    "intern_chunk", "is_interned_id", "interned_bytes", "register_chunk",
+    "reset_interned",
+]
+
+#: Interned content IDs carry this bit; synthetic IDs never do.
+CHUNK_ID_BIT = 1 << 63
+
+#: id -> bytes for every interned chunk seen by this process.
+_INTERNED: dict[int, bytes] = {}
+
+
+def intern_chunk(data: bytes) -> int:
+    """Content-derived ID for a byte chunk, registered for materialization.
+
+    Deterministic across processes: the same bytes always intern to the
+    same ID, so chunked entities produce identical DHT rows wherever
+    they are scanned.
+    """
+    cid = CHUNK_ID_BIT | (md5_64(data) >> 1)
+    _INTERNED[cid] = bytes(data)
+    return cid
+
+
+def register_chunk(cid: int, data: bytes) -> None:
+    """Re-register a chunk loaded from a checkpoint file (restore path)."""
+    _INTERNED[int(cid)] = bytes(data)
+
+
+def is_interned_id(content_id: int) -> bool:
+    return bool(int(content_id) & CHUNK_ID_BIT)
+
+
+def interned_bytes(content_id: int) -> bytes | None:
+    """The registered bytes for an interned ID (None if never seen)."""
+    return _INTERNED.get(int(content_id))
+
+
+def reset_interned() -> None:
+    """Drop the registry (test isolation)."""
+    _INTERNED.clear()
 
 
 def materialize_page(content_id: int, page_size: int = 4096,
@@ -32,6 +83,11 @@ def materialize_page(content_id: int, page_size: int = 4096,
     if not 0.0 <= compress_fraction <= 1.0:
         raise ValueError("compress_fraction must be in [0, 1]")
     cid = int(content_id) & (2**64 - 1)
+    interned = _INTERNED.get(cid)
+    if interned is not None:
+        # Interned chunks render verbatim; their length is the chunk's
+        # own (content-defined) size, not page_size.
+        return interned
     header = cid.to_bytes(8, "little")
     body_len = page_size - 8
     pat_len = int(body_len * compress_fraction)

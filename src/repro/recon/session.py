@@ -1,0 +1,177 @@
+"""The two-party set-reconciliation protocol (docs/RECONCILIATION.md).
+
+A :class:`ReconSession` converges a *local* pair set (a shard's believed
+copies) onto a *remote* one (NSM ground truth routed to that shard) by
+recursive partition-by-prefix descent, per the Shingling paper's
+protocol shape:
+
+1. **Digest exchange** — each round, the parties exchange
+   ``(count, digest)`` summaries for every range on the frontier
+   (initially the whole u64 hash space).
+2. **Descent** — ranges whose summaries agree are pruned; a differing
+   range splits into ``branching`` equal prefix sub-ranges for the next
+   round, until a range is small enough to ship outright.
+3. **Leaf diff** — for the differing leaf ranges, local sends its rows,
+   remote answers with the pair-multiset diff
+   (:func:`repro.recon.diff.pair_multiset_diff`), and local applies it.
+
+Every message is a real :class:`~repro.util.records.Message` with UDP
+and ConCORD header overhead, so bytes-on-wire scales with the
+*divergence* (differing subtrees + leaf rows), not with total content —
+the property the ``repair.bytes_vs_divergence`` bench pins against the
+linear full-rebuild replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.recon.diff import pair_multiset_diff
+from repro.recon.digest import HASH_SPACE, PairSetDigest
+from repro.util.records import (ENTITY_ID_BYTES, HASH_BYTES, Message,
+                                MsgKind)
+
+__all__ = [
+    "ReconReport", "ReconSession", "DigestExchange", "PairExchange",
+    "DIGEST_ENTRY_BYTES", "PAIR_ENTRY_BYTES",
+]
+
+#: One frontier range summary on the wire: 8 B digest + 4 B row count +
+#: 2 B range tag (child index within the parent, per the prefix scheme).
+DIGEST_ENTRY_BYTES = 14
+
+#: One canonical pair on the wire: hash + entity id + 2 B copy count.
+PAIR_ENTRY_BYTES = HASH_BYTES + ENTITY_ID_BYTES + 2
+
+
+@dataclass
+class DigestExchange(Message):
+    """One round's range summaries (either direction)."""
+
+    n_entries: int = 0
+
+    def payload_bytes(self) -> int:
+        return DIGEST_ENTRY_BYTES * self.n_entries
+
+
+@dataclass
+class PairExchange(Message):
+    """Leaf rows one way, diff ops the other."""
+
+    n_pairs: int = 0
+
+    def payload_bytes(self) -> int:
+        return PAIR_ENTRY_BYTES * self.n_pairs
+
+
+@dataclass(frozen=True)
+class ReconReport:
+    """What one reconciliation session converged, and what it cost."""
+
+    bytes_wire: int
+    rounds: int
+    ranges_compared: int
+    leaves_shipped: int
+    ins: tuple = field(repr=False, default=())
+    rem: tuple = field(repr=False, default=())
+
+    @property
+    def ops_applied(self) -> int:
+        ins_c, rem_c = self.ins[2], self.rem[2]
+        return int(ins_c.sum()) + int(rem_c.sum())
+
+
+class ReconSession:
+    """Reconcile ``local`` onto ``remote`` over a (simulated) wire.
+
+    ``emit`` receives every protocol :class:`Message` (the engine wires
+    it to the simulated network when ``use_network`` is on); wire bytes
+    are accounted from the messages either way.  ``branching`` must be
+    a power of two (the descent splits ranges by hash prefix).
+    """
+
+    def __init__(self, local: PairSetDigest, remote: PairSetDigest,
+                 src_node: int = 0, dst_node: int = 0,
+                 branching: int = 16, leaf_limit: int = 8,
+                 emit: Callable[[Message], None] | None = None) -> None:
+        if branching < 2 or branching & (branching - 1):
+            raise ValueError(f"branching must be a power of two >= 2, "
+                             f"got {branching}")
+        if leaf_limit < 1:
+            raise ValueError("leaf_limit must be >= 1")
+        self.local = local
+        self.remote = remote
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.branching = branching
+        self.leaf_limit = leaf_limit
+        self.emit = emit
+        self.bytes_wire = 0
+        self.rounds = 0
+
+    def _send(self, msg: Message) -> None:
+        self.bytes_wire += msg.wire_bytes()
+        if self.emit is not None:
+            self.emit(msg)
+
+    def _digest_round(self, n_entries: int) -> None:
+        self.rounds += 1
+        self._send(DigestExchange(MsgKind.HASH_EXCHANGE, self.src_node,
+                                  self.dst_node, n_entries=n_entries))
+        self._send(DigestExchange(MsgKind.HASH_EXCHANGE, self.dst_node,
+                                  self.src_node, n_entries=n_entries))
+
+    def run(self) -> ReconReport:
+        frontier: list[tuple[int, int]] = [(0, HASH_SPACE)]
+        leaves: list[tuple[int, int]] = []
+        ranges_compared = 0
+        while frontier:
+            self._digest_round(len(frontier))
+            nxt: list[tuple[int, int]] = []
+            for lo, hi in frontier:
+                ranges_compared += 1
+                nl, dl = self.local.range_summary(lo, hi)
+                nr, dr = self.remote.range_summary(lo, hi)
+                if nl == nr and dl == dr:
+                    continue
+                width = hi - lo
+                # One side empty: the whole subtree differs, so further
+                # digest rounds cannot prune anything — ship it now.
+                if (min(nl, nr) == 0
+                        or max(nl, nr) <= self.leaf_limit
+                        or width <= self.branching):
+                    leaves.append((lo, hi))
+                    continue
+                step = width // self.branching
+                nxt.extend((lo + k * step, lo + (k + 1) * step)
+                           for k in range(self.branching))
+            frontier = nxt
+
+        leaves.sort()
+        loc = [self.local.range_rows(lo, hi) for lo, hi in leaves]
+        rmt = [self.remote.range_rows(lo, hi) for lo, hi in leaves]
+        lh, le, lc = _concat(loc)
+        rh, re, rc = _concat(rmt)
+        ins, rem = pair_multiset_diff(lh, le, lc, rh, re, want_c=rc)
+        if leaves:
+            self.rounds += 1
+            self._send(PairExchange(MsgKind.HASH_EXCHANGE, self.src_node,
+                                    self.dst_node, n_pairs=len(lh)))
+            self._send(PairExchange(MsgKind.HASH_EXCHANGE, self.dst_node,
+                                    self.src_node,
+                                    n_pairs=len(ins[0]) + len(rem[0])))
+        return ReconReport(bytes_wire=self.bytes_wire, rounds=self.rounds,
+                           ranges_compared=ranges_compared,
+                           leaves_shipped=len(leaves), ins=ins, rem=rem)
+
+
+def _concat(parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]]):
+    if not parts:
+        return (np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    return (np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]))

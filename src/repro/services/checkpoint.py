@@ -32,7 +32,8 @@ from repro.core.command import ExecMode, NodeContext, ServiceCallbacks
 from repro.core.scope import EntityRole
 from repro.memory.entity import Entity
 from repro.memory.nsm import BlockRef
-from repro.memory.pagedata import materialize_page
+from repro.memory.pagedata import (intern_chunk, is_interned_id,
+                                   materialize_page, register_chunk)
 from repro.sim.cluster import Cluster
 from repro.util.hashing import page_hash
 
@@ -43,6 +44,7 @@ __all__ = [
     "CollectiveCheckpoint",
     "RawCheckpoint",
     "restore_entity",
+    "blocks_to_pages",
 ]
 
 _PTR_RECORD_BYTES = 4 + 8 + 8        # page idx, hash, shared-file offset
@@ -234,9 +236,17 @@ class CheckpointStore:
         return raw_gzip, concord_gzip
 
     # -- on-disk serialization (byte mode) ----------------------------------------------------
+    # v1 (CCSH/CCSE): fixed page_size blocks, content ID recovered from
+    # the page header — byte-identical to the pre-chunking format and
+    # used whenever no interned (content-defined chunk) ID appears.
+    # v2 (CCS2/CCE2): length-prefixed blocks with an explicit content ID,
+    # required because interned chunks are variable-sized and carry no
+    # embedded ID (docs/RECONCILIATION.md).
 
     _SHARED_MAGIC = b"CCSH"
+    _SHARED_MAGIC_V2 = b"CCS2"
     _SE_MAGIC = b"CCSE"
+    _SE_MAGIC_V2 = b"CCE2"
 
     def _record_cid(self, kind: str, payload: int) -> int:
         if kind == "ptr":
@@ -277,12 +287,8 @@ class CheckpointStore:
         if canonical:
             blocks = self._canonical_blocks()
             offset_of = {h: i for i, (h, _cid) in enumerate(blocks)}
-            with open(d / "shared.bin", "wb") as fh:
-                fh.write(self._SHARED_MAGIC)
-                fh.write(struct.pack("<IQ", self.page_size, len(blocks)))
-                for _h, cid in blocks:
-                    fh.write(materialize_page(cid, self.page_size,
-                                              self.compress_fraction))
+            self._write_shared(d / "shared.bin",
+                               [cid for _h, cid in blocks])
             for eid in sorted(self.se_files):
                 f = self.se_files[eid]
                 with open(d / f"entity_{eid}.ckpt", "wb") as fh:
@@ -295,15 +301,12 @@ class CheckpointStore:
                         fh.write(struct.pack("<BIQQ", 0, idx, h,
                                              offset_of[h]))
             return
-        with open(d / "shared.bin", "wb") as fh:
-            fh.write(self._SHARED_MAGIC)
-            fh.write(struct.pack("<IQ", self.page_size, self.shared.n_blocks))
-            for cid in self.shared.blocks:
-                fh.write(materialize_page(cid, self.page_size,
-                                          self.compress_fraction))
+        self._write_shared(d / "shared.bin", self.shared.blocks)
         for eid, f in self.se_files.items():
+            v2 = any(kind == "data" and is_interned_id(payload)
+                     for kind, _idx, _h, payload in f.records)
             with open(d / f"entity_{eid}.ckpt", "wb") as fh:
-                fh.write(self._SE_MAGIC)
+                fh.write(self._SE_MAGIC_V2 if v2 else self._SE_MAGIC)
                 fh.write(struct.pack("<IIQ", eid, self.page_size,
                                      len(f.records)))
                 for kind, idx, h, payload in f.records:
@@ -312,31 +315,63 @@ class CheckpointStore:
                     elif kind == "data":
                         page = materialize_page(payload, self.page_size,
                                                 self.compress_fraction)
-                        fh.write(struct.pack("<BIQI", 1, idx, h, len(page)))
+                        if v2:
+                            fh.write(struct.pack("<BIQQI", 1, idx, h,
+                                                 int(payload), len(page)))
+                        else:
+                            fh.write(struct.pack("<BIQI", 1, idx, h,
+                                                 len(page)))
                         fh.write(page)
                     else:
                         raise ValueError(
                             f"record kind {kind!r} (incremental checkpoints"
                             " serialize with their chain, not standalone)")
 
+    def _write_shared(self, path: Path, cids: list[int]) -> None:
+        v2 = any(is_interned_id(c) for c in cids)
+        with open(path, "wb") as fh:
+            fh.write(self._SHARED_MAGIC_V2 if v2 else self._SHARED_MAGIC)
+            fh.write(struct.pack("<IQ", self.page_size, len(cids)))
+            for cid in cids:
+                page = materialize_page(cid, self.page_size,
+                                        self.compress_fraction)
+                if v2:
+                    fh.write(struct.pack("<QI", int(cid), len(page)))
+                fh.write(page)
+
     @classmethod
     def load_from_dir(cls, path: str | Path,
                       compress_fraction: float = 0.5) -> CheckpointStore:
-        """Read a checkpoint back (content IDs recovered from page headers)."""
+        """Read a checkpoint back.
+
+        v1 files recover each block's content ID from its page header;
+        v2 files carry the ID explicitly and re-register interned chunk
+        bytes so :func:`materialize_page` renders them again.
+        """
         d = Path(path)
         with open(d / "shared.bin", "rb") as fh:
-            if fh.read(4) != cls._SHARED_MAGIC:
+            magic = fh.read(4)
+            if magic not in (cls._SHARED_MAGIC, cls._SHARED_MAGIC_V2):
                 raise ValueError("bad shared content file magic")
+            v2 = magic == cls._SHARED_MAGIC_V2
             page_size, n_blocks = struct.unpack("<IQ", fh.read(12))
             store = cls(page_size, compress_fraction)
             for _ in range(n_blocks):
-                page = fh.read(page_size)
-                cid = int.from_bytes(page[:8], "little")
+                if v2:
+                    cid, length = struct.unpack("<QI", fh.read(12))
+                    data = fh.read(length)
+                    if is_interned_id(cid):
+                        register_chunk(cid, data)
+                else:
+                    page = fh.read(page_size)
+                    cid = int.from_bytes(page[:8], "little")
                 store.shared.append(page_hash(cid), cid)
         for ckpt in sorted(d.glob("entity_*.ckpt")):
             with open(ckpt, "rb") as fh:
-                if fh.read(4) != cls._SE_MAGIC:
+                magic = fh.read(4)
+                if magic not in (cls._SE_MAGIC, cls._SE_MAGIC_V2):
                     raise ValueError(f"bad SE file magic in {ckpt}")
+                se_v2 = magic == cls._SE_MAGIC_V2
                 eid, psize, n_records = struct.unpack("<IIQ", fh.read(16))
                 if psize != page_size:
                     raise ValueError("page size mismatch between files")
@@ -346,6 +381,13 @@ class CheckpointStore:
                     if kind == 0:
                         idx, h, off = struct.unpack("<IQQ", fh.read(20))
                         f.add_pointer(idx, h, off)
+                    elif se_v2:
+                        idx, h, cid, length = struct.unpack("<IQQI",
+                                                            fh.read(24))
+                        data = fh.read(length)
+                        if is_interned_id(cid):
+                            register_chunk(cid, data)
+                        f.add_data(idx, h, cid)
                     else:
                         idx, h, length = struct.unpack("<IQI", fh.read(16))
                         page = fh.read(length)
@@ -377,6 +419,26 @@ def restore_entity(store: CheckpointStore, entity_id: int) -> np.ndarray:
         missing = np.flatnonzero(~seen)[:5].tolist()
         raise ValueError(f"checkpoint incomplete: pages {missing} missing")
     return pages
+
+
+def blocks_to_pages(block_ids: np.ndarray, page_size: int,
+                    compress_fraction: float = 0.5) -> np.ndarray:
+    """Re-page restored blocks: the inverse of :meth:`Entity.from_bytes`.
+
+    A checkpoint of a chunked entity stores variable-sized chunk blocks;
+    callers that want fixed ``page_size`` pages back (e.g. to rebuild a
+    non-chunked replica) concatenate the materialized bytes and re-intern
+    each ``page_size`` slice.  Fixed-chunking entities round-trip
+    unchanged since each block already renders exactly one page.
+    """
+    blocks = np.asarray(block_ids, dtype=np.uint64)
+    if not any(is_interned_id(int(c)) for c in blocks.tolist()):
+        return blocks.copy()
+    buf = b"".join(materialize_page(int(c), page_size, compress_fraction)
+                   for c in blocks.tolist())
+    ids = [intern_chunk(buf[o:o + page_size])
+           for o in range(0, len(buf), page_size)]
+    return np.asarray(ids, dtype=np.uint64)
 
 
 @dataclass
@@ -488,7 +550,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
             else:
                 st.local_plan.append(("data", entity.entity_id, page_idx,
                                       int(content_hash),
-                                      entity.read_page(page_idx)))
+                                      entity.read_block_id(page_idx)))
             return
         f = self.store.se_file(entity.entity_id)
         if handled_private is not None:
@@ -499,7 +561,8 @@ class CollectiveCheckpoint(ServiceCallbacks):
                                  + _PTR_RECORD_BYTES
                                  * ctx.cost.file_append_per_byte)
         else:
-            f.add_data(page_idx, content_hash, entity.read_page(page_idx))
+            f.add_data(page_idx, content_hash,
+                       entity.read_block_id(page_idx))
             st.data_records += 1
             ctx.count("ckpt.data_records")
             self._charge_block_append(ctx)
@@ -520,7 +583,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
                     st.local_plan.append(("ptr", entity.entity_id, idx, h))
                 else:
                     st.local_plan.append(("data", entity.entity_id, idx, h,
-                                          entity.read_page(idx)))
+                                          entity.read_block_id(idx)))
             return
         f = self.store.se_file(entity.entity_id)
         hlist = hashes.tolist()
@@ -529,7 +592,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
             if covered[idx]:
                 f.add_pointer(idx, h, int(handled_map[h]))
             else:
-                f.add_data(idx, h, entity.read_page(idx))
+                f.add_data(idx, h, entity.read_block_id(idx))
         st.pointer_records += n_cov
         st.data_records += n - n_cov
         ctx.count("ckpt.pointer_records", n_cov)
@@ -561,7 +624,7 @@ class CollectiveCheckpoint(ServiceCallbacks):
                 if offset is None:
                     # Plan said covered but the shared block never landed;
                     # fall back to literal content (correctness first).
-                    cid = ctx.cluster.entity(eid).read_page(idx)
+                    cid = ctx.cluster.entity(eid).read_block_id(idx)
                     self.store.se_file(eid).add_data(idx, h, cid)
                     st.data_records += 1
                     ctx.count("ckpt.data_records")
@@ -622,10 +685,10 @@ class RawCheckpoint:
             f = store.se_file(eid)
             hashes = entity.content_hashes()
             for idx, (h, cid) in enumerate(zip(hashes.tolist(),
-                                               entity.pages.tolist())):
+                                               entity.block_ids().tolist())):
                 f.add_data(idx, int(h), int(cid))
-            nbytes = entity.n_pages * self.page_size * n_represented
-            t = (entity.n_pages * n_represented * (c.file_append_base / 64)
+            nbytes = entity.memory_bytes * n_represented
+            t = (entity.n_blocks * n_represented * (c.file_append_base / 64)
                  + nbytes * (c.file_append_per_byte + c.memcpy_per_byte))
             if gzip:
                 t += nbytes * c.gzip_per_byte

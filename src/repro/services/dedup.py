@@ -37,10 +37,13 @@ __all__ = ["CollectiveDedup", "DedupNodeState"]
 class DedupNodeState:
     """Per-node dedup bookkeeping."""
 
-    # hash -> canonical (entity, page) holding the single physical copy
+    # hash -> canonical (entity, block) holding the single physical copy
     canonical: dict[int, tuple[int, int]] = field(default_factory=dict)
-    # (entity, page) of every merged duplicate -> its hash
+    # (entity, block) of every merged duplicate -> its hash
     merged: dict[tuple[int, int], int] = field(default_factory=dict)
+    # (entity, block) -> raw block size at merge time (chunked entities
+    # have variable-sized blocks; fixed entities always store page_size)
+    block_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     saved_bytes: int = 0
     cow_breaks: int = 0
     global_redundant_blocks: int = 0  # from the collective phase
@@ -82,8 +85,10 @@ class CollectiveDedup(ServiceCallbacks):
             ctx.charge_per_block(ctx.cost.query_compute_base)
             return
         # Same content already physically present on this node: merge.
+        size = entity.block_size(page_idx)
         st.merged[key] = h
-        st.saved_bytes += self.page_size * ctx.n_represented
+        st.block_bytes[key] = size
+        st.saved_bytes += size * ctx.n_represented
         # Page-table remap + reference bump.
         ctx.charge_per_block(ctx.cost.memcpy_per_byte * 64 + 2e-6)
 
@@ -123,13 +128,24 @@ class CollectiveDedup(ServiceCallbacks):
         node_st = self._states.get(entity.node_id)
         if node_st is None:
             return
-        for idx in np.asarray(idxs).tolist():
-            key = (entity.entity_id, int(idx))
+        eid = entity.entity_id
+        if entity.chunked:
+            # A page write re-chunks the entity, so the page indices in
+            # ``idxs`` no longer map onto the block indices recorded at
+            # merge time.  Conservatively fault every sharing this
+            # entity participates in.
+            keys = sorted({k for k in node_st.merged if k[0] == eid}
+                          | {k for k in node_st.canonical.values()
+                             if k[0] == eid})
+        else:
+            keys = [(eid, int(idx)) for idx in np.asarray(idxs).tolist()]
+        for key in keys:
             h = node_st.merged.pop(key, None)
             if h is not None:
                 # CoW fault on a merged duplicate: the writer gets a
                 # private physical copy back.
-                node_st.saved_bytes -= self.page_size
+                node_st.saved_bytes -= node_st.block_bytes.pop(
+                    key, self.page_size)
                 node_st.cow_breaks += 1
                 continue
             h = self._canonical_hash_of(node_st, key)
@@ -144,7 +160,8 @@ class CollectiveDedup(ServiceCallbacks):
                 heir = min(heirs)
                 del node_st.merged[heir]
                 node_st.canonical[h] = heir
-                node_st.saved_bytes -= self.page_size
+                node_st.saved_bytes -= node_st.block_bytes.pop(
+                    heir, self.page_size)
                 node_st.cow_breaks += 1
             else:
                 del node_st.canonical[h]

@@ -64,7 +64,7 @@ class NullService(ServiceCallbacks):
         if ctx.mode is ExecMode.BATCH:
             ctx.plan.record("touch", entity.entity_id, page_idx)
         else:
-            entity.read_page(page_idx)
+            entity.read_block_id(page_idx)
             ctx.charge_per_block(ctx.cost.page_touch)
         ctx.state.local_blocks += 1
         if handled_private is not None:

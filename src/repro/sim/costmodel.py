@@ -84,6 +84,9 @@ class CostModel:
     gzip_per_byte: float
     gzip_ratio_floor: float = 0.35    # best ratio gzip achieves on real pages
     page_size: int = 4096
+    # Content-defined chunking: rolling-hash pass over every scanned byte
+    # (Gear is a table lookup + xor per byte, cheaper than SFH hashing).
+    cdc_per_byte: float = 0.3 * NS
 
     # -- derived helpers -------------------------------------------------------
 

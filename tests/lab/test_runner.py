@@ -135,6 +135,21 @@ class TestReport:
         assert "## FAIL" not in md
         assert "1/1 cells passed" in md
 
+    def test_failing_faulted_cell_names_divergent_nodes(self):
+        """Triage must say WHICH shards the post-run repair had to
+        touch, not just how many ops it applied."""
+        res = run_cell(tiny(fault="churn", duration_s=0.04),
+                       inject_violation=True, trace=False)
+        assert not res.passed
+        assert "repair.ops" in res.final
+        doc = build_report("quick", 0, [res])
+        assert doc["cells"][0]["repair_nodes"] == [
+            list(t) for t in res.repair_nodes]
+        if res.repair_nodes:
+            md = render_markdown(doc, {})
+            n = res.repair_nodes[0][0]
+            assert f"Post-run repair touched: node {n}" in md
+
 
 class TestLabCLI:
     def test_filtered_quick_grid_exits_zero(self, tmp_path, capsys):
